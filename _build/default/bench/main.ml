@@ -1,0 +1,154 @@
+(* Benchmark harness.
+
+   Part 1 — bechamel micro-benchmarks of the infrastructure itself: one
+   [Test.make] per table/figure-bearing component, measuring the host-time
+   cost of the machinery that the experiments rely on (scheduler, IR
+   interpreter, AutoWatchdog analysis, context synchronisation, checker
+   execution).
+
+   Part 2 — regeneration of every table and figure of the paper (E1-E10 as
+   indexed in DESIGN.md), printed in full. Absolute numbers come from the
+   deterministic simulator; the shapes are what reproduce the paper. *)
+
+open Bechamel
+open Toolkit
+
+module Sched = Wd_sim.Sched
+module Vtime = Wd_sim.Time
+module B = Wd_ir.Builder
+module Generate = Wd_autowatchdog.Generate
+
+(* --- micro-benchmark subjects --- *)
+
+let bench_sched_spawn_run =
+  Test.make ~name:"sim/spawn+run 100 tasks"
+    (Staged.stage (fun () ->
+         let s = Sched.create ~seed:1 () in
+         for i = 0 to 99 do
+           ignore
+             (Sched.spawn ~name:(string_of_int i) s (fun () ->
+                  Sched.sleep (Vtime.us 10)))
+         done;
+         ignore (Sched.run s)))
+
+let bench_sched_ping_pong =
+  Test.make ~name:"sim/1000 context switches"
+    (Staged.stage (fun () ->
+         let s = Sched.create ~seed:1 () in
+         ignore
+           (Sched.spawn s (fun () ->
+                for _ = 1 to 1000 do
+                  Sched.yield ()
+                done));
+         ignore (Sched.run s)))
+
+let interp_prog =
+  B.program "bench"
+    ~funcs:
+      [
+        B.func "sum_to" ~params:[ "n" ]
+          [
+            B.let_ "acc" (B.i 0);
+            B.let_ "i" (B.i 1);
+            B.while_
+              B.(v "i" <=: v "n")
+              [
+                B.assign "acc" B.(v "acc" +: v "i");
+                B.assign "i" B.(v "i" +: i 1);
+              ];
+            B.return (B.v "acc");
+          ];
+      ]
+    ~entries:[]
+
+let bench_interp_statements =
+  Test.make ~name:"ir/interpret 3000-stmt loop"
+    (Staged.stage (fun () ->
+         let s = Sched.create ~seed:1 () in
+         let reg = Wd_env.Faultreg.create () in
+         let res = Wd_ir.Runtime.create ~reg ~rng:(Wd_sim.Rng.create ~seed:2) in
+         let main = Wd_ir.Interp.create ~node:"n" ~res interp_prog in
+         ignore
+           (Sched.spawn s (fun () ->
+                ignore (Wd_ir.Interp.call main "sum_to" [ Wd_ir.Ast.VInt 1000 ])));
+         ignore (Sched.run s)))
+
+let kvs_prog = Wd_targets.Kvs.program ()
+let zk_prog = Wd_targets.Zkmini.program ()
+
+let bench_generate_kvs =
+  Test.make ~name:"autowatchdog/analyze kvs"
+    (Staged.stage (fun () -> ignore (Generate.analyze kvs_prog)))
+
+let bench_generate_zk =
+  Test.make ~name:"autowatchdog/analyze zkmini"
+    (Staged.stage (fun () -> ignore (Generate.analyze zk_prog)))
+
+let bench_context_sync =
+  Test.make ~name:"watchdog/hook capture + context sync"
+    (Staged.stage
+       (let w = Wd_watchdog.Wcontext.create () in
+        Wd_watchdog.Wcontext.register_unit w ~unit_id:"u" ~params:[ "a"; "b" ];
+        Wd_watchdog.Wcontext.bind_hook w ~hook_id:0 ~unit_id:"u"
+          ~captures:[ ("a", "ta"); ("b", "tb") ];
+        let payload = Wd_ir.Ast.VBytes (Bytes.create 256) in
+        fun () ->
+          Wd_watchdog.Wcontext.sink w ~now:1L 0
+            [ ("ta", Wd_ir.Ast.copy_value payload); ("tb", Wd_ir.Ast.VInt 1) ];
+          ignore (Wd_watchdog.Wcontext.args w "u")))
+
+let bench_checker_execution =
+  Test.make ~name:"watchdog/kvs+watchdog, 2 sim-seconds"
+    (Staged.stage (fun () ->
+         let g = Generate.analyze kvs_prog in
+         let s = Sched.create ~seed:1 () in
+         let reg = Wd_env.Faultreg.create () in
+         let t =
+           Wd_targets.Kvs.boot ~sched:s ~reg
+             ~prog:g.Generate.red.Wd_analysis.Reduction.instrumented ()
+         in
+         let driver = Wd_watchdog.Driver.create s in
+         ignore (Generate.attach g ~sched:s ~main:t.Wd_targets.Kvs.leader ~driver);
+         ignore (Wd_targets.Kvs.start t);
+         Wd_watchdog.Driver.start driver;
+         ignore (Sched.run ~until:(Vtime.sec 2) s)))
+
+let microbenches =
+  [
+    bench_sched_spawn_run;
+    bench_sched_ping_pong;
+    bench_interp_statements;
+    bench_generate_kvs;
+    bench_generate_zk;
+    bench_context_sync;
+    bench_checker_execution;
+  ]
+
+let run_microbenches () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  print_endline "== micro-benchmarks (host time per run) ==\n";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name bench ->
+          let est = Analyze.one ols Instance.monotonic_clock bench in
+          match Analyze.OLS.estimates est with
+          | Some (t :: _) -> Printf.printf "  %-45s %14.1f ns/run\n%!" name t
+          | Some [] | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
+        results)
+    microbenches;
+  print_newline ()
+
+let () =
+  run_microbenches ();
+  (* Part 2: every table and figure of the paper. *)
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "\n================ %s ================\n\n%!" name;
+      print_string (f ()))
+    (Wd_harness.Experiments.all_texts ())

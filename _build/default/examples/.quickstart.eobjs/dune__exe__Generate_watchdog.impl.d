@@ -1,0 +1,1 @@
+examples/generate_watchdog.ml: Wd_harness

@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Fmt List Wd_analysis Wd_autowatchdog Wd_env Wd_ir Wd_sim Wd_targets Wd_watchdog

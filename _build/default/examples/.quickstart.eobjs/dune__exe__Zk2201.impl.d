@@ -1,0 +1,1 @@
+examples/zk2201.ml: Fmt Int64 List Wd_analysis Wd_autowatchdog Wd_detectors Wd_env Wd_ir Wd_sim Wd_targets Wd_watchdog

@@ -1,0 +1,1 @@
+examples/zk2201.mli:

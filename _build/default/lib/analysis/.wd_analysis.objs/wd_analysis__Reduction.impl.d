@@ -1,0 +1,1 @@
+lib/analysis/reduction.ml: Callgraph Fmt Hashtbl List Option Regions Vulnerable Wd_ir

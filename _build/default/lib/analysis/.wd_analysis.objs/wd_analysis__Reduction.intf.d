@@ -1,0 +1,1 @@
+lib/analysis/reduction.mli: Format Vulnerable Wd_ir

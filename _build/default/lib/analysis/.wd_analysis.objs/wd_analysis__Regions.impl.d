@@ -1,0 +1,1 @@
+lib/analysis/regions.ml: Callgraph Fmt List String Wd_ir

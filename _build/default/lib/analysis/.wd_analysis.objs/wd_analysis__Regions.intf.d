@@ -1,0 +1,1 @@
+lib/analysis/regions.mli: Format Wd_ir

@@ -1,0 +1,1 @@
+lib/analysis/vulnerable.ml: Fmt Hashtbl List Option Wd_ir

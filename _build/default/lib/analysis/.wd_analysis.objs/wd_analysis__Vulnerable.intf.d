@@ -1,0 +1,1 @@
+lib/analysis/vulnerable.mli: Hashtbl Wd_ir

@@ -1,0 +1,76 @@
+(* Static call graph of an IR program. *)
+
+open Wd_ir.Ast
+
+type t = {
+  prog : program;
+  calls : (string, (string * Wd_ir.Loc.t) list) Hashtbl.t;
+      (* caller -> [(callee, call site)] *)
+}
+
+let rec callees_of_block block acc =
+  List.fold_left
+    (fun acc st ->
+      match st.node with
+      | Call { func; _ } -> (func, st.loc) :: acc
+      | If (_, t, e) -> callees_of_block e (callees_of_block t acc)
+      | While (_, b) | Foreach (_, _, b) | Sync (_, b) -> callees_of_block b acc
+      | Try (b, _, h) -> callees_of_block h (callees_of_block b acc)
+      | Let _ | Assign _ | Op _ | Return _ | Assert _ | Compute _ | Hook _ -> acc)
+    acc block
+
+let build prog =
+  let calls = Hashtbl.create 32 in
+  List.iter
+    (fun f -> Hashtbl.replace calls f.fname (List.rev (callees_of_block f.body [])))
+    prog.funcs;
+  { prog; calls }
+
+let callees t fname =
+  match Hashtbl.find_opt t.calls fname with Some cs -> cs | None -> []
+
+(* Functions reachable from [root], including [root] itself, in a stable
+   (preorder, call-site order) sequence. *)
+let reachable t root =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit fname =
+    if not (Hashtbl.mem seen fname) then begin
+      Hashtbl.replace seen fname ();
+      order := fname :: !order;
+      List.iter (fun (callee, _) -> visit callee) (callees t fname)
+    end
+  in
+  visit root;
+  List.rev !order
+
+(* Depth (shortest call-chain length) of each reachable function from root. *)
+let depths t root =
+  let depths = Hashtbl.create 16 in
+  let rec bfs frontier d =
+    match frontier with
+    | [] -> ()
+    | _ ->
+        let next =
+          List.concat_map
+            (fun fname ->
+              List.filter_map
+                (fun (callee, _) ->
+                  if Hashtbl.mem depths callee then None
+                  else begin
+                    Hashtbl.replace depths callee (d + 1);
+                    Some callee
+                  end)
+                (callees t fname))
+            frontier
+        in
+        bfs next (d + 1)
+  in
+  Hashtbl.replace depths root 0;
+  bfs [ root ] 0;
+  depths
+
+let is_recursive t fname =
+  List.exists
+    (fun (callee, _) -> List.mem fname (reachable t callee))
+    (callees t fname)

@@ -1,0 +1,25 @@
+(** Static call graph of an IR program. *)
+
+type t = {
+  prog : Wd_ir.Ast.program;
+  calls : (string, (string * Wd_ir.Loc.t) list) Hashtbl.t;
+}
+
+val callees_of_block :
+  Wd_ir.Ast.block ->
+  (string * Wd_ir.Loc.t) list ->
+  (string * Wd_ir.Loc.t) list
+(** Call sites in a block (prepended to the accumulator, reverse order). *)
+
+val build : Wd_ir.Ast.program -> t
+
+val callees : t -> string -> (string * Wd_ir.Loc.t) list
+(** Direct callees with call sites, in call-site order. *)
+
+val reachable : t -> string -> string list
+(** Functions reachable from [root], including [root], in stable preorder. *)
+
+val depths : t -> string -> (string, int) Hashtbl.t
+(** Shortest call-chain length from [root] to each reachable function. *)
+
+val is_recursive : t -> string -> bool

@@ -1,0 +1,448 @@
+(* Program logic reduction (§4.1): derive from program P a reduced W that
+   retains just enough code to expose gray failures.
+
+   For every function reachable from a long-running region we:
+   1. keep only vulnerable operations (loops flattened — invoking write()
+      once suffices to check it; initialisation and pure logic dropped);
+   2. remove *similar* vulnerable operations — same (kind, target) — within
+      the function;
+   3. perform a global reduction along call chains: an op whose key is
+      already retained in a callee is dropped at the caller;
+   4. preserve critical-section structure: a Sync block and its retained
+      body become one unit, so lock acquisition is mimicked too;
+   5. infer the execution context: every non-constant operand becomes a
+      context parameter, captured by a hook inserted immediately before the
+      original operation (Figure 2's ContextFactory setter).
+
+   The output is a set of *units* — each a tiny IR function runnable by a
+   checker-mode interpreter — plus the instrumented program. *)
+
+open Wd_ir.Ast
+module Loc = Wd_ir.Loc
+
+type options = {
+  dedup_similar : bool;      (* step 2; ablation switch *)
+  global_reduction : bool;   (* step 3; ablation switch *)
+}
+
+let default_options = { dedup_similar = true; global_reduction = true }
+
+type unit_ = {
+  unit_id : string;
+  region_id : string;
+  source_func : string;
+  anchor_loc : Loc.t;
+  ufunc : func;
+  params : (string * expr) list;  (* param name -> original operand *)
+  keys : string list;  (* retained "kind:target:prefix" keys *)
+  hook_ids : int list;
+}
+
+type hook_insertion = {
+  hi_hook_id : int;
+  hi_anchor_uid : int;  (* insert captures+hook before this statement *)
+  hi_captures : (string * string * expr) list;  (* (param, tmp var, operand) *)
+  hi_unit : string;
+}
+
+type stats = {
+  total_funcs : int;
+  region_funcs : int;
+  total_stmts : int;
+  vulnerable_ops : int;
+  retained_ops : int;
+  unit_count : int;
+  reduced_stmts : int;
+}
+
+type result = {
+  original : program;
+  instrumented : program;
+  units : unit_ list;
+  hooks : hook_insertion list;
+  stats : stats;
+}
+
+let rec count_stmts block =
+  List.fold_left
+    (fun n st ->
+      n
+      + 1
+      +
+      match st.node with
+      | If (_, t, e) -> count_stmts t + count_stmts e
+      | While (_, b) | Foreach (_, _, b) | Sync (_, b) -> count_stmts b
+      | Try (b, _, h) -> count_stmts b + count_stmts h
+      | Let _ | Assign _ | Op _ | Call _ | Return _ | Assert _ | Compute _
+      | Hook _ ->
+          0)
+    0 block
+
+
+(* Keys retained in the reduction of [fname] or anything it calls;
+   memoised, cycle-safe (an in-progress callee contributes nothing). *)
+let retained_keys_deep cfg cg =
+  let memo : (string, string list) Hashtbl.t = Hashtbl.create 32 in
+  let in_progress = Hashtbl.create 8 in
+  let rec keys_of fname =
+    match Hashtbl.find_opt memo fname with
+    | Some ks -> ks
+    | None ->
+        if Hashtbl.mem in_progress fname then []
+        else begin
+          Hashtbl.replace in_progress fname ();
+          let f = find_func cg.Callgraph.prog fname in
+          let own =
+            List.map (fun v -> v.Vulnerable.vkey) (Vulnerable.collect_in_func cfg f)
+          in
+          let from_callees =
+            List.concat_map (fun (callee, _) -> keys_of callee)
+              (Callgraph.callees cg fname)
+          in
+          Hashtbl.remove in_progress fname;
+          let all = List.sort_uniq compare (own @ from_callees) in
+          Hashtbl.replace memo fname all;
+          all
+        end
+  in
+  keys_of
+
+(* Keys retained by all callees of [fname] (for the global reduction). *)
+let callee_keys cfg cg fname =
+  List.concat_map
+    (fun (callee, _) -> retained_keys_deep cfg cg callee)
+    (Callgraph.callees cg fname)
+  |> List.sort_uniq compare
+
+type builder_state = {
+  mutable next_hook : int;
+  mutable next_unit : int;
+  mutable all_units : unit_ list;
+  mutable all_hooks : hook_insertion list;
+  mutable anchored_uids : (int, unit) Hashtbl.t;  (* global anchor dedup *)
+}
+
+(* Split an op's operands into inline constants and context parameters. *)
+let split_args ~park args =
+  List.map
+    (fun e ->
+      match e with
+      | Const _ -> (e, None)
+      | _ ->
+          let param = park e in
+          (Var param, Some param))
+    args
+
+(* Reduce one function's body into units. [region_id] names the first region
+   that reaches this function. Developer-annotated functions (§4.1) treat
+   every effectful operation as vulnerable. *)
+let reduce_func st cfg ~opts ~region_id ~callee_retained f =
+  let seen_keys : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let env = Hashtbl.create 16 in
+  let in_annotated =
+    List.mem f.fname cfg.Vulnerable.annotated_funcs
+    || List.mem Vulnerable_annot f.annots
+  in
+  let op_vulnerable kind =
+    Vulnerable.kind_vulnerable cfg kind
+    || (in_annotated && kind <> Log_op)
+  in
+  let keep key =
+    let dup = Hashtbl.mem seen_keys key in
+    let in_callee = List.mem key callee_retained in
+    if (opts.dedup_similar && dup) || (opts.global_reduction && in_callee) then
+      false
+    else begin
+      Hashtbl.replace seen_keys key ();
+      true
+    end
+  in
+  let fresh_unit () =
+    let id = st.next_unit in
+    st.next_unit <- id + 1;
+    Fmt.str "%s__u%d" f.fname id
+  in
+  let fresh_hook () =
+    let id = st.next_hook in
+    st.next_hook <- id + 1;
+    id
+  in
+  (* Build a unit from retained ops. [pieces] are (anchor stmt, reduced
+     node builder given the parameter table). *)
+  let emit_unit ~anchor_loc ~body ~params ~keys ~hooks =
+    let unit_id = fresh_unit () in
+    let ufunc =
+      {
+        fname = unit_id;
+        params = List.map fst params;
+        body;
+        annots = [];
+      }
+    in
+    st.all_units <-
+      {
+        unit_id;
+        region_id;
+        source_func = f.fname;
+        anchor_loc;
+        ufunc;
+        params;
+        keys;
+        hook_ids = List.map (fun h -> h.hi_hook_id) hooks;
+      }
+      :: st.all_units;
+    st.all_hooks <- hooks @ st.all_hooks;
+    List.iter (fun h -> Hashtbl.replace st.anchored_uids h.hi_anchor_uid ()) hooks
+  in
+  (* Reduce a single vulnerable Op statement into (reduced stmt, params,
+     hook). Parameter names are fresh per unit. *)
+  let reduce_op ~param_base st_node loc =
+    match st_node with
+    | Op { kind; target; args; bind } ->
+        let counter = ref 0 in
+        let params = ref [] in
+        let park e =
+          let name = Fmt.str "%s%d" param_base !counter in
+          incr counter;
+          params := (name, e) :: !params;
+          name
+        in
+        let newargs = List.map fst (split_args ~park args) in
+        let params = List.rev !params in
+        let reduced =
+          { node = Op { kind; target; args = newargs; bind }; loc }
+        in
+        (reduced, params, Vulnerable.op_key env ~kind ~target ~args)
+    | _ -> invalid_arg "reduce_op: not an op"
+  in
+  let hook_for ~unit_placeholder ~anchor_uid params =
+    if params = [] then None
+    else
+      let hid = fresh_hook () in
+      Some
+        {
+          hi_hook_id = hid;
+          hi_anchor_uid = anchor_uid;
+          hi_captures =
+            List.map
+              (fun (p, e) -> (p, Fmt.str "__wd%d_%s" hid p, e))
+              params;
+          hi_unit = unit_placeholder;
+        }
+  in
+  (* Walk a block, creating standalone units for vulnerable ops and one
+     combined unit per Sync block. *)
+  let rec walk block =
+    List.iter
+      (fun stmt ->
+        match stmt.node with
+        | Let (x, e) | Assign (x, e) -> Vulnerable.track_binding env x e
+        | Op { kind; target; args; _ }
+          when op_vulnerable kind
+               && not (Hashtbl.mem st.anchored_uids (Loc.uid stmt.loc)) ->
+            if keep (Vulnerable.op_key env ~kind ~target ~args) then begin
+              let reduced, params, key = reduce_op ~param_base:"arg" stmt.node stmt.loc in
+              let unit_id_preview = Fmt.str "%s__u%d" f.fname st.next_unit in
+              let hook =
+                hook_for ~unit_placeholder:unit_id_preview
+                  ~anchor_uid:(Loc.uid stmt.loc) params
+              in
+              emit_unit ~anchor_loc:stmt.loc ~body:[ reduced ] ~params ~keys:[ key ]
+                ~hooks:(Option.to_list hook)
+            end
+        | Op _ -> ()
+        | Sync (lock, body) when cfg.Vulnerable.sync_vulnerable ->
+            if
+              keep (Vulnerable.sync_key lock)
+              && not (Hashtbl.mem st.anchored_uids (Loc.uid stmt.loc))
+            then begin
+              (* Retain inner vulnerable ops under the (try-)lock. *)
+              let inner = ref [] in
+              let params = ref [] in
+              let keys = ref [ Vulnerable.sync_key lock ] in
+              let hooks = ref [] in
+              let unit_id_preview = Fmt.str "%s__u%d" f.fname st.next_unit in
+              let rec gather b =
+                List.iter
+                  (fun s ->
+                    match s.node with
+                    | Let (x, e) | Assign (x, e) -> Vulnerable.track_binding env x e
+                    | Op { kind; target; args; _ } when op_vulnerable kind ->
+                        if keep (Vulnerable.op_key env ~kind ~target ~args) then begin
+                          let reduced, ps, key =
+                            reduce_op
+                              ~param_base:(Fmt.str "arg%d_" (List.length !inner))
+                              s.node s.loc
+                          in
+                          inner := reduced :: !inner;
+                          params := !params @ ps;
+                          keys := key :: !keys;
+                          match
+                            hook_for ~unit_placeholder:unit_id_preview
+                              ~anchor_uid:(Loc.uid s.loc) ps
+                          with
+                          | Some h -> hooks := h :: !hooks
+                          | None -> ()
+                        end
+                    | If (_, t, e) ->
+                        gather t;
+                        gather e
+                    | While (_, b) | Foreach (_, _, b) -> gather b
+                    | Try (b, _, h) ->
+                        gather b;
+                        gather h
+                    | Sync (_, b) -> gather b (* nested sync folded in *)
+                    | Op _ | Call _ | Return _ | Assert _ | Compute _ | Hook _
+                      ->
+                        ())
+                  b
+              in
+              gather body;
+              let sync_stmt =
+                { node = Sync (lock, List.rev !inner); loc = stmt.loc }
+              in
+              emit_unit ~anchor_loc:stmt.loc ~body:[ sync_stmt ] ~params:!params
+                ~keys:(List.rev !keys) ~hooks:(List.rev !hooks)
+            end
+            else walk body
+        | Sync (_, body) -> walk body
+        | If (_, t, e) ->
+            walk t;
+            walk e
+        | While (_, b) | Foreach (_, _, b) -> walk b
+        | Try (b, _, h) ->
+            walk b;
+            walk h
+        | Call _ | Return _ | Assert _ | Compute _ | Hook _ -> ())
+      block
+  in
+  walk f.body
+
+(* Insert context-capture statements and hooks before anchored statements.
+   Original statements keep their locations; inserted ones get fresh uids. *)
+let instrument prog hooks =
+  let next_uid = ref 0 in
+  let bump loc = if Loc.uid loc >= !next_uid then next_uid := Loc.uid loc + 1 in
+  let rec scan block =
+    List.iter
+      (fun st ->
+        bump st.loc;
+        match st.node with
+        | If (_, t, e) ->
+            scan t;
+            scan e
+        | While (_, b) | Foreach (_, _, b) | Sync (_, b) -> scan b
+        | Try (b, _, h) ->
+            scan b;
+            scan h
+        | Let _ | Assign _ | Op _ | Call _ | Return _ | Assert _ | Compute _
+        | Hook _ ->
+            ())
+      block
+  in
+  List.iter (fun f -> scan f.body) prog.funcs;
+  let fresh_loc func =
+    let uid = !next_uid in
+    incr next_uid;
+    Loc.make ~func ~path:[] ~uid
+  in
+  let by_anchor = Hashtbl.create 16 in
+  List.iter (fun h -> Hashtbl.replace by_anchor h.hi_anchor_uid h) hooks;
+  let rec rewrite fname block =
+    List.concat_map
+      (fun st ->
+        let st =
+          let node =
+            match st.node with
+            | If (c, t, e) -> If (c, rewrite fname t, rewrite fname e)
+            | While (c, b) -> While (c, rewrite fname b)
+            | Foreach (x, e, b) -> Foreach (x, e, rewrite fname b)
+            | Sync (l, b) -> Sync (l, rewrite fname b)
+            | Try (b, x, h) -> Try (rewrite fname b, x, rewrite fname h)
+            | ( Let _ | Assign _ | Op _ | Call _ | Return _ | Assert _
+              | Compute _ | Hook _ ) as n ->
+                n
+          in
+          { st with node }
+        in
+        match Hashtbl.find_opt by_anchor (Loc.uid st.loc) with
+        | None -> [ st ]
+        | Some h ->
+            let captures =
+              List.map
+                (fun (_, tmp, e) -> { node = Let (tmp, e); loc = fresh_loc fname })
+                h.hi_captures
+            in
+            captures
+            @ [ { node = Hook h.hi_hook_id; loc = fresh_loc fname }; st ])
+      block
+  in
+  {
+    prog with
+    funcs = List.map (fun f -> { f with body = rewrite f.fname f.body }) prog.funcs;
+  }
+
+let reduce ?(opts = default_options) ?(cfg = Vulnerable.default) prog =
+  let cg = Callgraph.build prog in
+  let regions = Regions.find prog in
+  let st =
+    {
+      next_hook = 0;
+      next_unit = 0;
+      all_units = [];
+      all_hooks = [];
+      anchored_uids = Hashtbl.create 32;
+    }
+  in
+  (* Map each function to the first region that reaches it; the region's
+     root loop body itself is reduced as part of the root function. *)
+  let func_region : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun fname ->
+          if not (Hashtbl.mem func_region fname) then
+            Hashtbl.replace func_region fname r.Regions.region_id)
+        (r.Regions.root_func :: r.Regions.reachable))
+    regions;
+  (* Reduce region root functions first (they anchor the loops), then
+     callees, in a stable order. *)
+  let ordered_funcs =
+    List.filter (fun f -> Hashtbl.mem func_region f.fname) prog.funcs
+  in
+  List.iter
+    (fun f ->
+      let region_id = Hashtbl.find func_region f.fname in
+      let callee_retained =
+        if opts.global_reduction then callee_keys cfg cg f.fname else []
+      in
+      reduce_func st cfg ~opts ~region_id ~callee_retained f)
+    ordered_funcs;
+  let units = List.rev st.all_units in
+  let hooks = List.rev st.all_hooks in
+  let instrumented = instrument prog hooks in
+  let total_stmts =
+    List.fold_left (fun n f -> n + count_stmts f.body) 0 prog.funcs
+  in
+  let reduced_stmts =
+    List.fold_left (fun n u -> n + count_stmts u.ufunc.body) 0 units
+  in
+  let stats =
+    {
+      total_funcs = List.length prog.funcs;
+      region_funcs = List.length ordered_funcs;
+      total_stmts;
+      vulnerable_ops = Vulnerable.count_in_program cfg prog;
+      retained_ops = List.fold_left (fun n u -> n + List.length u.keys) 0 units;
+      unit_count = List.length units;
+      reduced_stmts;
+    }
+  in
+  { original = prog; instrumented; units; hooks; stats }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "funcs=%d region_funcs=%d stmts=%d vulnerable=%d retained=%d units=%d reduced_stmts=%d (%.1f%% of original)"
+    s.total_funcs s.region_funcs s.total_stmts s.vulnerable_ops s.retained_ops
+    s.unit_count s.reduced_stmts
+    (100.0 *. float_of_int s.reduced_stmts /. float_of_int (max 1 s.total_stmts))

@@ -1,0 +1,61 @@
+(** Program logic reduction (§4.1): derive from program P a reduced W that
+    retains just enough code to expose gray failures.
+
+    For every function reachable from a long-running region: keep only
+    vulnerable operations (loops flattened), remove similar operations
+    within the function, globally reduce along call chains, preserve
+    critical-section structure, and infer the execution context — every
+    non-constant operand becomes a context parameter captured by a hook
+    inserted immediately before the original operation. *)
+
+open Wd_ir.Ast
+
+type options = {
+  dedup_similar : bool;     (** similar-operation removal; ablation switch *)
+  global_reduction : bool;  (** call-chain-wide reduction; ablation switch *)
+}
+
+val default_options : options
+
+type unit_ = {
+  unit_id : string;
+  region_id : string;
+  source_func : string;
+  anchor_loc : Wd_ir.Loc.t;
+  ufunc : func;                    (** the reduced function, ready to run *)
+  params : (string * expr) list;   (** param name -> original operand *)
+  keys : string list;              (** retained ["kind:target:prefix"] keys *)
+  hook_ids : int list;
+}
+
+type hook_insertion = {
+  hi_hook_id : int;
+  hi_anchor_uid : int;  (** captures + hook are inserted before this stmt *)
+  hi_captures : (string * string * expr) list;
+      (** (context param, temporary variable bound in main, operand) *)
+  hi_unit : string;
+}
+
+type stats = {
+  total_funcs : int;
+  region_funcs : int;
+  total_stmts : int;
+  vulnerable_ops : int;
+  retained_ops : int;
+  unit_count : int;
+  reduced_stmts : int;
+}
+
+type result = {
+  original : program;
+  instrumented : program;  (** original + capture [Let]s + [Hook]s; original
+                               statement locations are preserved verbatim *)
+  units : unit_ list;
+  hooks : hook_insertion list;
+  stats : stats;
+}
+
+val reduce :
+  ?opts:options -> ?cfg:Vulnerable.config -> program -> result
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,135 @@
+(* Vulnerable-operation classification (§4.1 step 2).
+
+   "Our criteria for selecting such operations are those that are vulnerable
+   to fail in production due to either environment issues or bugs, such as
+   I/O, synchronization, resource, and communication related method
+   invocations. We also support annotations for developers to tag customized
+   vulnerable methods." *)
+
+open Wd_ir.Ast
+
+type config = {
+  io_vulnerable : bool;        (* disk operations *)
+  comm_vulnerable : bool;      (* network sends *)
+  sync_vulnerable : bool;      (* lock acquisition (Sync blocks) *)
+  resource_vulnerable : bool;  (* memory allocation *)
+  queue_vulnerable : bool;     (* internal queue insertion *)
+  extra_kinds : op_kind list;  (* configured additions, e.g. State_set *)
+  annotated_funcs : string list;  (* developer-tagged: every op inside counts *)
+}
+
+let default =
+  {
+    io_vulnerable = true;
+    comm_vulnerable = true;
+    sync_vulnerable = true;
+    resource_vulnerable = true;
+    queue_vulnerable = false;
+    extra_kinds = [];
+    annotated_funcs = [];
+  }
+
+let kind_vulnerable cfg = function
+  | Disk_write | Disk_append | Disk_read | Disk_sync | Disk_delete | Disk_list ->
+      cfg.io_vulnerable
+  | Disk_exists -> false (* cheap stat; monitoring it adds noise *)
+  | Net_send -> cfg.comm_vulnerable
+  | Net_recv -> false (* polling an idle inbox is not a fault (see interp) *)
+  | Queue_put -> cfg.queue_vulnerable
+  | Queue_get -> false
+  | Mem_alloc -> cfg.resource_vulnerable
+  | Mem_free -> false
+  | State_get | State_set -> List.mem State_set cfg.extra_kinds
+  | Sleep_op | Log_op -> false
+
+(* A vulnerable occurrence: either an effectful [Op] or a [Sync] lock
+   acquisition. [enclosing_sync] records the lock the op sits under so the
+   reduction can preserve the critical-section structure. *)
+type vop = {
+  vloc : Wd_ir.Loc.t;
+  vdesc : string; (* "disk_write(data)" or "sync(node_lock)" *)
+  vkey : string; (* dedup key: "kind:target:operand-prefix" *)
+  vnode : stmt_node; (* the original statement *)
+  enclosing_sync : string option;
+}
+
+(* Statically-known prefix of an operand, via one level of constant
+   propagation through the function's Let bindings. Distinguishes e.g.
+   writes to "blk/..." from writes to "meta/..." on the same disk, so the
+   similar-operation dedup does not collapse genuinely different I/O
+   families. *)
+let rec prefix_of_expr env = function
+  | Const (VStr s) -> Some s
+  | Prim ("concat", e :: _) -> prefix_of_expr env e
+  | Var x -> Hashtbl.find_opt env x
+  | Const _ | Binop _ | Unop _ | Pair _ | Fst _ | Snd _ | Prim _ -> None
+
+let track_binding env x e =
+  match prefix_of_expr env e with
+  | Some p -> Hashtbl.replace env x p
+  | None -> Hashtbl.remove env x
+
+let op_key env ~kind ~target ~args =
+  let prefix =
+    match args with
+    | first :: _ -> Option.value (prefix_of_expr env first) ~default:""
+    | [] -> ""
+  in
+  Fmt.str "%s:%s:%s" (op_kind_name kind) target prefix
+
+let sync_key lock = Fmt.str "sync:%s:" lock
+
+let rec collect_block cfg ~env ~in_annotated ~sync block acc =
+  List.fold_left
+    (fun acc st ->
+      match st.node with
+      | Let (x, e) | Assign (x, e) ->
+          track_binding env x e;
+          acc
+      | Op { kind; target; args; bind = _ }
+        when kind_vulnerable cfg kind || in_annotated ->
+          if kind_vulnerable cfg kind || kind <> Log_op then
+            {
+              vloc = st.loc;
+              vdesc = Fmt.str "%s(%s)" (op_kind_name kind) target;
+              vkey = op_key env ~kind ~target ~args;
+              vnode = st.node;
+              enclosing_sync = sync;
+            }
+            :: acc
+          else acc
+      | Op _ -> acc
+      | Sync (lock, body) ->
+          let acc =
+            if cfg.sync_vulnerable then
+              {
+                vloc = st.loc;
+                vdesc = Fmt.str "sync(%s)" lock;
+                vkey = sync_key lock;
+                vnode = st.node;
+                enclosing_sync = sync;
+              }
+              :: acc
+            else acc
+          in
+          collect_block cfg ~env ~in_annotated ~sync:(Some lock) body acc
+      | If (_, t, e) ->
+          collect_block cfg ~env ~in_annotated ~sync e
+            (collect_block cfg ~env ~in_annotated ~sync t acc)
+      | While (_, b) | Foreach (_, _, b) ->
+          collect_block cfg ~env ~in_annotated ~sync b acc
+      | Try (b, _, h) ->
+          collect_block cfg ~env ~in_annotated ~sync h
+            (collect_block cfg ~env ~in_annotated ~sync b acc)
+      | Call _ | Return _ | Assert _ | Compute _ | Hook _ -> acc)
+    acc block
+
+let collect_in_func cfg f =
+  let in_annotated =
+    List.mem f.fname cfg.annotated_funcs || List.mem Vulnerable_annot f.annots
+  in
+  let env = Hashtbl.create 16 in
+  List.rev (collect_block cfg ~env ~in_annotated ~sync:None f.body [])
+
+let count_in_program cfg prog =
+  List.fold_left (fun n f -> n + List.length (collect_in_func cfg f)) 0 prog.funcs

@@ -1,0 +1,1 @@
+lib/autowatchdog/config.ml: Wd_analysis Wd_sim

@@ -1,0 +1,1 @@
+lib/autowatchdog/config.mli: Wd_analysis

@@ -1,0 +1,1 @@
+lib/autowatchdog/generate.ml: Buffer Config Fmt Format Int64 List Recipes String Wd_analysis Wd_env Wd_ir Wd_sim Wd_watchdog

@@ -1,0 +1,1 @@
+lib/autowatchdog/generate.mli: Config Format Wd_analysis Wd_ir Wd_sim Wd_watchdog

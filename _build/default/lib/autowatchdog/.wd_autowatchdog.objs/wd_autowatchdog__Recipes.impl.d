@@ -1,0 +1,1 @@
+lib/autowatchdog/recipes.ml: Fmt List Wd_analysis Wd_ir

@@ -1,0 +1,1 @@
+lib/autowatchdog/recipes.mli: Wd_analysis Wd_ir

@@ -1,0 +1,1 @@
+lib/autowatchdog/reproduce.ml: Fmt Generate List Option Printexc Wd_analysis Wd_env Wd_ir Wd_sim Wd_watchdog

@@ -1,0 +1,1 @@
+lib/autowatchdog/reproduce.mli: Format Generate Wd_env Wd_watchdog

@@ -1,0 +1,24 @@
+(* Generation-time configuration: what counts as vulnerable (§4.1), which
+   reduction steps run (ablations), and the runtime budgets for generated
+   checkers. *)
+
+type t = {
+  vuln : Wd_analysis.Vulnerable.config;
+  opts : Wd_analysis.Reduction.options;
+  checker_period : int64;
+  checker_timeout : int64;
+  slow_budget : int64 option;
+  lock_timeout : int64;   (* checker-mode try-lock budget *)
+  enhance : bool;         (* recipe-based safety checks (read-back, etc.) *)
+}
+
+let default =
+  {
+    vuln = Wd_analysis.Vulnerable.default;
+    opts = Wd_analysis.Reduction.default_options;
+    checker_period = Wd_sim.Time.sec 1;
+    checker_timeout = Wd_sim.Time.sec 6;
+    slow_budget = None; (* adaptive: the driver learns each checker's baseline *)
+    lock_timeout = Wd_sim.Time.sec 4;
+    enhance = true;
+  }

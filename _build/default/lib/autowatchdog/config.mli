@@ -1,0 +1,15 @@
+(** Generation-time configuration: what counts as vulnerable (§4.1), which
+    reduction steps run (ablations), and the runtime budgets for generated
+    checkers. *)
+
+type t = {
+  vuln : Wd_analysis.Vulnerable.config;
+  opts : Wd_analysis.Reduction.options;
+  checker_period : int64;
+  checker_timeout : int64;
+  slow_budget : int64 option;  (** [None] = driver's adaptive baseline *)
+  lock_timeout : int64;        (** checker-mode try-lock budget *)
+  enhance : bool;              (** recipe safety checks (read-back, guards) *)
+}
+
+val default : t

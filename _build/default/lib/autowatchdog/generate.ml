@@ -1,0 +1,259 @@
+(* AutoWatchdog end-to-end (§4): analyse a program, reduce it, package the
+   generated checkers with a generic driver, and instrument the main program
+   with context hooks.
+
+     analyze  : program -> generated        (static; no simulation needed)
+     attach   : wire a generated watchdog into a running node
+
+   [attach] is the runtime half: it creates the context table, registers the
+   hook specs and sink on the main-program interpreter, builds one
+   checker-mode interpreter per unit, and registers the resulting mimic
+   checkers with a watchdog driver. *)
+
+open Wd_ir.Ast
+module Reduction = Wd_analysis.Reduction
+module Interp = Wd_ir.Interp
+module Checker = Wd_watchdog.Checker
+module Report = Wd_watchdog.Report
+module Wcontext = Wd_watchdog.Wcontext
+
+type generated = {
+  config : Config.t;
+  red : Reduction.result;
+  units : Reduction.unit_ list; (* after recipe enhancement *)
+  watchdog_prog : program;      (* all unit functions, one program *)
+}
+
+let analyze ?(config = Config.default) prog =
+  let red = Reduction.reduce ~opts:config.Config.opts ~cfg:config.Config.vuln prog in
+  let units =
+    if config.Config.enhance then List.map Recipes.enhance_unit red.Reduction.units
+    else red.Reduction.units
+  in
+  let watchdog_prog =
+    {
+      pname = prog.pname ^ "__watchdog";
+      funcs = List.map (fun (u : Reduction.unit_) -> u.Reduction.ufunc) units;
+      entries = [];
+    }
+  in
+  { config; red; units; watchdog_prog }
+
+(* Build the runtime checker for one unit: a checker-mode interpreter over
+   the watchdog program, fed by the unit's context. *)
+let checker_of_unit g ~sched ~wctx ~res ~node (u : Reduction.unit_) =
+  let cfg = g.config in
+  let ci =
+    Interp.create ~mode:Interp.Checker ~lock_timeout:cfg.Config.lock_timeout
+      ~node ~res g.watchdog_prog
+  in
+  let unit_id = u.Reduction.unit_id in
+  let payload () = Wcontext.snapshot wctx unit_id in
+  let locate () =
+    let probe = Interp.probe ci in
+    match probe.Interp.current_op with
+    | Some (loc, desc, _) -> (Some loc, desc, payload ())
+    | None -> (
+        match probe.Interp.last_op with
+        | Some loc -> (Some loc, "", payload ())
+        | None -> (Some u.Reduction.anchor_loc, "", payload ()))
+  in
+  let last_op_time = ref None in
+  let run ~now:_ =
+    let now () = Wd_sim.Sched.now (Wd_sim.Sched.get ()) in
+    match Wcontext.args wctx unit_id with
+    | None -> Checker.Skip "checker context not ready"
+    | Some args -> (
+        let probe = Interp.probe ci in
+        let op_ns_before = probe.Interp.op_ns in
+        match Interp.call ci u.Reduction.ufunc.fname args with
+        | _ ->
+            last_op_time := Some (Int64.sub probe.Interp.op_ns op_ns_before);
+            Checker.Pass
+        | exception Interp.Violation { loc; vkind = "liveness"; msg } ->
+            Checker.Fail
+              (Report.make ~at:(now ()) ~checker_id:unit_id ~fkind:Report.Hang
+                 ~loc ~op_desc:msg ~payload:(payload ()) ())
+        | exception Interp.Violation { loc; vkind = _; msg } ->
+            Checker.Fail
+              (Report.make ~at:(now ()) ~checker_id:unit_id
+                 ~fkind:(Report.Assert_fail msg) ~loc ~payload:(payload ()) ())
+        | exception Wd_env.Disk.Io_error m ->
+            let loc, desc, payload = locate () in
+            Checker.Fail
+              (Report.make ~at:(now ()) ~checker_id:unit_id
+                 ~fkind:(Report.Error_sig m) ?loc ~op_desc:desc ~payload ())
+        | exception Wd_env.Net.Net_error m ->
+            let loc, desc, payload = locate () in
+            Checker.Fail
+              (Report.make ~at:(now ()) ~checker_id:unit_id
+                 ~fkind:(Report.Error_sig m) ?loc ~op_desc:desc ~payload ())
+        | exception Wd_env.Memory.Out_of_memory m ->
+            let loc, desc, payload = locate () in
+            Checker.Fail
+              (Report.make ~at:(now ()) ~checker_id:unit_id
+                 ~fkind:(Report.Error_sig m) ?loc ~op_desc:desc ~payload ()))
+  in
+  ignore sched;
+  Checker.make ~kind:Checker.Mimic ~period:cfg.Config.checker_period
+    ~timeout:cfg.Config.checker_timeout ?slow_budget:cfg.Config.slow_budget
+    ~locate
+    ~slow_elapsed:(fun () -> !last_op_time)
+    ~id:unit_id run
+
+(* Region ids whose root function is reachable from any of the given entry
+   functions — used to attach a node only the checkers that watch its own
+   daemons (a watchdog is intrinsic to one node, §3.1). *)
+let regions_for_entry_funcs g ~entry_funcs =
+  let prog = g.red.Reduction.original in
+  let cg = Wd_analysis.Callgraph.build prog in
+  let reachable =
+    List.sort_uniq String.compare
+      (List.concat_map (fun f -> Wd_analysis.Callgraph.reachable cg f) entry_funcs)
+  in
+  List.filter_map
+    (fun r ->
+      if List.mem r.Wd_analysis.Regions.root_func reachable then
+        Some r.Wd_analysis.Regions.region_id
+      else None)
+    (Wd_analysis.Regions.find prog)
+
+(* Wire a generated watchdog into a running node. The main interpreter must
+   have been created over [g.red.instrumented] (not the original program),
+   otherwise no hooks fire and every context stays NOT_READY.
+
+   [only_regions] restricts the attachment to checkers whose region belongs
+   to this node (see [regions_for_entry_funcs]); by default every unit is
+   attached — units whose hooks never fire on this node simply stay
+   NOT_READY and skip.
+
+   [progress] additionally arms one staleness checker per context-fed unit:
+   once a hook has fired, the main program is expected to keep passing it;
+   a context older than the threshold means the surrounding region stopped
+   making progress *without* failing any mimicked operation — the
+   infinite-loop/stall class that operation mimicry alone cannot see. *)
+let attach ?only_regions ?progress g ~sched ~main ~driver =
+  let res = Interp.resources main in
+  let node = Interp.node main in
+  let selected =
+    match only_regions with
+    | None -> g.units
+    | Some regions ->
+        List.filter
+          (fun (u : Reduction.unit_) -> List.mem u.Reduction.region_id regions)
+          g.units
+  in
+  let selected_ids =
+    List.map (fun (u : Reduction.unit_) -> u.Reduction.unit_id) selected
+  in
+  let wctx = Wcontext.create () in
+  List.iter
+    (fun (u : Reduction.unit_) ->
+      Wcontext.register_unit wctx ~unit_id:u.Reduction.unit_id
+        ~params:(List.map fst u.Reduction.params))
+    selected;
+  List.iter
+    (fun (h : Reduction.hook_insertion) ->
+      if List.mem h.Reduction.hi_unit selected_ids then begin
+        let captures =
+          List.map (fun (p, tmp, _) -> (tmp, p)) h.Reduction.hi_captures
+        in
+        Wcontext.bind_hook wctx ~hook_id:h.Reduction.hi_hook_id
+          ~unit_id:h.Reduction.hi_unit
+          ~captures:(List.map (fun (tmp, p) -> (p, tmp)) captures);
+        Interp.register_hook main ~id:h.Reduction.hi_hook_id
+          {
+            Interp.hook_checker = h.Reduction.hi_unit;
+            hook_vars = List.map (fun (_, tmp, _) -> tmp) h.Reduction.hi_captures;
+          }
+      end)
+    g.red.Reduction.hooks;
+  Interp.set_hook_sink main (fun hook_id values ->
+      Wcontext.sink wctx ~now:(Wd_sim.Sched.now sched) hook_id values);
+  List.iter
+    (fun u ->
+      Wd_watchdog.Driver.add_checker driver
+        (checker_of_unit g ~sched ~wctx ~res ~node u))
+    selected;
+  (match progress with
+  | None -> ()
+  | Some threshold ->
+      List.iter
+        (fun (u : Reduction.unit_) ->
+          if u.Reduction.params <> [] then
+            let unit_id = u.Reduction.unit_id in
+            let id = "progress:" ^ unit_id in
+            Wd_watchdog.Driver.add_checker driver
+              (Checker.make ~kind:Checker.Mimic ~period:(Wd_sim.Time.sec 2)
+                 ~timeout:(Wd_sim.Time.sec 2)
+                 ~slow_budget:Wd_sim.Time.never (* liveness only *)
+                 ~id
+                 (fun ~now:_ ->
+                   let now = Wd_sim.Sched.now sched in
+                   match Wcontext.staleness wctx ~now unit_id with
+                   | None -> Checker.Skip "context not ready"
+                   | Some age when age > threshold ->
+                       Checker.Fail
+                         (Report.make ~at:now ~checker_id:id ~fkind:Report.Hang
+                            ~loc:u.Reduction.anchor_loc
+                            ~op_desc:
+                              (Fmt.str "no progress past hook for %a"
+                                 Wd_sim.Time.pp age)
+                            ~payload:(Wcontext.snapshot wctx unit_id) ())
+                   | Some _ -> Checker.Pass)))
+        selected);
+  wctx
+
+(* Cheap-recovery wiring (§5.2): register each of the node's entry tasks as
+   a microreboot component owning every function reachable from its entry
+   point, so that a pinpointed report maps back to the daemon to reboot.
+   Call after [Interp.start]; pass the tasks it returned, in order. *)
+let register_components recovery ~sched ~main ~entries ~tasks =
+  let prog = Interp.program main in
+  let cg = Wd_analysis.Callgraph.build prog in
+  List.iter2
+    (fun entry_name task ->
+      let entry =
+        List.find
+          (fun e -> e.Wd_ir.Ast.entry_name = entry_name)
+          prog.Wd_ir.Ast.entries
+      in
+      let funcs = Wd_analysis.Callgraph.reachable cg entry.Wd_ir.Ast.entry_func in
+      Wd_watchdog.Recovery.register recovery ~name:entry_name ~funcs
+        ~respawn:(fun () ->
+          match Interp.start ~entries:[ entry_name ] main sched with
+          | [ task ] -> task
+          | _ -> invalid_arg "register_components: entry did not respawn")
+        ~task)
+    entries tasks
+
+(* Figure-3-style rendering of a generated checker, for demos and docs. *)
+let render_checker_source (u : Reduction.unit_) =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Fmt.pf ppf "public class %s$Checker {@." u.Reduction.source_func;
+  Fmt.pf ppf "  static Status %s(%s) {@." u.Reduction.unit_id
+    (String.concat ", " u.Reduction.ufunc.params);
+  Wd_ir.Pp.pp_block ~indent:4 ppf u.Reduction.ufunc.body;
+  Fmt.pf ppf "  }@.";
+  Fmt.pf ppf "  static Status %s_invoke() {@." u.Reduction.unit_id;
+  Fmt.pf ppf "    Context ctx = ContextFactory.%s_context();@." u.Reduction.unit_id;
+  Fmt.pf ppf "    if (ctx.status == READY)@.";
+  Fmt.pf ppf "      return %s(%s);@." u.Reduction.unit_id
+    (String.concat ", "
+       (List.map (fun p -> "ctx.args_getter(\"" ^ p ^ "\")") u.Reduction.ufunc.params));
+  Fmt.pf ppf "    else@.      LOG.debug(\"checker context not ready\");@.";
+  Fmt.pf ppf "  }@.}@.";
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let pp_summary ppf g =
+  Fmt.pf ppf "AutoWatchdog for %s: %a@.%d checkers generated:@."
+    g.red.Reduction.original.pname Reduction.pp_stats g.red.Reduction.stats
+    (List.length g.units);
+  List.iter
+    (fun (u : Reduction.unit_) ->
+      Fmt.pf ppf "  %-40s region=%-24s anchors %a (%s)@." u.Reduction.unit_id
+        u.Reduction.region_id Wd_ir.Loc.pp u.Reduction.anchor_loc
+        (String.concat "," u.Reduction.keys))
+    g.units

@@ -1,0 +1,65 @@
+(** AutoWatchdog end-to-end (§4): analyse a program, reduce it, package the
+    generated checkers with the generic driver, and instrument the main
+    program with context hooks. *)
+
+type generated = {
+  config : Config.t;
+  red : Wd_analysis.Reduction.result;
+  units : Wd_analysis.Reduction.unit_ list;  (** after recipe enhancement *)
+  watchdog_prog : Wd_ir.Ast.program;         (** all unit functions *)
+}
+
+val analyze : ?config:Config.t -> Wd_ir.Ast.program -> generated
+(** Static half; no simulation needed. *)
+
+val regions_for_entry_funcs :
+  generated -> entry_funcs:string list -> string list
+(** Region ids rooted in functions reachable from the given entry functions;
+    a node passes its own entries to attach only its own checkers. *)
+
+val attach :
+  ?only_regions:string list ->
+  ?progress:int64 ->
+  generated ->
+  sched:Wd_sim.Sched.t ->
+  main:Wd_ir.Interp.t ->
+  driver:Wd_watchdog.Driver.t ->
+  Wd_watchdog.Wcontext.t
+(** Runtime half: create the context table, register hook specs and the
+    sink on [main], build one checker-mode interpreter per unit, and add
+    the resulting mimic checkers to [driver].
+
+    [main] must have been created over [generated.red.instrumented]; on the
+    original program no hooks fire and every context stays NOT_READY.
+    [only_regions] restricts attachment to this node's own regions (see
+    {!regions_for_entry_funcs}); unfiltered, foreign units stay NOT_READY
+    and skip harmlessly. [progress] arms one staleness checker per
+    context-fed unit: a context older than the threshold means the region
+    stopped making progress without failing any mimicked operation — the
+    infinite-loop/stall class operation mimicry cannot see. *)
+
+val register_components :
+  Wd_watchdog.Recovery.t ->
+  sched:Wd_sim.Sched.t ->
+  main:Wd_ir.Interp.t ->
+  entries:string list ->
+  tasks:Wd_sim.Sched.task list ->
+  unit
+(** §5.2 wiring: register each entry task as a microreboot component owning
+    every function reachable from its entry point. [entries] and [tasks]
+    must correspond pairwise (program-entry order, as {!Wd_ir.Interp.start}
+    returns them). *)
+
+val checker_of_unit :
+  generated ->
+  sched:Wd_sim.Sched.t ->
+  wctx:Wd_watchdog.Wcontext.t ->
+  res:Wd_ir.Runtime.resources ->
+  node:string ->
+  Wd_analysis.Reduction.unit_ ->
+  Wd_watchdog.Checker.t
+
+val render_checker_source : Wd_analysis.Reduction.unit_ -> string
+(** Figure-3-style pseudo-Java rendering of a generated checker. *)
+
+val pp_summary : Format.formatter -> generated -> unit

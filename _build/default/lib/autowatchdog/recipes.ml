@@ -1,0 +1,138 @@
+(* Checker recipes (§4.1 step "enhance C with runtime checks"): per-op-kind
+   safety checks appended to reduced units. Liveness checks (timeouts,
+   try-lock budgets) are enforced by the driver and checker-mode
+   interpreter; recipes add the *safety* side:
+
+   - after a mimicked full write: read back and verify the checksum (the
+     checker writes to its scratch namespace, so the verification is
+     side-effect free while still exercising the real device — HDFS
+     disk-checker style);
+   - before a mimicked read of a context-supplied path: an existence guard.
+     The main program may legitimately have deleted the file since the hook
+     captured it (e.g. compaction consumed a segment); reading a vanished
+     file is not a fault, but a wedged or corrupting device still is.
+
+   Inserted statements reuse the anchor operation's location so that any
+   failure they raise pinpoints the original program statement. *)
+
+open Wd_ir.Ast
+
+(* Read-back + suffix assertion after a mimicked append: the checker's
+   scratch copy of the file must end with the bytes just appended. *)
+let enhance_disk_append ~loc ~target ~path_arg ~data_arg tail =
+  let rb = "__rb" in
+  { node = Op { kind = Disk_read; target; args = [ path_arg ]; bind = Some rb };
+    loc }
+  :: {
+       node =
+         Assert
+           ( Prim ("ends_with", [ Var rb; data_arg ]),
+             Fmt.str "appended bytes not found at tail on %s" target );
+       loc;
+     }
+  :: tail
+
+(* Read-back + checksum assertion after a mimicked full write. *)
+let enhance_disk_write ~loc ~target ~path_arg ~data_arg tail =
+  let rb = "__rb" in
+  { node = Op { kind = Disk_read; target; args = [ path_arg ]; bind = Some rb };
+    loc }
+  :: {
+       node =
+         Assert
+           ( Binop
+               ( Eq,
+                 Prim ("checksum", [ Var rb ]),
+                 Prim ("checksum", [ data_arg ]) ),
+             Fmt.str "read-back checksum mismatch on %s" target );
+       loc;
+     }
+  :: tail
+
+(* A mimicked read of a context-supplied path must tolerate staleness: the
+   main program may have legitimately consumed the file since the hook fired
+   (compaction inputs, rotated segments). If the captured path is gone, read
+   a live file from the same directory instead — same device, same region,
+   same fault domain (the HDFS disk-checker tactic). Only "no such file" is
+   benign; any other error is a finding, and a hang is caught by the driver
+   timeout with this statement's location in flight. *)
+let guard_disk_read ~loc ~target ~path_arg read_stmt =
+  let ex = "__ex" and alts = "__alts" and e = "__e" in
+  let read_alt =
+    match read_stmt.node with
+    | Op { kind; target = t; bind; _ } ->
+        {
+          node =
+            Op { kind; target = t; args = [ Prim ("list_head", [ Var alts ]) ]; bind };
+          loc;
+        }
+    | _ -> read_stmt
+  in
+  let body =
+    [
+      { node = Op { kind = Disk_exists; target; args = [ path_arg ]; bind = Some ex };
+        loc };
+      {
+        node =
+          If
+            ( Var ex,
+              [ read_stmt ],
+              [
+                {
+                  node =
+                    Op
+                      {
+                        kind = Disk_list;
+                        target;
+                        args = [ Prim ("dirname", [ path_arg ]) ];
+                        bind = Some alts;
+                      };
+                  loc;
+                };
+                {
+                  node =
+                    If
+                      ( Binop (Gt, Unop (Len, Var alts), Const (VInt 0)),
+                        [ read_alt ],
+                        [] );
+                  loc;
+                };
+              ] );
+        loc;
+      };
+    ]
+  in
+  let handler =
+    [
+      {
+        node =
+          Assert
+            ( Prim ("contains", [ Var e; Const (VStr "no such file") ]),
+              "unexpected read error" );
+        loc;
+      };
+    ]
+  in
+  [ { node = Try (body, e, handler); loc } ]
+
+let rec enhance_block block =
+  List.concat_map
+    (fun st ->
+      match st.node with
+      | Op { kind = Disk_write; target; args = [ p; d ]; _ } ->
+          st :: enhance_disk_write ~loc:st.loc ~target ~path_arg:p ~data_arg:d []
+      | Op { kind = Disk_append; target; args = [ p; d ]; _ } ->
+          st :: enhance_disk_append ~loc:st.loc ~target ~path_arg:p ~data_arg:d []
+      | Op { kind = Disk_read; target; args = [ p ]; _ } ->
+          guard_disk_read ~loc:st.loc ~target ~path_arg:p st
+      | Sync (lock, body) -> [ { st with node = Sync (lock, enhance_block body) } ]
+      | If (c, t, e) ->
+          [ { st with node = If (c, enhance_block t, enhance_block e) } ]
+      | While _ | Foreach _ | Try _ | Let _ | Assign _ | Op _ | Call _
+      | Return _ | Assert _ | Compute _ | Hook _ ->
+          [ st ])
+    block
+
+let enhance_unit (u : Wd_analysis.Reduction.unit_) =
+  let ufunc = u.ufunc in
+  { u with Wd_analysis.Reduction.ufunc = { ufunc with body = enhance_block ufunc.body } }

@@ -1,0 +1,21 @@
+(** Failure reproduction (§5.2): replay a mimic checker and its captured
+    payload in a fresh, sealed simulation — optionally with a fault
+    re-injected — turning a production alarm into a deterministic repro.
+
+    The replay environment is synthesised from the reduced unit itself;
+    everything the checker needs travels in the report. *)
+
+type outcome =
+  | Reproduced of Wd_watchdog.Report.fkind
+  | Not_reproduced       (** the unit passes in a clean environment *)
+  | Unknown_checker
+  | Context_incomplete
+
+val run :
+  ?fault:Wd_env.Faultreg.fault ->
+  ?timeout:int64 ->
+  Generate.generated ->
+  report:Wd_watchdog.Report.t ->
+  outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

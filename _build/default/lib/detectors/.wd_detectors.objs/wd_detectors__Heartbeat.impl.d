@@ -1,0 +1,1 @@
+lib/detectors/heartbeat.ml: Fmt Int64 String Wd_env Wd_ir Wd_sim

@@ -1,0 +1,1 @@
+lib/detectors/heartbeat.mli: Wd_env Wd_ir Wd_sim

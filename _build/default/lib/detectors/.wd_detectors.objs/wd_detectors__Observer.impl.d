@@ -1,0 +1,1 @@
+lib/detectors/observer.ml: Int64 List Wd_sim

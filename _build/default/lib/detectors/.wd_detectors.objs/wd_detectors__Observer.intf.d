@@ -1,0 +1,1 @@
+lib/detectors/observer.mli: Wd_sim

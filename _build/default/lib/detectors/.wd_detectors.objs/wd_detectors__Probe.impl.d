@@ -1,0 +1,1 @@
+lib/detectors/probe.ml: Wd_sim Wd_watchdog

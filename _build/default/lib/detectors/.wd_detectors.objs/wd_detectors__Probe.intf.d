@@ -1,0 +1,1 @@
+lib/detectors/probe.mli: Wd_watchdog

@@ -1,0 +1,1 @@
+lib/detectors/signalmon.ml: Fmt Int64 Wd_env Wd_ir Wd_sim Wd_watchdog

@@ -1,0 +1,1 @@
+lib/detectors/signalmon.mli: Wd_env Wd_ir Wd_watchdog

@@ -1,0 +1,62 @@
+(* Extrinsic crash failure detector: watches a monitor endpoint for
+   heartbeat messages from a node and suspects the node after a silence
+   longer than [timeout]. This is the baseline the paper's Table 1 calls
+   "Crash FD" — perfect for fail-stop, blind to gray failures where the
+   heartbeat thread keeps running. *)
+
+type t = {
+  sched : Wd_sim.Sched.t;
+  timeout : int64;
+  match_prefix : string;
+  mutable last_seen : int64;
+  mutable beats : int;
+  mutable suspected_at : int64 option;
+  mutable task : Wd_sim.Sched.task option;
+}
+
+let payload_matches ~prefix payload =
+  match payload with
+  | Wd_ir.Ast.VStr s ->
+      String.length s >= String.length prefix
+      && String.sub s 0 (String.length prefix) = prefix
+  | _ -> false
+
+let create ?(timeout = Wd_sim.Time.sec 3) ~sched ~net ~endpoint ~match_prefix ()
+    =
+  let t =
+    {
+      sched;
+      timeout;
+      match_prefix;
+      last_seen = Wd_sim.Sched.now sched;
+      beats = 0;
+      suspected_at = None;
+      task = None;
+    }
+  in
+  let task =
+    Wd_sim.Sched.spawn ~name:(Fmt.str "hbfd:%s" match_prefix) ~daemon:true sched
+      (fun () ->
+        while true do
+          (match
+             Wd_env.Net.recv_timeout net endpoint ~timeout:(Wd_sim.Time.ms 250)
+           with
+          | Some env ->
+              if payload_matches ~prefix:match_prefix env.Wd_env.Net.payload then begin
+                t.last_seen <- Wd_sim.Sched.now sched;
+                t.beats <- t.beats + 1;
+                (* A heartbeat rescinds the suspicion, as in φ-style FDs. *)
+                t.suspected_at <- None
+              end
+          | None -> ());
+          let now = Wd_sim.Sched.now sched in
+          if Int64.sub now t.last_seen > t.timeout && t.suspected_at = None then
+            t.suspected_at <- Some now
+        done)
+  in
+  t.task <- Some task;
+  t
+
+let suspected t = t.suspected_at <> None
+let suspected_at t = t.suspected_at
+let beats t = t.beats

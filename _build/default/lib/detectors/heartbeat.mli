@@ -1,0 +1,20 @@
+(** Extrinsic crash failure detector: suspects a node after heartbeat
+    silence longer than [timeout]. Perfect for fail-stop, blind to gray
+    failures where the heartbeat thread keeps running (Table 1). *)
+
+type t
+
+val create :
+  ?timeout:int64 ->
+  sched:Wd_sim.Sched.t ->
+  net:Wd_ir.Ast.value Wd_env.Net.t ->
+  endpoint:string ->
+  match_prefix:string ->
+  unit ->
+  t
+(** Spawns a daemon consuming [endpoint]'s inbox; messages whose string
+    payload starts with [match_prefix] count as heartbeats. *)
+
+val suspected : t -> bool
+val suspected_at : t -> int64 option
+val beats : t -> int

@@ -1,0 +1,49 @@
+(* Panorama-style observers: every requester of the monitored process is a
+   logical observer; error evidence observed on request paths is aggregated
+   into a per-process verdict. Catches gray failures *that clients hit*,
+   but cannot say why or where — which is the limitation (§1) that
+   motivates intrinsic watchdogs. *)
+
+type evidence = Success | Failure of string | Timeout
+
+type t = {
+  sched : Wd_sim.Sched.t;
+  window : int64;              (* evidence older than this is discarded *)
+  threshold : float;           (* failure ratio that flips the verdict *)
+  min_samples : int;
+  mutable log : (int64 * evidence) list;
+  mutable first_suspect_at : int64 option;
+}
+
+let create ?(window = Wd_sim.Time.sec 5) ?(threshold = 0.5) ?(min_samples = 3)
+    sched =
+  { sched; window; threshold; min_samples; log = []; first_suspect_at = None }
+
+let observe t evidence =
+  let now = Wd_sim.Sched.now t.sched in
+  t.log <- (now, evidence) :: t.log;
+  (* prune outside the window *)
+  t.log <- List.filter (fun (at, _) -> Int64.sub now at <= t.window) t.log;
+  let total = List.length t.log in
+  let bad =
+    List.length
+      (List.filter
+         (fun (_, e) -> match e with Success -> false | Failure _ | Timeout -> true)
+         t.log)
+  in
+  if
+    total >= t.min_samples
+    && float_of_int bad /. float_of_int total >= t.threshold
+    && t.first_suspect_at = None
+  then t.first_suspect_at <- Some now
+
+let suspected t = t.first_suspect_at <> None
+let suspected_at t = t.first_suspect_at
+
+let observations t = List.length t.log
+
+(* Convenience: wrap a client-API result into evidence. *)
+let of_result = function
+  | `Ok _ -> Success
+  | `Timeout -> Timeout
+  | `Err m -> Failure m

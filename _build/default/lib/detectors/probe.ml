@@ -1,0 +1,27 @@
+(* Probe checkers (Table 2, row 1): act like a special client and invoke the
+   public API with pre-supplied input. Perfect accuracy — a failed probe is
+   a real contract violation — but weak completeness (internal faults that
+   do not surface on the probed API go unseen) and no localisation. *)
+
+let make ?(period = Wd_sim.Time.sec 1) ?(timeout = Wd_sim.Time.sec 5) ~id probe =
+  Wd_watchdog.Checker.make ~kind:Wd_watchdog.Checker.Probe ~period ~timeout ~id
+    (fun ~now:_ ->
+      match probe () with
+      | `Ok -> Wd_watchdog.Checker.Pass
+      | `Fail msg ->
+          let at = Wd_sim.Sched.now (Wd_sim.Sched.get ()) in
+          Wd_watchdog.Checker.Fail
+            (Wd_watchdog.Report.make ~at ~checker_id:id
+               ~fkind:(Wd_watchdog.Report.Error_sig msg) ~op_desc:"api probe" ()))
+
+(* A standard set/get round-trip probe against a kvs-style API. *)
+let roundtrip ~id ~set ~get ~expect =
+  make ~id (fun () ->
+      match set () with
+      | `Err m -> `Fail ("probe set failed: " ^ m)
+      | `Timeout -> `Fail "probe set timed out"
+      | `Ok _ -> (
+          match get () with
+          | `Err m -> `Fail ("probe get failed: " ^ m)
+          | `Timeout -> `Fail "probe get timed out"
+          | `Ok v -> if expect v then `Ok else `Fail "probe read unexpected value"))

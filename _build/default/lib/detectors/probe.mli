@@ -1,0 +1,18 @@
+(** Probe checkers (Table 2, row 1): act like a special client, invoking the
+    public API with pre-supplied input. Perfect accuracy, weak completeness,
+    no localisation. *)
+
+val make :
+  ?period:int64 ->
+  ?timeout:int64 ->
+  id:string ->
+  (unit -> [ `Ok | `Fail of string ]) ->
+  Wd_watchdog.Checker.t
+
+val roundtrip :
+  id:string ->
+  set:(unit -> [ `Ok of 'a | `Err of string | `Timeout ]) ->
+  get:(unit -> [ `Ok of 'b | `Err of string | `Timeout ]) ->
+  expect:('b -> bool) ->
+  Wd_watchdog.Checker.t
+(** SET-then-GET round trip through a kvs-style API, verifying the value. *)

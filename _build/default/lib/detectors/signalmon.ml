@@ -1,0 +1,55 @@
+(* Signal checkers (Table 2, row 2): monitor health indicators — queue
+   depth, memory utilisation, scheduling delay — like the Linux watchdog
+   daemon. Modest completeness, weak accuracy: a full queue may just be a
+   busy system. They can narrow causes down to a resource but not to code. *)
+
+let make ?(period = Wd_sim.Time.sec 1) ?(timeout = Wd_sim.Time.sec 5) ~id sample
+    =
+  Wd_watchdog.Checker.make ~kind:Wd_watchdog.Checker.Signal ~period ~timeout ~id
+    (fun ~now:_ ->
+      match sample () with
+      | `Ok -> Wd_watchdog.Checker.Pass
+      | `Fail msg ->
+          let at = Wd_sim.Sched.now (Wd_sim.Sched.get ()) in
+          Wd_watchdog.Checker.Fail
+            (Wd_watchdog.Report.make ~at ~checker_id:id
+               ~fkind:(Wd_watchdog.Report.Error_sig msg) ~op_desc:"signal" ()))
+
+(* Queue depth indicator: alarm when the backlog exceeds [max_depth]. *)
+let queue_depth ~id ~res ~queue ~max_depth =
+  make ~id (fun () ->
+      let q = Wd_ir.Runtime.queue res queue in
+      let depth = Wd_sim.Channel.length q in
+      if depth > max_depth then
+        `Fail (Fmt.str "queue %s depth %d > %d" queue depth max_depth)
+      else `Ok)
+
+(* Memory utilisation indicator. *)
+let mem_utilisation ~id ~mem ~max_util =
+  make ~id (fun () ->
+      let u = Wd_env.Memory.utilisation mem in
+      if u > max_util then
+        `Fail (Fmt.str "memory %s at %.0f%% > %.0f%%" (Wd_env.Memory.name mem)
+                 (100. *. u) (100. *. max_util))
+      else `Ok)
+
+(* The paper's §3.3 example: a worker that sleeps briefly and measures the
+   overshoot; a large overshoot means the process is suffering long pauses
+   (GC pressure / severe memory leak). The sleep must run through the same
+   allocator the main program uses so it shares the stall. *)
+let sleep_overshoot ~id ~mem ~expected ~tolerance =
+  make ~id (fun () ->
+      let s = Wd_sim.Sched.get () in
+      let t0 = Wd_sim.Sched.now s in
+      (* allocate a token buffer: this is what experiences the GC pause *)
+      (match Wd_env.Memory.alloc mem 1024 with
+      | () -> Wd_env.Memory.free mem 1024
+      | exception Wd_env.Memory.Out_of_memory m -> raise (Wd_env.Memory.Out_of_memory m));
+      Wd_sim.Sched.sleep expected;
+      let elapsed = Int64.sub (Wd_sim.Sched.now s) t0 in
+      let overshoot = Int64.sub elapsed expected in
+      if overshoot > tolerance then
+        `Fail
+          (Fmt.str "slept %a, expected %a: long pause (memory pressure?)"
+             Wd_sim.Time.pp elapsed Wd_sim.Time.pp expected)
+      else `Ok)

@@ -1,0 +1,1 @@
+lib/env/disk.ml: Bytes Char Faultreg Fmt Hashtbl Int64 List Option Result String Wd_sim

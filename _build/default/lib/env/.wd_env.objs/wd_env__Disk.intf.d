@@ -1,0 +1,1 @@
+lib/env/disk.mli: Bytes Faultreg Wd_sim

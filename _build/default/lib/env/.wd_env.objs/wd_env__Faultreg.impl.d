@@ -1,0 +1,1 @@
+lib/env/faultreg.ml: Fmt Hashtbl List Result String Wd_sim

@@ -1,0 +1,1 @@
+lib/env/memory.ml: Faultreg Fmt Int64 Result Wd_sim

@@ -1,0 +1,1 @@
+lib/env/memory.mli: Faultreg

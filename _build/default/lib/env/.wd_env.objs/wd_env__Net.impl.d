@@ -1,0 +1,1 @@
+lib/env/net.ml: Faultreg Fmt Hashtbl Int64 List Option Wd_sim

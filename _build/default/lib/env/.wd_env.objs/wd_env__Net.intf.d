@@ -1,0 +1,1 @@
+lib/env/net.mli: Faultreg Wd_sim

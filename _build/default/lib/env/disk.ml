@@ -1,0 +1,157 @@
+(* Simulated disk: a flat path -> bytes store with a latency model and
+   injectable partial faults (slow, hang, error, silent corruption). The
+   latency model charges a fixed seek cost plus a per-byte cost, scaled by
+   any active Slow_factor fault — that is how fail-slow devices and limplock
+   are modelled. *)
+
+exception Io_error of string
+
+type t = {
+  name : string;
+  files : (string, Bytes.t) Hashtbl.t;
+  reg : Faultreg.t;
+  rng : Wd_sim.Rng.t;
+  seek_ns : int64;
+  per_byte_ns : int64;
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable synced : int;
+}
+
+let create ?(seek_ns = Wd_sim.Time.us 100) ?(per_byte_ns = 2L) ~reg ~rng name =
+  {
+    name;
+    files = Hashtbl.create 64;
+    reg;
+    rng;
+    seek_ns;
+    per_byte_ns;
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    synced = 0;
+  }
+
+let name d = d.name
+
+let stats d =
+  (d.reads, d.writes, d.bytes_read, d.bytes_written, d.synced)
+
+let site d ~op ~path = Fmt.str "disk:%s:%s:%s" d.name op path
+
+(* Model the cost of touching [len] bytes, then apply injected behaviours.
+   Returns [corrupt] so the caller can damage the payload silently. *)
+let perform d ~op ~path ~len =
+  let s = Wd_sim.Sched.get () in
+  let now = Wd_sim.Sched.now s in
+  let behaviours = Faultreg.consult d.reg ~site:(site d ~op ~path) ~now in
+  let factor = Faultreg.slow_factor behaviours in
+  let modelled =
+    Int64.add d.seek_ns (Int64.mul d.per_byte_ns (Int64.of_int len))
+  in
+  let jitter =
+    Wd_sim.Rng.exponential d.rng ~mean:(Int64.to_float d.seek_ns /. 4.0)
+  in
+  let cost =
+    Int64.of_float ((Int64.to_float modelled +. jitter) *. factor)
+  in
+  Wd_sim.Sched.sleep cost;
+  match
+    Faultreg.apply_common behaviours ~now ~stop_of:(Faultreg.stop_of d.reg)
+  with
+  | Result.Error msg ->
+      raise (Io_error (Fmt.str "%s %s %s: %s" d.name op path msg))
+  | Result.Ok (corrupt, _drop) -> corrupt
+
+let corrupt_bytes rng b =
+  if Bytes.length b > 0 then begin
+    let i = Wd_sim.Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5f))
+  end
+
+let write ?as_path d ~path data =
+  let site_path = Option.value as_path ~default:path in
+  let corrupt = perform d ~op:"write" ~path:site_path ~len:(Bytes.length data) in
+  let stored = Bytes.copy data in
+  if corrupt then corrupt_bytes d.rng stored;
+  Hashtbl.replace d.files path stored;
+  d.writes <- d.writes + 1;
+  d.bytes_written <- d.bytes_written + Bytes.length data
+
+let append ?as_path d ~path data =
+  let site_path = Option.value as_path ~default:path in
+  let corrupt = perform d ~op:"append" ~path:site_path ~len:(Bytes.length data) in
+  let extra = Bytes.copy data in
+  if corrupt then corrupt_bytes d.rng extra;
+  let current =
+    match Hashtbl.find_opt d.files path with
+    | Some b -> b
+    | None -> Bytes.empty
+  in
+  Hashtbl.replace d.files path (Bytes.cat current extra);
+  d.writes <- d.writes + 1;
+  d.bytes_written <- d.bytes_written + Bytes.length data
+
+let read ?as_path d ~path =
+  let site_path = Option.value as_path ~default:path in
+  let len =
+    match Hashtbl.find_opt d.files path with
+    | Some b -> Bytes.length b
+    | None -> 0
+  in
+  let corrupt = perform d ~op:"read" ~path:site_path ~len in
+  match Hashtbl.find_opt d.files path with
+  | None -> raise (Io_error (Fmt.str "%s read %s: no such file" d.name path))
+  | Some b ->
+      d.reads <- d.reads + 1;
+      d.bytes_read <- d.bytes_read + Bytes.length b;
+      let out = Bytes.copy b in
+      if corrupt then corrupt_bytes d.rng out;
+      out
+
+let exists d ~path =
+  ignore (perform d ~op:"stat" ~path ~len:0);
+  Hashtbl.mem d.files path
+
+let delete ?as_path d ~path =
+  let site_path = Option.value as_path ~default:path in
+  ignore (perform d ~op:"delete" ~path:site_path ~len:0);
+  Hashtbl.remove d.files path
+
+let sync d =
+  ignore (perform d ~op:"sync" ~path:"-" ~len:0);
+  d.synced <- d.synced + 1
+
+let list d ~prefix =
+  ignore (perform d ~op:"list" ~path:prefix ~len:0);
+  Hashtbl.fold
+    (fun path _ acc ->
+      if
+        String.length path >= String.length prefix
+        && String.sub path 0 (String.length prefix) = prefix
+      then path :: acc
+      else acc)
+    d.files []
+  |> List.sort String.compare
+
+(* Direct (cost-free, fault-free) access for tests and ground-truth
+   comparisons. *)
+let peek d ~path = Hashtbl.find_opt d.files path
+
+let paths d =
+  Hashtbl.fold (fun p _ acc -> p :: acc) d.files [] |> List.sort String.compare
+let poke d ~path data = Hashtbl.replace d.files path (Bytes.copy data)
+let file_count d = Hashtbl.length d.files
+
+(* FNV-1a, used by checkers to validate stored payloads. *)
+let checksum b =
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    b;
+  !h

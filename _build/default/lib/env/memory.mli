@@ -1,0 +1,30 @@
+(** Simulated memory accountant with GC-pause behaviour under pressure.
+
+    Above [pause_threshold] utilisation, allocations stall (quadratically up
+    to [max_pause]); a leaking component therefore degrades every task that
+    allocates — the gray failure a sleep-overshoot signal checker detects. *)
+
+exception Out_of_memory of string
+
+type t
+
+val create :
+  ?pause_threshold:float ->
+  ?max_pause:int64 ->
+  reg:Faultreg.t ->
+  capacity:int ->
+  string ->
+  t
+
+val name : t -> string
+val used : t -> int
+val capacity : t -> int
+val utilisation : t -> float
+
+val alloc : t -> int -> unit
+(** May stall the calling task; raises {!Out_of_memory} when exhausted. *)
+
+val free : t -> int -> unit
+
+val stats : t -> int * int * int * int * int64
+(** [(allocs, frees, peak, pauses, total_pause_ns)]. *)

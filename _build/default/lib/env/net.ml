@@ -1,0 +1,138 @@
+(* Simulated message network. Senders are asynchronous: a [send] pays a
+   small CPU cost, then the message is scheduled for delivery after a
+   modelled latency. Faults can delay delivery, drop messages, raise at the
+   sender, mark payloads corrupted, or hang the sender (the blocked-socket /
+   backpressure behaviour behind ZOOKEEPER-2201).
+
+   Sites have the shape "net:<fabric>:send:<src>:<dst>", so a pattern like
+   "net:main:send:leader:*" cuts every message the leader sends. *)
+
+exception Net_error of string
+
+type 'a envelope = {
+  src : string;
+  dst : string;
+  payload : 'a;
+  sent_at : int64;
+  corrupted : bool;
+}
+
+type 'a t = {
+  name : string;
+  reg : Faultreg.t;
+  rng : Wd_sim.Rng.t;
+  base_latency : int64;
+  endpoints : (string, 'a envelope Wd_sim.Channel.t) Hashtbl.t;
+  (* per-(src,dst) link FIFO: a message never overtakes an earlier one on
+     the same link (TCP-like), whatever the jitter says *)
+  last_delivery : (string * string, int64) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create ?(base_latency = Wd_sim.Time.us 500) ~reg ~rng name =
+  {
+    name;
+    reg;
+    rng;
+    base_latency;
+    endpoints = Hashtbl.create 16;
+    last_delivery = Hashtbl.create 32;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let name n = n.name
+let stats n = (n.sent, n.delivered, n.dropped)
+
+let register n endpoint =
+  if Hashtbl.mem n.endpoints endpoint then
+    invalid_arg (Fmt.str "Net.register: %s already registered" endpoint);
+  Hashtbl.replace n.endpoints endpoint
+    (Wd_sim.Channel.create (Fmt.str "net:%s:%s" n.name endpoint))
+
+let endpoints n =
+  Hashtbl.fold (fun e _ acc -> e :: acc) n.endpoints [] |> List.sort compare
+
+let inbox n endpoint =
+  match Hashtbl.find_opt n.endpoints endpoint with
+  | Some ch -> ch
+  | None -> raise (Net_error (Fmt.str "no such endpoint %s" endpoint))
+
+let inbox_length n endpoint = Wd_sim.Channel.length (inbox n endpoint)
+
+let send ?site_dst n ~src ~dst payload =
+  let s = Wd_sim.Sched.get () in
+  let now = Wd_sim.Sched.now s in
+  let site =
+    Fmt.str "net:%s:send:%s:%s" n.name src (Option.value site_dst ~default:dst)
+  in
+  let behaviours = Faultreg.consult n.reg ~site ~now in
+  (* Sender-side consequences: hang and error block/fail the caller. *)
+  List.iter
+    (fun (id, b) ->
+      match b with
+      | Faultreg.Hang ->
+          let stop = Faultreg.stop_of n.reg id in
+          if stop = Wd_sim.Time.never then
+            Wd_sim.Sched.suspend
+              ~reason:(Fmt.str "net fault %s hang" id)
+              ~register:(fun _waker -> ())
+          else
+            Wd_sim.Sched.suspend
+              ~reason:(Fmt.str "net fault %s hang" id)
+              ~register:(fun waker -> Wd_sim.Sched.at s stop waker)
+      | Faultreg.Error m -> raise (Net_error m)
+      | Faultreg.Delay _ | Faultreg.Slow_factor _ | Faultreg.Corrupt
+      | Faultreg.Drop ->
+          ())
+    behaviours;
+  let dropped =
+    List.exists (fun (_, b) -> b = Faultreg.Drop) behaviours
+  in
+  let corrupted =
+    List.exists (fun (_, b) -> b = Faultreg.Corrupt) behaviours
+  in
+  let extra =
+    List.fold_left
+      (fun acc (_, b) ->
+        match b with Faultreg.Delay d -> Int64.add acc d | _ -> acc)
+      0L behaviours
+  in
+  let factor = Faultreg.slow_factor behaviours in
+  n.sent <- n.sent + 1;
+  if dropped then n.dropped <- n.dropped + 1
+  else begin
+    let ch = inbox n dst in
+    let jitter =
+      Wd_sim.Rng.exponential n.rng
+        ~mean:(Int64.to_float n.base_latency /. 4.0)
+    in
+    let latency =
+      Int64.add
+        (Int64.of_float ((Int64.to_float n.base_latency +. jitter) *. factor))
+        extra
+    in
+    let now = Wd_sim.Sched.now s in
+    let at =
+      let natural = Int64.add now latency in
+      match Hashtbl.find_opt n.last_delivery (src, dst) with
+      | Some prev when prev >= natural -> Int64.add prev 1L
+      | Some _ | None -> natural
+    in
+    Hashtbl.replace n.last_delivery (src, dst) at;
+    let env = { src; dst; payload; sent_at = now; corrupted } in
+    Wd_sim.Sched.at s at (fun () ->
+        if Wd_sim.Channel.try_send ch env then
+          n.delivered <- n.delivered + 1
+        else n.dropped <- n.dropped + 1)
+  end
+
+let recv n endpoint = Wd_sim.Channel.recv (inbox n endpoint)
+
+let recv_timeout n endpoint ~timeout =
+  Wd_sim.Channel.recv_timeout (inbox n endpoint) ~timeout
+
+let try_recv n endpoint = Wd_sim.Channel.try_recv (inbox n endpoint)

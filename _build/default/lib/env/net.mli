@@ -1,0 +1,41 @@
+(** Simulated message network with asynchronous delivery.
+
+    Fault sites are ["net:<fabric>:send:<src>:<dst>"]; behaviours map to
+    delivery delay ([Delay], [Slow_factor]), message loss ([Drop]), payload
+    corruption flagging ([Corrupt]), sender-side failure ([Error]) and
+    sender blocking ([Hang]). *)
+
+exception Net_error of string
+
+type 'a envelope = {
+  src : string;
+  dst : string;
+  payload : 'a;
+  sent_at : int64;
+  corrupted : bool;
+}
+
+type 'a t
+
+val create :
+  ?base_latency:int64 -> reg:Faultreg.t -> rng:Wd_sim.Rng.t -> string -> 'a t
+
+val name : 'a t -> string
+val register : 'a t -> string -> unit
+val endpoints : 'a t -> string list
+val inbox_length : 'a t -> string -> int
+
+val send : ?site_dst:string -> 'a t -> src:string -> dst:string -> 'a -> unit
+(** Asynchronous; returns once the message is committed to the fabric.
+    Blocks only under a [Hang] fault; raises {!Net_error} under [Error].
+    [site_dst] overrides the destination used for fault-site matching, so a
+    redirected (shadow-inbox) send shares the fate of the real link. *)
+
+val recv : 'a t -> string -> 'a envelope
+(** Blocks until a message arrives at the endpoint. *)
+
+val recv_timeout : 'a t -> string -> timeout:int64 -> 'a envelope option
+val try_recv : 'a t -> string -> 'a envelope option
+
+val stats : 'a t -> int * int * int
+(** [(sent, delivered, dropped)]. *)

@@ -1,0 +1,1 @@
+lib/faults/catalog.ml: Fmt Int64 List Wd_env Wd_sim

@@ -1,0 +1,1 @@
+lib/faults/catalog.mli: Format Wd_env

@@ -1,0 +1,1 @@
+lib/harness/campaign.mli: Systems Wd_faults Wd_ir Wd_watchdog

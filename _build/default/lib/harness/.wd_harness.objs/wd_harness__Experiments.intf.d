@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Campaign Metrics Wd_analysis Wd_autowatchdog Wd_ir

@@ -1,0 +1,1 @@
+lib/harness/systems.ml: Fmt List String Wd_analysis Wd_autowatchdog Wd_detectors Wd_env Wd_ir Wd_sim Wd_targets Wd_watchdog

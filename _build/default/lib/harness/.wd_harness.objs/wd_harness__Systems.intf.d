@@ -1,0 +1,1 @@
+lib/harness/systems.mli: Wd_autowatchdog Wd_detectors Wd_env Wd_ir Wd_sim Wd_targets Wd_watchdog

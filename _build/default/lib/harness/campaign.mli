@@ -1,0 +1,69 @@
+(** Campaign runner: execute one failure scenario against one system with a
+    chosen watchdog mode and classify what each detector class saw.
+
+    Timeline: boot → warmup (fault-free) → inject → observe. Detection
+    latency is measured from the injection instant. *)
+
+type pinpoint =
+  | Exact            (** reported function = ground-truth function *)
+  | Near of string   (** direct caller/callee of the ground truth *)
+  | Wrong of string
+  | No_loc
+
+type outcome = {
+  o_detected : bool;
+  o_latency : int64 option;
+  o_loc : Wd_ir.Loc.t option;
+  o_pinpoint : pinpoint option;  (** [None] when no ground truth *)
+  o_first_report : Wd_watchdog.Report.t option;
+}
+
+type run = {
+  r_sid : string;
+  r_system : string;
+  r_outcomes : (string * outcome) list;
+      (** keyed "mimic", "probe", "signal", "heartbeat", "observer" *)
+  r_pre_inject_reports : int;
+  r_workload_ok_ratio : float;
+  r_workload_issued : int;
+  r_checker_count : int;
+  r_sim_events : int;
+}
+
+val classify_checker : string -> [ `Mimic | `Probe | `Signal ]
+(** By id prefix: ["probe:"], ["signal:"], anything else is mimic. *)
+
+type config = {
+  seed : int;
+  warmup : int64;
+  observe : int64;
+  mode : Systems.watchdog_mode;
+}
+
+val default_config : config
+
+val run_raw :
+  config ->
+  system:string ->
+  scenario:Wd_faults.Catalog.scenario option ->
+  unit ->
+  Systems.booted * int64
+(** Low-level: boot, warm up, inject (if a scenario is given), observe.
+    Returns the booted system and the injection instant, for experiments
+    that need raw access. *)
+
+val run_scenario : ?cfg:config -> string -> run
+
+type fault_free = {
+  ff_system : string;
+  ff_mimic_fp : int;
+  ff_probe_fp : int;
+  ff_signal_fp : int;
+  ff_heartbeat_fp : int;
+  ff_observer_fp : int;
+  ff_workload_ok_ratio : float;
+}
+
+val run_fault_free : ?cfg:config -> ?special:string -> string -> fault_free
+(** Accuracy run: no fault injected; every report is a false alarm.
+    [special] selects a boot variant (e.g. "in_memory", "burst"). *)

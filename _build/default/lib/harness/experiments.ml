@@ -1,0 +1,1107 @@
+(* The paper's tables, figures and preliminary results as runnable
+   experiments. Each [eN_*] function runs the necessary simulations and
+   returns rendered text (plus structured data where tests need it). The
+   experiment index lives in DESIGN.md; measured-vs-paper records go to
+   EXPERIMENTS.md. *)
+
+module Catalog = Wd_faults.Catalog
+module Generate = Wd_autowatchdog.Generate
+module Driver = Wd_watchdog.Driver
+module Report = Wd_watchdog.Report
+module Reduction = Wd_analysis.Reduction
+
+let fp = Format.asprintf
+
+let pinpoint_cell = function
+  | None -> "-"
+  | Some Campaign.Exact -> "exact"
+  | Some (Campaign.Near f) -> "near (" ^ f ^ ")"
+  | Some (Campaign.Wrong f) -> "wrong (" ^ f ^ ")"
+  | Some Campaign.No_loc -> "no loc"
+
+let outcome_cells (o : Campaign.outcome) =
+  if o.Campaign.o_detected then Tables.latency_cell o.Campaign.o_latency else "."
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Table 1: crash FD vs error handler vs watchdog, empirically.   *)
+(* ------------------------------------------------------------------ *)
+
+type e1_row = {
+  e1_scenario : string;
+  e1_class : string;
+  e1_crash_fd : bool;
+  e1_error_handler : bool;
+  e1_watchdog : bool;
+}
+
+let handler_counter booted =
+  (* Error-handler activity: counters bumped inside IR catch blocks. *)
+  match Wd_ir.Runtime.global booted.Systems.b_res "dfs.scan_errors" with
+  | Wd_ir.Ast.VInt n -> n
+  | _ -> 0
+
+let e1_scenarios =
+  [ "kvs-crash"; "zk-2201"; "cs-compaction-stuck"; "dfs-scan-transient";
+    "dfs-limplock"; "kvs-seg-corrupt"; "kvs-deadlock" ]
+
+let e1_run () =
+  List.map
+    (fun sid ->
+      let scenario = Catalog.find sid in
+      let cfg = Campaign.default_config in
+      let booted, inject_at =
+        Campaign.run_raw cfg ~system:scenario.Catalog.system
+          ~scenario:(Some scenario) ()
+      in
+      let reports = Driver.reports booted.Systems.b_driver in
+      let mimic_detected =
+        List.exists
+          (fun (r : Report.t) ->
+            Campaign.classify_checker r.Report.checker_id = `Mimic
+            && r.Report.at >= inject_at)
+          reports
+      in
+      {
+        e1_scenario = sid;
+        e1_class = Catalog.fclass_name scenario.Catalog.fclass;
+        e1_crash_fd = Wd_detectors.Heartbeat.suspected booted.Systems.b_heartbeat;
+        e1_error_handler = handler_counter booted > 0;
+        e1_watchdog = mimic_detected;
+      })
+    e1_scenarios
+
+let e1_text () =
+  let rows = e1_run () in
+  "E1 / Table 1 — which abstraction detects which failure (empirical)\n"
+  ^ Tables.render
+      ~header:[ "scenario"; "failure class"; "crash FD"; "error handler"; "watchdog" ]
+      (List.map
+         (fun r ->
+           [
+             r.e1_scenario;
+             r.e1_class;
+             Tables.mark_cell r.e1_crash_fd;
+             Tables.mark_cell r.e1_error_handler;
+             Tables.mark_cell r.e1_watchdog;
+           ])
+         rows)
+  ^ "\nCrash FD: heartbeat silence only (fail-stop). Error handler: in-place\n\
+     catch blocks (known, localized errors). Watchdog: generated mimic\n\
+     checkers (gray failures, with localization). The watchdog dies with the\n\
+     process on a crash — Table 1's isolation trade-off.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Table 2: probe / signal / mimic quality across the catalog.    *)
+(* ------------------------------------------------------------------ *)
+
+type e2_agg = {
+  e2_kind : string;
+  e2_detected : int;
+  e2_total : int;
+  e2_false_alarms : int;
+  e2_exact : int;
+  e2_near : int;
+  e2_detections_with_loc : int;
+}
+
+let e2_scenarios () =
+  List.filter (fun s -> s.Catalog.special <> Some "crash") Catalog.all
+
+let e2_run () =
+  let runs = List.map (fun s -> Campaign.run_scenario s.Catalog.sid) (e2_scenarios ()) in
+  let ffs = List.map (fun sys -> Campaign.run_fault_free sys) Systems.all_systems in
+  let agg kind fp_of =
+    let outcomes =
+      List.map (fun (r : Campaign.run) -> List.assoc kind r.Campaign.r_outcomes) runs
+    in
+    let detected = List.filter (fun o -> o.Campaign.o_detected) outcomes in
+    let exact =
+      List.length
+        (List.filter (fun o -> o.Campaign.o_pinpoint = Some Campaign.Exact) detected)
+    in
+    let near =
+      List.length
+        (List.filter
+           (fun o ->
+             match o.Campaign.o_pinpoint with Some (Campaign.Near _) -> true | _ -> false)
+           detected)
+    in
+    let with_loc =
+      List.length (List.filter (fun o -> o.Campaign.o_loc <> None) detected)
+    in
+    {
+      e2_kind = kind;
+      e2_detected = List.length detected;
+      e2_total = List.length outcomes;
+      e2_false_alarms = List.fold_left (fun n ff -> n + fp_of ff) 0 ffs;
+      e2_exact = exact;
+      e2_near = near;
+      e2_detections_with_loc = with_loc;
+    }
+  in
+  let aggs =
+    [
+      agg "probe" (fun ff -> ff.Campaign.ff_probe_fp);
+      agg "signal" (fun ff -> ff.Campaign.ff_signal_fp);
+      agg "mimic" (fun ff -> ff.Campaign.ff_mimic_fp);
+    ]
+  in
+  (runs, aggs)
+
+(* Compare a run against the catalog's paper-informed prediction. The
+   prediction is a lower bound on mimic/heartbeat and exact on the others:
+   extra detections by a *more* capable class are genuine findings. *)
+let e2_matches_expectation (r : Campaign.run) =
+  let s = Catalog.find r.Campaign.r_sid in
+  let e = s.Catalog.expected in
+  let got k = (List.assoc k r.Campaign.r_outcomes).Campaign.o_detected in
+  got "mimic" = e.Catalog.exp_mimic
+  && got "probe" = e.Catalog.exp_probe
+  && got "heartbeat" = e.Catalog.exp_heartbeat
+  && got "observer" = e.Catalog.exp_observer
+
+let e2_text () =
+  let runs, aggs = e2_run () in
+  let detail =
+    Tables.render
+      ~header:
+        [ "scenario"; "system"; "mimic"; "probe"; "signal"; "heartbeat";
+          "observer"; "mimic pinpoint"; "as predicted" ]
+      (List.map
+         (fun (r : Campaign.run) ->
+           let o k = List.assoc k r.Campaign.r_outcomes in
+           [
+             r.Campaign.r_sid;
+             r.Campaign.r_system;
+             outcome_cells (o "mimic");
+             outcome_cells (o "probe");
+             outcome_cells (o "signal");
+             outcome_cells (o "heartbeat");
+             outcome_cells (o "observer");
+             pinpoint_cell (o "mimic").Campaign.o_pinpoint;
+             Tables.bool_cell (e2_matches_expectation r);
+           ])
+         runs)
+  in
+  let summary =
+    Tables.render
+      ~header:
+        [ "checker type"; "completeness"; "accuracy (false alarms)"; "pinpoint" ]
+      (List.map
+         (fun a ->
+           [
+             a.e2_kind;
+             fp "%d/%d detected" a.e2_detected a.e2_total;
+             fp "%d false alarms (fault-free)" a.e2_false_alarms;
+             (if a.e2_detections_with_loc = 0 then "none"
+              else
+                fp "%d exact, %d near of %d" a.e2_exact a.e2_near a.e2_detected);
+           ])
+         aggs)
+  in
+  "E2 / Table 2 — checker types across the failure catalog\n"
+  ^ "(cells show detection latency after injection; '.' = not detected)\n\n"
+  ^ detail ^ "\n" ^ summary
+  ^ "\nPaper's qualitative claims: probe = weak completeness / perfect\n\
+     accuracy / no pinpointing; signal = modest completeness / weak\n\
+     accuracy; mimic = strong completeness and accuracy, pinpoints.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Figures 2 & 3: the reduction of zkmini's serializeSnapshot.    *)
+(* ------------------------------------------------------------------ *)
+
+let e4_text () =
+  let prog = Wd_targets.Zkmini.program () in
+  let g = Generate.analyze prog in
+  let red = g.Generate.red in
+  let original_chain =
+    List.filter
+      (fun f ->
+        List.mem f.Wd_ir.Ast.fname
+          [ "serialize_snapshot"; "serialize"; "serialize_node" ])
+      prog.Wd_ir.Ast.funcs
+  in
+  let instrumented_chain =
+    List.filter
+      (fun f -> f.Wd_ir.Ast.fname = "serialize_node")
+      red.Reduction.instrumented.Wd_ir.Ast.funcs
+  in
+  let units =
+    List.filter
+      (fun (u : Reduction.unit_) -> u.Reduction.source_func = "serialize_node")
+      g.Generate.units
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "E4 / Figures 2-3 — program logic reduction of the snapshot chain\n\n";
+  Buffer.add_string buf "--- original (paper Figure 2, before reduction) ---\n";
+  List.iter
+    (fun f -> Buffer.add_string buf (Wd_ir.Pp.func_to_string f))
+    original_chain;
+  Buffer.add_string buf
+    "\n--- instrumented serialize_node (context hooks inserted) ---\n";
+  List.iter
+    (fun f -> Buffer.add_string buf (Wd_ir.Pp.func_to_string f))
+    instrumented_chain;
+  Buffer.add_string buf "\n--- generated checker (paper Figure 3) ---\n";
+  List.iter
+    (fun u -> Buffer.add_string buf (Generate.render_checker_source u))
+    units;
+  Buffer.add_string buf (fp "\nreduction stats: %a\n" Reduction.pp_stats red.Reduction.stats);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* E5 — §4.2: the ZOOKEEPER-2201 reproduction.                         *)
+(* ------------------------------------------------------------------ *)
+
+type e5_result = {
+  e5_mimic_latency : int64 option;
+  e5_mimic_loc : string option;
+  e5_heartbeat_detected : bool;
+  e5_ruok_detected : bool;
+  e5_rw_probe_latency : int64 option;
+  e5_write_ok_before : bool;
+  e5_write_ok_after : bool;
+  e5_payload : (string * Wd_ir.Ast.value) list;
+}
+
+let e5_run () =
+  let scenario = Catalog.find "zk-2201" in
+  let cfg = Campaign.default_config in
+  let booted, inject_at =
+    Campaign.run_raw cfg ~system:"zkmini" ~scenario:(Some scenario) ()
+  in
+  let reports = Driver.reports booted.Systems.b_driver in
+  let post = List.filter (fun (r : Report.t) -> r.Report.at >= inject_at) reports in
+  let first_matching pred = List.find_opt pred post in
+  let mimic =
+    first_matching (fun r -> Campaign.classify_checker r.Report.checker_id = `Mimic)
+  in
+  let ruok = first_matching (fun r -> r.Report.checker_id = "probe:zk-ruok") in
+  let rw = first_matching (fun r -> r.Report.checker_id = "probe:zk-rw") in
+  let lat (r : Report.t) = Int64.sub r.Report.at inject_at in
+  {
+    e5_mimic_latency = Option.map lat mimic;
+    e5_mimic_loc =
+      Option.bind mimic (fun r -> Option.map Wd_ir.Loc.to_string r.Report.loc);
+    e5_heartbeat_detected =
+      Wd_detectors.Heartbeat.suspected booted.Systems.b_heartbeat;
+    e5_ruok_detected = ruok <> None;
+    e5_rw_probe_latency = Option.map lat rw;
+    e5_write_ok_before = booted.Systems.b_workload.Wd_targets.Workload.ok > 0;
+    e5_write_ok_after =
+      (* did any write succeed in the last 10 simulated seconds? crude: the
+         workload is mostly writes, so a high overall ratio implies yes *)
+      Wd_targets.Workload.success_ratio booted.Systems.b_workload > 0.95;
+    e5_payload =
+      (match mimic with Some r -> r.Report.payload | None -> []);
+  }
+
+let e5_text () =
+  let r = e5_run () in
+  "E5 / §4.2 — ZOOKEEPER-2201 reproduction (network fault blocks remote\n\
+   sync inside the commit critical section)\n\n"
+  ^ Tables.render ~header:[ "detector"; "verdict"; "detail" ]
+      [
+        [
+          "heartbeat protocol";
+          (if r.e5_heartbeat_detected then "SUSPECTED" else "healthy (blind)");
+          "leader keeps answering pings";
+        ];
+        [
+          "admin command (ruok)";
+          (if r.e5_ruok_detected then "DETECTED" else "imok (blind)");
+          "admin thread untouched by the wedged pipeline";
+        ];
+        [
+          "client write probe";
+          (match r.e5_rw_probe_latency with
+          | Some l -> "failed after " ^ Wd_sim.Time.to_string l
+          | None -> "ok");
+          "end-to-end writes hang (the gray failure is client-visible)";
+        ];
+        [
+          "generated mimic watchdog";
+          (match r.e5_mimic_latency with
+          | Some l -> "DETECTED in " ^ Wd_sim.Time.to_string l
+          | None -> "missed");
+          (match r.e5_mimic_loc with
+          | Some l -> "pinpointed blocked critical section at " ^ l
+          | None -> "-");
+        ];
+      ]
+  ^ fp
+      "\npaper: watchdog detected in ~7 s and pinpointed the blocked function\n\
+       call with a concrete context; heartbeats and the admin command showed\n\
+       the leader healthy throughout. measured mimic latency here: %s.\n"
+      (match r.e5_mimic_latency with
+      | Some l -> Wd_sim.Time.to_string l
+      | None -> "n/a")
+
+(* ------------------------------------------------------------------ *)
+(* E6 — §4.2: generation statistics ("tens of checkers").              *)
+(* ------------------------------------------------------------------ *)
+
+let target_programs () =
+  [
+    ("kvs", Wd_targets.Kvs.program ());
+    ("zkmini", Wd_targets.Zkmini.program ());
+    ("dfsmini", Wd_targets.Dfsmini.program ());
+    ("cstore", Wd_targets.Cstore.program ());
+    ("mqbroker", Wd_targets.Mqbroker.program ());
+  ]
+
+let e6_run () =
+  List.map
+    (fun (name, prog) ->
+      let t0 = Unix.gettimeofday () in
+      let g = Generate.analyze prog in
+      let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      (name, g, elapsed_ms))
+    (target_programs ())
+
+let e6_text () =
+  let rows = e6_run () in
+  "E6 / §4.2 — AutoWatchdog generation statistics per target\n"
+  ^ Tables.render
+      ~header:
+        [ "system"; "funcs"; "stmts"; "vulnerable ops"; "retained";
+          "checkers"; "reduced stmts"; "reduction"; "analysis time" ]
+      (List.map
+         (fun (name, (g : Generate.generated), ms) ->
+           let s = g.Generate.red.Reduction.stats in
+           [
+             name;
+             string_of_int s.Reduction.total_funcs;
+             string_of_int s.Reduction.total_stmts;
+             string_of_int s.Reduction.vulnerable_ops;
+             string_of_int s.Reduction.retained_ops;
+             string_of_int s.Reduction.unit_count;
+             string_of_int s.Reduction.reduced_stmts;
+             fp "%.1f%%"
+               (100.
+               *. float_of_int s.Reduction.reduced_stmts
+               /. float_of_int (max 1 s.Reduction.total_stmts));
+             fp "%.1fms" ms;
+           ])
+         rows)
+  ^ "\npaper: \"tens of checkers\" generated for each of ZooKeeper, Cassandra\n\
+     and HDFS; W retains a small fraction of P.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E7 — §3.1: concurrent watchdog vs in-place checking overhead.       *)
+(* ------------------------------------------------------------------ *)
+
+type e7_row = {
+  e7_mode : string;
+  e7_ops : int;
+  e7_ok_ratio : float;
+  e7_mean_latency : int64;
+  e7_p99_latency : int64;
+}
+
+(* In-place emulation: the hook sink synchronously executes the unit body in
+   the main task before the operation proceeds — checking as part of the
+   main execution flow (what §3.1 argues against). *)
+let attach_inplace g ~main =
+  let module I = Wd_ir.Interp in
+  let res = I.resources main in
+  let node = I.node main in
+  let ci =
+    I.create ~mode:I.Checker ~node ~res g.Generate.watchdog_prog
+  in
+  let by_hook = Hashtbl.create 16 in
+  List.iter
+    (fun (h : Reduction.hook_insertion) ->
+      Hashtbl.replace by_hook h.Reduction.hi_hook_id h;
+      I.register_hook main ~id:h.Reduction.hi_hook_id
+        {
+          I.hook_checker = h.Reduction.hi_unit;
+          hook_vars = List.map (fun (_, tmp, _) -> tmp) h.Reduction.hi_captures;
+        })
+    g.Generate.red.Reduction.hooks;
+  I.set_hook_sink main (fun hook_id values ->
+      match Hashtbl.find_opt by_hook hook_id with
+      | None -> ()
+      | Some h -> (
+          match
+            List.find_opt
+              (fun (u : Reduction.unit_) ->
+                u.Reduction.unit_id = h.Reduction.hi_unit)
+              g.Generate.units
+          with
+          | None -> ()
+          | Some u ->
+              let args =
+                List.filter_map
+                  (fun p ->
+                    List.find_map
+                      (fun (pp, tmp, _) ->
+                        if pp = p then List.assoc_opt tmp values else None)
+                      h.Reduction.hi_captures)
+                  u.Reduction.ufunc.Wd_ir.Ast.params
+              in
+              if List.length args = List.length u.Reduction.ufunc.Wd_ir.Ast.params
+              then
+                try ignore (I.call ci u.Reduction.ufunc.Wd_ir.Ast.fname args)
+                with _ -> ()))
+
+let e7_run_one mode_name () =
+  let sched = Wd_sim.Sched.create ~seed:11 () in
+  let reg = Wd_env.Faultreg.create () in
+  let prog = Wd_targets.Kvs.program () in
+  let g = Generate.analyze prog in
+  let run_prog =
+    if mode_name = "no checking" then prog
+    else g.Generate.red.Reduction.instrumented
+  in
+  let t = Wd_targets.Kvs.boot ~sched ~reg ~prog:run_prog () in
+  let driver = Driver.create sched in
+  (if mode_name = "concurrent watchdog" then
+     ignore (Generate.attach g ~sched ~main:t.Wd_targets.Kvs.leader ~driver)
+   else if mode_name = "in-place checks" then
+     attach_inplace g ~main:t.Wd_targets.Kvs.leader);
+  let wstats = Wd_targets.Workload.create_stats () in
+  ignore
+    (Wd_targets.Workload.spawn ~name:"bench-client" ~sched
+       ~period:(Wd_sim.Time.ms 10)
+       ~op:(fun i ->
+         let key = Fmt.str "k%03d" (i mod 100) in
+         if i mod 3 = 1 then Wd_targets.Kvs.get t ~key
+         else Wd_targets.Kvs.set t ~key ~value:(Fmt.str "value-%d" i))
+       wstats);
+  ignore (Wd_targets.Kvs.start t);
+  Driver.start driver;
+  ignore (Wd_sim.Sched.run ~until:(Wd_sim.Time.sec 30) sched);
+  {
+    e7_mode = mode_name;
+    e7_ops = wstats.Wd_targets.Workload.issued;
+    e7_ok_ratio = Wd_targets.Workload.success_ratio wstats;
+    e7_mean_latency = Wd_targets.Workload.mean_latency wstats;
+    e7_p99_latency = Wd_targets.Workload.percentile wstats 0.99;
+  }
+
+let e7_run () =
+  List.map
+    (fun m -> e7_run_one m ())
+    [ "no checking"; "concurrent watchdog"; "in-place checks" ]
+
+let e7_text () =
+  let rows = e7_run () in
+  "E7 / §3.1 — checking overhead on the fault-free main program (kvs,\n\
+   30 simulated seconds, closed-loop client)\n"
+  ^ Tables.render
+      ~header:[ "mode"; "client ops"; "ok ratio"; "mean latency"; "p99 latency" ]
+      (List.map
+         (fun r ->
+           [
+             r.e7_mode;
+             string_of_int r.e7_ops;
+             fp "%.3f" r.e7_ok_ratio;
+             Wd_sim.Time.to_string r.e7_mean_latency;
+             Wd_sim.Time.to_string r.e7_p99_latency;
+           ])
+         rows)
+  ^ "\nConcurrent checkers decouple checking from the request path; in-place\n\
+     checking re-executes the reduced operations inside the serving thread\n\
+     and inflates client latency — the motivation for concurrent execution.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E8 — §3.1: context synchronisation prevents spurious alarms.        *)
+(* ------------------------------------------------------------------ *)
+
+type e8_row = { e8_mode : string; e8_false_alarms : int; e8_skips : int }
+
+let e8_run () =
+  List.map
+    (fun (label, mode) ->
+      let cfg =
+        { Campaign.default_config with Campaign.mode }
+      in
+      let ff = Campaign.run_fault_free ~cfg ~special:"in_memory" "kvs" in
+      (* skips: count via a fresh raw run's driver stats *)
+      let booted, _ =
+        Campaign.run_raw cfg ~system:"kvs"
+          ~scenario:
+            (Some
+               {
+                 Catalog.sid = "none";
+                 description = "";
+                 system = "kvs";
+                 fclass = Catalog.Transient_error;
+                 faults = [];
+                 special = Some "in_memory";
+                 truth_func = None;
+                 expected = Catalog.exp ();
+               })
+          ()
+      in
+      let skips =
+        List.fold_left
+          (fun n (s : Driver.checker_stats) -> n + s.Driver.cs_skips)
+          0
+          (Driver.stats booted.Systems.b_driver)
+      in
+      { e8_mode = label; e8_false_alarms = ff.Campaign.ff_mimic_fp; e8_skips = skips })
+    [
+      ("context-synchronised (generated)", Systems.Wd_generated);
+      ("no context sync (naive mimic)", Systems.Wd_no_context);
+    ]
+
+let e8_text () =
+  let rows = e8_run () in
+  "E8 / §3.1 — state synchronisation, kvs configured in-memory (no disk\n\
+   activity from the main program; fault-free)\n"
+  ^ Tables.render
+      ~header:[ "watchdog construction"; "false alarms"; "not-ready skips" ]
+      (List.map
+         (fun r ->
+           [ r.e8_mode; string_of_int r.e8_false_alarms; string_of_int r.e8_skips ])
+         rows)
+  ^ "\nWith one-way context sync, checkers whose code paths the main program\n\
+     never exercises stay NOT_READY and are skipped (Figure 3's\n\
+     \"checker context not ready\"); a naive mimic checker with pre-supplied\n\
+     paths raises spurious disk errors, the paper's in-memory kvs example.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E9 — §3.3: memory-pressure detection via fate-sharing signals.      *)
+(* ------------------------------------------------------------------ *)
+
+let e9_run () = Campaign.run_scenario "kvs-mem-leak"
+
+let e9_text () =
+  let r = e9_run () in
+  let o k = List.assoc k r.Campaign.r_outcomes in
+  "E9 / §3.3 — leaking kvs: sleep-overshoot signal checker and mimic\n\
+   allocation checker share the allocator's fate\n"
+  ^ Tables.render ~header:[ "detector"; "detected"; "latency" ]
+      (List.map
+         (fun k ->
+           [
+             k;
+             Tables.bool_cell (o k).Campaign.o_detected;
+             Tables.latency_cell (o k).Campaign.o_latency;
+           ])
+         [ "mimic"; "signal"; "probe"; "heartbeat" ])
+  ^ "\nThe leak slows allocations gradually: the GC-pause-style overshoot\n\
+     signal and the mimicked allocation notice; heartbeats never do.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E10 — §3.2/§5: isolation of the watchdog from the main program.     *)
+(* ------------------------------------------------------------------ *)
+
+type e10_result = {
+  e10_scratch_disjoint : bool;   (* checker writes stayed in __wd/ *)
+  e10_driver_survives : bool;    (* a crashing checker doesn't kill others *)
+  e10_main_unperturbed : bool;   (* client success unaffected by watchdog *)
+  e10_crashing_runs : int;
+}
+
+let e10_run () =
+  let sched = Wd_sim.Sched.create ~seed:5 () in
+  let reg = Wd_env.Faultreg.create () in
+  let prog = Wd_targets.Kvs.program () in
+  let g = Generate.analyze prog in
+  let t =
+    Wd_targets.Kvs.boot ~sched ~reg
+      ~prog:g.Generate.red.Reduction.instrumented ()
+  in
+  let driver = Driver.create sched in
+  ignore (Generate.attach g ~sched ~main:t.Wd_targets.Kvs.leader ~driver);
+  (* A deliberately buggy checker: crashes on every execution. *)
+  let crashes = ref 0 in
+  Driver.add_checker driver
+    (Wd_watchdog.Checker.make ~id:"buggy-checker" ~period:(Wd_sim.Time.ms 500)
+       (fun ~now:_ ->
+         incr crashes;
+         failwith "checker bug: wild failure"));
+  let wstats = Wd_targets.Workload.create_stats () in
+  ignore
+    (Wd_targets.Workload.spawn ~name:"client" ~sched ~period:(Wd_sim.Time.ms 30)
+       ~op:(fun i ->
+         Wd_targets.Kvs.set t ~key:(Fmt.str "k%d" (i mod 20)) ~value:"v")
+       wstats);
+  ignore (Wd_targets.Kvs.start t);
+  Driver.start driver;
+  ignore (Wd_sim.Sched.run ~until:(Wd_sim.Time.sec 20) sched);
+  let paths = Wd_env.Disk.paths t.Wd_targets.Kvs.disk in
+  let main_paths, scratch_paths =
+    List.partition
+      (fun p -> not (String.length p >= 5 && String.sub p 0 5 = "__wd/"))
+      paths
+  in
+  (* every main path must be reproducible from main-program activity: no
+     checker-produced garbage outside the scratch namespace *)
+  let scratch_disjoint =
+    List.for_all
+      (fun p ->
+        List.exists
+          (fun prefix ->
+            String.length p >= String.length prefix
+            && String.sub p 0 (String.length prefix) = prefix)
+          [ "wal/"; "seg/"; "compact/"; "snapshot/" ])
+      main_paths
+    && scratch_paths <> []
+  in
+  let mimic_execs =
+    List.fold_left
+      (fun n (s : Driver.checker_stats) ->
+        if s.Driver.cs_id <> "buggy-checker" then n + s.Driver.cs_executions else n)
+      0 (Driver.stats driver)
+  in
+  {
+    e10_scratch_disjoint = scratch_disjoint;
+    e10_driver_survives = !crashes > 10 && mimic_execs > 0;
+    e10_main_unperturbed = Wd_targets.Workload.success_ratio wstats > 0.99;
+    e10_crashing_runs = !crashes;
+  }
+
+let e10_text () =
+  let r = e10_run () in
+  "E10 / §3.2 — isolation properties\n"
+  ^ Tables.render ~header:[ "property"; "holds" ]
+      [
+        [ "checker I/O confined to scratch namespace (__wd/)";
+          Tables.bool_cell r.e10_scratch_disjoint ];
+        [ fp "driver survives a checker crashing %d times" r.e10_crashing_runs;
+          Tables.bool_cell r.e10_driver_survives ];
+        [ "client success ratio unaffected by watchdog";
+          Tables.bool_cell r.e10_main_unperturbed ];
+      ]
+  ^ "\nContext replication + I/O redirection (write scratch, shadow inboxes,\n\
+     try-lock-and-release) keep checking side-effect free; the driver\n\
+     confines each checker run to a disposable task.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E11 — §5.2: cheap recovery by microreboot.                          *)
+(* ------------------------------------------------------------------ *)
+
+type e11_row = {
+  e11_mode : string;
+  e11_ok_during : int;
+  e11_ok_after : int;
+  e11_restored_after : int64 option; (* first success after the fault lifts *)
+  e11_reboots : int;
+}
+
+let e11_run_one ~with_recovery =
+  let sched = Wd_sim.Sched.create ~seed:31 () in
+  let reg = Wd_env.Faultreg.create () in
+  let prog = Wd_targets.Kvs.program () in
+  let g = Generate.analyze prog in
+  let t =
+    Wd_targets.Kvs.boot ~sched ~reg
+      ~prog:g.Generate.red.Reduction.instrumented ()
+  in
+  let driver = Driver.create sched in
+  ignore (Generate.attach g ~sched ~main:t.Wd_targets.Kvs.leader ~driver);
+  let leader_tasks =
+    Wd_ir.Interp.start ~entries:Wd_targets.Kvs.leader_entries
+      t.Wd_targets.Kvs.leader sched
+  in
+  ignore
+    (Wd_ir.Interp.start ~entries:Wd_targets.Kvs.replica_entries
+       t.Wd_targets.Kvs.replica sched);
+  ignore (Wd_targets.Kvs.spawn_reply_dispatcher t);
+  let recovery =
+    Wd_watchdog.Recovery.create ~backoff:(Wd_sim.Time.sec 3) sched
+  in
+  if with_recovery then begin
+    Generate.register_components recovery ~sched ~main:t.Wd_targets.Kvs.leader
+      ~entries:Wd_targets.Kvs.leader_entries ~tasks:leader_tasks;
+    Driver.on_report driver (Wd_watchdog.Recovery.action recovery);
+    ignore (Wd_watchdog.Recovery.supervise recovery)
+  end;
+  Driver.start driver;
+  let fault_start = Wd_sim.Time.sec 8 and fault_stop = Wd_sim.Time.sec 18 in
+  let ok_log = ref [] in
+  ignore
+    (Wd_sim.Sched.spawn ~name:"client" ~daemon:true sched (fun () ->
+         let i = ref 0 in
+         while true do
+           Wd_sim.Sched.sleep (Wd_sim.Time.ms 100);
+           incr i;
+           match
+             Wd_targets.Kvs.set ~timeout:(Wd_sim.Time.ms 800) t
+               ~key:(Fmt.str "k%d" (!i mod 20)) ~value:"v"
+           with
+           | `Ok _ -> ok_log := Wd_sim.Sched.now sched :: !ok_log
+           | `Timeout | `Err _ -> ()
+         done));
+  ignore (Wd_sim.Sched.run ~until:fault_start sched);
+  Wd_env.Faultreg.inject reg
+    {
+      Wd_env.Faultreg.id = "wal-eio";
+      site_pattern = "disk:kvs.disk:append:wal/*";
+      behaviour = Wd_env.Faultreg.Error "EIO";
+      start_at = fault_start;
+      stop_at = fault_stop;
+      once = false;
+    };
+  ignore (Wd_sim.Sched.run ~until:(Wd_sim.Time.sec 40) sched);
+  let oks = List.rev !ok_log in
+  let count_in lo hi = List.length (List.filter (fun at -> at >= lo && at < hi) oks) in
+  let restored =
+    List.find_opt (fun at -> at >= fault_stop) oks
+    |> Option.map (fun at -> Int64.sub at fault_stop)
+  in
+  {
+    e11_mode = (if with_recovery then "watchdog + microreboot" else "no recovery");
+    e11_ok_during = count_in fault_start fault_stop;
+    e11_ok_after = count_in fault_stop (Wd_sim.Time.sec 40);
+    e11_restored_after = restored;
+    e11_reboots = List.length (Wd_watchdog.Recovery.events recovery);
+  }
+
+let e11_run () =
+  [ e11_run_one ~with_recovery:false; e11_run_one ~with_recovery:true ]
+
+let e11_text () =
+  let rows = e11_run () in
+  "E11 / §5.2 — cheap recovery: a transient WAL fault (10 s of EIO) kills
+   the kvs listener thread; microreboot driven by watchdog localisation
+   restores service once the fault lifts
+"
+  ^ Tables.render
+      ~header:
+        [ "mode"; "writes ok during fault"; "writes ok after fault";
+          "service restored"; "microreboots" ]
+      (List.map
+         (fun r ->
+           [
+             r.e11_mode;
+             string_of_int r.e11_ok_during;
+             string_of_int r.e11_ok_after;
+             (match r.e11_restored_after with
+             | Some d -> Wd_sim.Time.to_string d ^ " after fault end"
+             | None -> "never");
+             string_of_int r.e11_reboots;
+           ])
+         rows)
+  ^ "
+Without recovery the dead listener leaves the store unavailable
+     forever; with localised microreboots the service returns seconds after
+     the environment heals.
+"
+
+(* ------------------------------------------------------------------ *)
+(* E12 — §5.2: failure reproduction from the captured context.         *)
+(* ------------------------------------------------------------------ *)
+
+type e12_result = {
+  e12_report : string;
+  e12_clean : Wd_autowatchdog.Reproduce.outcome;
+  e12_with_fault : Wd_autowatchdog.Reproduce.outcome;
+}
+
+let e12_run () =
+  let scenario = Catalog.find "kvs-seg-corrupt" in
+  let cfg = Campaign.default_config in
+  let booted, inject_at =
+    Campaign.run_raw cfg ~system:"kvs" ~scenario:(Some scenario) ()
+  in
+  let g = Option.get booted.Systems.b_generated in
+  let report =
+    List.find
+      (fun (r : Report.t) ->
+        r.Report.at >= inject_at
+        && Campaign.classify_checker r.Report.checker_id = `Mimic
+        && r.Report.payload <> [])
+      (Driver.reports booted.Systems.b_driver)
+  in
+  let fault =
+    {
+      Wd_env.Faultreg.id = "repro-corrupt";
+      site_pattern = "disk:kvs.disk:write:*";
+      behaviour = Wd_env.Faultreg.Corrupt;
+      start_at = 0L;
+      stop_at = Wd_sim.Time.never;
+      once = false;
+    }
+  in
+  {
+    e12_report = Fmt.str "%a" Report.pp report;
+    e12_clean = Wd_autowatchdog.Reproduce.run g ~report;
+    e12_with_fault = Wd_autowatchdog.Reproduce.run ~fault g ~report;
+  }
+
+let e12_text () =
+  let r = e12_run () in
+  let o = Fmt.str "%a" Wd_autowatchdog.Reproduce.pp_outcome in
+  "E12 / §5.2 — failure reproduction: replay the checker and its captured
+   payload in a fresh, sealed simulation
+
+"
+  ^ "production report:
+  " ^ r.e12_report ^ "
+
+"
+  ^ Tables.render ~header:[ "replay environment"; "outcome" ]
+      [
+        [ "clean (no fault)"; o r.e12_clean ];
+        [ "with the disk-corruption fault re-injected"; o r.e12_with_fault ];
+      ]
+  ^ "
+The clean replay passing isolates the cause to the environment; the
+     faulty replay reproducing the exact signature confirms the diagnosis —
+     postmortem analysis without touching production.
+"
+
+(* ------------------------------------------------------------------ *)
+(* E13 — Table 2's accuracy column, stressed: overload without fault.  *)
+(* ------------------------------------------------------------------ *)
+
+type e13_result = {
+  e13_mimic_alarms : int;
+  e13_probe_alarms : int;
+  e13_signal_alarms : int;
+  e13_issued : int;
+}
+
+let e13_run () =
+  let ff =
+    Campaign.run_fault_free
+      ~cfg:{ Campaign.default_config with Campaign.observe = Wd_sim.Time.sec 30 }
+      ~special:"burst" "kvs"
+  in
+  {
+    e13_mimic_alarms = ff.Campaign.ff_mimic_fp;
+    e13_probe_alarms = ff.Campaign.ff_probe_fp;
+    e13_signal_alarms = ff.Campaign.ff_signal_fp;
+    e13_issued = 0;
+  }
+
+let e13_text () =
+  let r = e13_run () in
+  "E13 / Table 2 accuracy under stress — kvs saturated by a legitimate
+   burst workload, no fault injected; every alarm is a false positive
+"
+  ^ Tables.render ~header:[ "checker type"; "false alarms under overload" ]
+      [
+        [ "mimic"; string_of_int r.e13_mimic_alarms ];
+        [ "probe"; string_of_int r.e13_probe_alarms ];
+        [ "signal"; string_of_int r.e13_signal_alarms ];
+      ]
+  ^ "\nThe paper's example: when the checker finds kvs's request queue full,\n\
+     kvs might in fact be processing a continuous stream of requests\n\
+     without error — signal checkers bark at load, mimic checkers measure\n\
+     the operations themselves and stay quiet.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E14 — §4.1 ablations: similar-op dedup and global reduction.        *)
+(* ------------------------------------------------------------------ *)
+
+let e14_options =
+  [
+    ("full reduction", Wd_analysis.Reduction.default_options);
+    ( "no similar-op dedup",
+      { Wd_analysis.Reduction.default_options with
+        Wd_analysis.Reduction.dedup_similar = false } );
+    ( "no global reduction",
+      { Wd_analysis.Reduction.default_options with
+        Wd_analysis.Reduction.global_reduction = false } );
+    ( "neither",
+      { Wd_analysis.Reduction.dedup_similar = false; global_reduction = false } );
+  ]
+
+let e14_run () =
+  List.map
+    (fun (label, opts) ->
+      let per_target =
+        List.map
+          (fun (name, prog) ->
+            let config =
+              { Wd_autowatchdog.Config.default with Wd_autowatchdog.Config.opts }
+            in
+            let g = Generate.analyze ~config prog in
+            (name, g.Generate.red.Reduction.stats))
+          (target_programs ())
+      in
+      (label, per_target))
+    e14_options
+
+let e14_text () =
+  let rows = e14_run () in
+  "E14 / §4.1 — reduction-step ablations across all five targets\n\
+   (every retained op is executed by a checker once per period: retained\n\
+   ops are runtime checking load, for the same operation-family coverage)\n"
+  ^ Tables.render
+      ~header:
+        [ "reduction variant"; "checkers"; "retained ops"; "reduced stmts" ]
+      (* totals over all five targets *)
+      (List.map
+         (fun (label, per_target) ->
+           let sum f = List.fold_left (fun n (_, s) -> n + f s) 0 per_target in
+           [
+             label;
+             string_of_int (sum (fun s -> s.Reduction.unit_count));
+             string_of_int (sum (fun s -> s.Reduction.retained_ops));
+             string_of_int (sum (fun s -> s.Reduction.reduced_stmts));
+           ])
+         rows)
+  ^ "\nRemoving similar vulnerable operations and reducing along call chains\n\
+     are what keep W small; disabling them multiplies checkers (and their\n\
+     execution cost) without adding coverage of new operation families.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E15 — parameter sweep: checker period and lock budget vs detection   *)
+(* latency on the ZK-2201 hang.                                        *)
+(* ------------------------------------------------------------------ *)
+
+type e15_point = {
+  e15_period : int64;
+  e15_lock_timeout : int64;
+  e15_latency : int64 option;
+  e15_ff_false_alarms : int;
+}
+
+let e15_run_point ~period ~lock_timeout =
+  let config =
+    {
+      Wd_autowatchdog.Config.default with
+      Wd_autowatchdog.Config.checker_period = period;
+      lock_timeout;
+      (* the checker timeout must dominate the lock budget *)
+      checker_timeout = Int64.add lock_timeout (Wd_sim.Time.sec 2);
+    }
+  in
+  let run_one ~with_fault =
+    let sched = Wd_sim.Sched.create ~seed:71 () in
+    let reg = Wd_env.Faultreg.create () in
+    let prog = Wd_targets.Zkmini.program () in
+    let g = Generate.analyze ~config prog in
+    let t =
+      Wd_targets.Zkmini.boot ~sched ~reg
+        ~prog:g.Generate.red.Reduction.instrumented ()
+    in
+    let driver = Driver.create sched in
+    ignore (Generate.attach g ~sched ~main:t.Wd_targets.Zkmini.leader ~driver);
+    let wstats = Wd_targets.Workload.create_stats () in
+    ignore
+      (Wd_targets.Workload.spawn ~name:"client" ~sched ~period:(Wd_sim.Time.ms 80)
+         ~op:(fun i ->
+           Wd_targets.Zkmini.create t ~path:(Fmt.str "/n%d" (i mod 30)) ~data:"d")
+         wstats);
+    ignore (Wd_targets.Zkmini.start t);
+    Driver.start driver;
+    ignore (Wd_sim.Sched.run ~until:(Wd_sim.Time.sec 8) sched);
+    let inject_at = Wd_sim.Sched.now sched in
+    if with_fault then
+      Wd_env.Faultreg.inject reg
+        {
+          Wd_env.Faultreg.id = "zk2201";
+          site_pattern = "net:zk.net:send:zkL:zkF1";
+          behaviour = Wd_env.Faultreg.Hang;
+          start_at = inject_at;
+          stop_at = Wd_sim.Time.never;
+          once = false;
+        };
+    ignore (Wd_sim.Sched.run ~until:(Wd_sim.Time.sec 40) sched);
+    let reports = Driver.reports driver in
+    if with_fault then
+      List.find_opt
+        (fun (r : Report.t) ->
+          Campaign.classify_checker r.Report.checker_id = `Mimic
+          && r.Report.at >= inject_at)
+        reports
+      |> Option.map (fun (r : Report.t) -> Int64.sub r.Report.at inject_at)
+      |> fun latency -> (latency, 0)
+    else (None, List.length reports)
+  in
+  let latency, _ = run_one ~with_fault:true in
+  let _, false_alarms = run_one ~with_fault:false in
+  { e15_period = period; e15_lock_timeout = lock_timeout; e15_latency = latency;
+    e15_ff_false_alarms = false_alarms }
+
+let e15_run () =
+  List.concat_map
+    (fun period ->
+      List.map
+        (fun lock_timeout -> e15_run_point ~period ~lock_timeout)
+        [ Wd_sim.Time.sec 1; Wd_sim.Time.sec 2; Wd_sim.Time.sec 4 ])
+    [ Wd_sim.Time.ms 500; Wd_sim.Time.sec 1; Wd_sim.Time.sec 2; Wd_sim.Time.sec 5 ]
+
+let e15_text () =
+  let rows = e15_run () in
+  "E15 — detection-budget sweep on the ZK-2201 hang: mimic detection\n\
+   latency as a function of checker period and lock-acquisition budget\n\
+   (fault-free false alarms verify that tighter budgets stay accurate)\n"
+  ^ Tables.render
+      ~header:
+        [ "checker period"; "lock budget"; "detection latency";
+          "fault-free false alarms" ]
+      (List.map
+         (fun p ->
+           [
+             Wd_sim.Time.to_string p.e15_period;
+             Wd_sim.Time.to_string p.e15_lock_timeout;
+             Tables.latency_cell p.e15_latency;
+             string_of_int p.e15_ff_false_alarms;
+           ])
+         rows)
+  ^ "\nDetection latency is dominated by the lock budget (plus the driver's\n\
+     confinement timeout): a checker run is already in flight when the\n\
+     fault lands, so the polling period is subdominant whenever it is\n\
+     shorter than the budget. Even the tightest setting raises no\n\
+     fault-free alarms, because a try-lock failure only counts after the\n\
+     full budget elapses.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E16 — multi-seed robustness: detection across event interleavings.  *)
+(* ------------------------------------------------------------------ *)
+
+let e16_seeds = [ 42; 1001; 7777 ]
+
+let e16_scenarios =
+  [ "zk-2201"; "cs-compaction-stuck"; "kvs-flush-hang"; "mq-cleaner-stuck";
+    "dfs-block-corrupt"; "kvs-deadlock" ]
+
+let e16_run () =
+  List.map
+    (fun sid ->
+      let stats, exact =
+        Metrics.scenario_across_seeds ~seeds:e16_seeds ~detector:"mimic" sid
+      in
+      (sid, stats, exact))
+    e16_scenarios
+
+let e16_text () =
+  let rows = e16_run () in
+  fp
+    "E16 — multi-seed robustness: mimic detection across %d independent\n\
+     event interleavings per scenario (the simulator is deterministic per\n\
+     seed, so spread measures workload-phase sensitivity, not flakiness)\n"
+    (List.length e16_seeds)
+  ^ Tables.render
+      ~header:[ "scenario"; "mimic detection across seeds"; "exact pinpoints" ]
+      (List.map
+         (fun (sid, stats, exact) ->
+           [
+             sid;
+             fp "%a" Metrics.pp_latency_stats stats;
+             fp "%d/%d" exact stats.Metrics.ls_total;
+           ])
+         rows)
+  ^ "\nDetection and localisation hold across interleavings; latency spread\n\
+     stays within one checker period plus the relevant budget.\n"
+
+(* ------------------------------------------------------------------ *)
+
+let all_texts () =
+  [
+    ("table1", e1_text);
+    ("table2", e2_text);
+    ("reduce", e4_text);
+    ("zk2201", e5_text);
+    ("genstats", e6_text);
+    ("overhead", e7_text);
+    ("context", e8_text);
+    ("memsignal", e9_text);
+    ("isolation", e10_text);
+    ("recovery", e11_text);
+    ("reproduce", e12_text);
+    ("overload", e13_text);
+    ("ablation", e14_text);
+    ("sweep", e15_text);
+    ("multiseed", e16_text);
+  ]

@@ -1,0 +1,143 @@
+(** The paper's tables, figures and preliminary results as runnable
+    experiments (E1–E14; index in DESIGN.md, measured-vs-paper records in
+    EXPERIMENTS.md). Each [eN_run] returns structured results; each
+    [eN_text] runs the experiment and renders its table. *)
+
+(* E1 — Table 1 *)
+type e1_row = {
+  e1_scenario : string;
+  e1_class : string;
+  e1_crash_fd : bool;
+  e1_error_handler : bool;
+  e1_watchdog : bool;
+}
+
+val e1_run : unit -> e1_row list
+val e1_text : unit -> string
+
+(* E2 — Table 2 *)
+type e2_agg = {
+  e2_kind : string;
+  e2_detected : int;
+  e2_total : int;
+  e2_false_alarms : int;
+  e2_exact : int;
+  e2_near : int;
+  e2_detections_with_loc : int;
+}
+
+val e2_run : unit -> Campaign.run list * e2_agg list
+val e2_matches_expectation : Campaign.run -> bool
+val e2_text : unit -> string
+
+(* E4 — Figures 2 & 3 *)
+val e4_text : unit -> string
+
+(* E5 — §4.2 ZOOKEEPER-2201 *)
+type e5_result = {
+  e5_mimic_latency : int64 option;
+  e5_mimic_loc : string option;
+  e5_heartbeat_detected : bool;
+  e5_ruok_detected : bool;
+  e5_rw_probe_latency : int64 option;
+  e5_write_ok_before : bool;
+  e5_write_ok_after : bool;
+  e5_payload : (string * Wd_ir.Ast.value) list;
+}
+
+val e5_run : unit -> e5_result
+val e5_text : unit -> string
+
+(* E6 — generation statistics *)
+val e6_run :
+  unit -> (string * Wd_autowatchdog.Generate.generated * float) list
+val e6_text : unit -> string
+
+(* E7 — concurrent vs in-place overhead *)
+type e7_row = {
+  e7_mode : string;
+  e7_ops : int;
+  e7_ok_ratio : float;
+  e7_mean_latency : int64;
+  e7_p99_latency : int64;
+}
+
+val e7_run : unit -> e7_row list
+val e7_text : unit -> string
+
+(* E8 — context synchronisation ablation *)
+type e8_row = { e8_mode : string; e8_false_alarms : int; e8_skips : int }
+
+val e8_run : unit -> e8_row list
+val e8_text : unit -> string
+
+(* E9 — memory-pressure fate sharing *)
+val e9_run : unit -> Campaign.run
+val e9_text : unit -> string
+
+(* E10 — isolation *)
+type e10_result = {
+  e10_scratch_disjoint : bool;
+  e10_driver_survives : bool;
+  e10_main_unperturbed : bool;
+  e10_crashing_runs : int;
+}
+
+val e10_run : unit -> e10_result
+val e10_text : unit -> string
+
+(* E11 — cheap recovery *)
+type e11_row = {
+  e11_mode : string;
+  e11_ok_during : int;
+  e11_ok_after : int;
+  e11_restored_after : int64 option;
+  e11_reboots : int;
+}
+
+val e11_run : unit -> e11_row list
+val e11_text : unit -> string
+
+(* E12 — failure reproduction *)
+type e12_result = {
+  e12_report : string;
+  e12_clean : Wd_autowatchdog.Reproduce.outcome;
+  e12_with_fault : Wd_autowatchdog.Reproduce.outcome;
+}
+
+val e12_run : unit -> e12_result
+val e12_text : unit -> string
+
+(* E13 — accuracy under overload *)
+type e13_result = {
+  e13_mimic_alarms : int;
+  e13_probe_alarms : int;
+  e13_signal_alarms : int;
+  e13_issued : int;
+}
+
+val e13_run : unit -> e13_result
+val e13_text : unit -> string
+
+(* E15 — detection-budget sweep *)
+type e15_point = {
+  e15_period : int64;
+  e15_lock_timeout : int64;
+  e15_latency : int64 option;
+  e15_ff_false_alarms : int;
+}
+
+val e15_run : unit -> e15_point list
+val e15_text : unit -> string
+
+(* E14 — reduction ablations *)
+val e14_run :
+  unit -> (string * (string * Wd_analysis.Reduction.stats) list) list
+val e14_text : unit -> string
+
+(* E16 — multi-seed robustness *)
+val e16_run : unit -> (string * Metrics.latency_stats * int) list
+val e16_text : unit -> string
+
+val all_texts : unit -> (string * (unit -> string)) list
+(** (experiment name, renderer) pairs, in presentation order. *)

@@ -1,0 +1,56 @@
+(* Aggregate statistics over repeated campaign runs: detection rates and
+   latency distributions across seeds. The simulator is deterministic per
+   seed, so a multi-seed sweep measures sensitivity to event interleavings
+   (workload phase, jitter draws), not flakiness. *)
+
+type latency_stats = {
+  ls_count : int;        (* runs in which detection happened *)
+  ls_total : int;        (* runs overall *)
+  ls_min : int64;
+  ls_median : int64;
+  ls_p90 : int64;
+  ls_max : int64;
+}
+
+let latency_stats_of latencies ~total =
+  match List.sort compare latencies with
+  | [] ->
+      { ls_count = 0; ls_total = total; ls_min = 0L; ls_median = 0L;
+        ls_p90 = 0L; ls_max = 0L }
+  | sorted ->
+      let arr = Array.of_list sorted in
+      let n = Array.length arr in
+      let pick p = arr.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+      {
+        ls_count = n;
+        ls_total = total;
+        ls_min = arr.(0);
+        ls_median = pick 0.5;
+        ls_p90 = pick 0.9;
+        ls_max = arr.(n - 1);
+      }
+
+let pp_latency_stats ppf s =
+  if s.ls_count = 0 then Fmt.pf ppf "0/%d detected" s.ls_total
+  else
+    Fmt.pf ppf "%d/%d detected; median %a (p90 %a, max %a)" s.ls_count
+      s.ls_total Wd_sim.Time.pp s.ls_median Wd_sim.Time.pp s.ls_p90
+      Wd_sim.Time.pp s.ls_max
+
+(* Run one scenario across several seeds and aggregate one detector class. *)
+let scenario_across_seeds ?(cfg = Campaign.default_config) ~seeds ~detector sid =
+  let outcomes =
+    List.map
+      (fun seed ->
+        let r = Campaign.run_scenario ~cfg:{ cfg with Campaign.seed } sid in
+        List.assoc detector r.Campaign.r_outcomes)
+      seeds
+  in
+  let latencies =
+    List.filter_map (fun o -> o.Campaign.o_latency) outcomes
+  in
+  let exact =
+    List.length
+      (List.filter (fun o -> o.Campaign.o_pinpoint = Some Campaign.Exact) outcomes)
+  in
+  (latency_stats_of latencies ~total:(List.length seeds), exact)

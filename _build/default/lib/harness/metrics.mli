@@ -1,0 +1,25 @@
+(** Aggregate statistics over repeated campaign runs: detection rates and
+    latency distributions across seeds. The simulator is deterministic per
+    seed, so a multi-seed sweep measures sensitivity to event interleavings,
+    not flakiness. *)
+
+type latency_stats = {
+  ls_count : int;   (** runs in which detection happened *)
+  ls_total : int;   (** runs overall *)
+  ls_min : int64;
+  ls_median : int64;
+  ls_p90 : int64;
+  ls_max : int64;
+}
+
+val latency_stats_of : int64 list -> total:int -> latency_stats
+val pp_latency_stats : Format.formatter -> latency_stats -> unit
+
+val scenario_across_seeds :
+  ?cfg:Campaign.config ->
+  seeds:int list ->
+  detector:string ->
+  string ->
+  latency_stats * int
+(** Run the scenario once per seed; returns the detector's latency stats and
+    how many runs pinpointed exactly. *)

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Ast Bytes Fmt Hashtbl Int64 List Loc Prims Runtime String Wd_env Wd_sim

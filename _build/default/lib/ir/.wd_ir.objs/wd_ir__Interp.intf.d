@@ -1,0 +1,1 @@
+lib/ir/interp.mli: Ast Loc Runtime Wd_sim

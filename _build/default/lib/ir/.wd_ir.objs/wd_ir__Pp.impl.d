@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Ast Fmt List String Wd_sim

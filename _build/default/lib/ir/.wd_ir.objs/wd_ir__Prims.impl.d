@@ -1,0 +1,1 @@
+lib/ir/prims.ml: Ast Bytes Char Fmt Int64 List String Wd_env

@@ -1,0 +1,1 @@
+lib/ir/prims.mli: Ast

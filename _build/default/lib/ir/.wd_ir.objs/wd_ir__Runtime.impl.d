@@ -1,0 +1,1 @@
+lib/ir/runtime.ml: Ast Fmt Hashtbl List Wd_env Wd_sim

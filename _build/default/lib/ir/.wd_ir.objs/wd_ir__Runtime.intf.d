@@ -1,0 +1,1 @@
+lib/ir/runtime.mli: Ast Hashtbl Wd_env Wd_sim

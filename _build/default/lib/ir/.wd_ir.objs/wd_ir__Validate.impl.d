@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Ast Fmt Hashtbl List Loc Prims

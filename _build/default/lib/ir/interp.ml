@@ -1,0 +1,578 @@
+(* IR interpreter. One [t] is one *node*: an identity on the network plus an
+   execution mode.
+
+   Main mode runs the target system: entries become daemon tasks, ops hit
+   the environment directly, and [Hook] statements push live state into the
+   watchdog's context table (one-way synchronisation, §3.1).
+
+   Checker mode is how generated mimic checkers execute (§3.2 isolation):
+   - disk writes are redirected to a scratch namespace but keep the original
+     path for fault-site matching, so they share the main program's fate;
+   - network sends keep their site but deliver to a shadow inbox;
+   - lock acquisition becomes try-lock with a timeout, raising a liveness
+     violation instead of deadlocking against the main program;
+   - allocations are released immediately (no leak amplification);
+   - global-state writes land in a private overlay, reads are deep-copied;
+   - [Hook] statements are no-ops.
+
+   The interpreter also maintains a probe record of the op currently in
+   flight — when the watchdog driver times a checker out, that record is the
+   pinpointed location and payload of the failure. *)
+
+open Ast
+
+exception Violation of { loc : Loc.t; vkind : string; msg : string }
+exception Return_exn of value
+
+type mode = Main | Checker
+
+type probe_state = {
+  mutable current_op : (Loc.t * string * int64) option;
+  mutable last_op : Loc.t option;
+  mutable slowest_op : (Loc.t * int64) option;
+  mutable ops_executed : int;
+  (* cumulative time spent in operations vs. waiting for locks; slowness
+     assessment uses op time only, since benign lock contention is not a
+     fail-slow signal (lock wedges have their own liveness budget) *)
+  mutable op_ns : int64;
+  mutable lock_ns : int64;
+}
+
+type hook_spec = { hook_checker : string; hook_vars : string list }
+
+type t = {
+  prog : program;
+  res : Runtime.resources;
+  node : string;
+  mode : mode;
+  mutable hook_sink : (int -> (string * value) list -> unit) option;
+  hooks : (int, hook_spec) Hashtbl.t;
+  probe : probe_state;
+  shadow_globals : (string, value) Hashtbl.t;
+  scratch_prefix : string;
+  lock_timeout : int64;
+  stmt_cost : int64;
+  cpu_quantum : int64;
+  mutable cpu_acc : int64;
+  mutable stmts_executed : int;
+  max_depth : int;
+}
+
+let create ?(mode = Main) ?(scratch_prefix = "__wd/")
+    ?(lock_timeout = Wd_sim.Time.sec 5) ?(stmt_cost = 100L)
+    ?(cpu_quantum = Wd_sim.Time.us 10) ~node ~res prog =
+  {
+    prog;
+    res;
+    node;
+    mode;
+    hook_sink = None;
+    hooks = Hashtbl.create 16;
+    probe =
+      {
+        current_op = None;
+        last_op = None;
+        slowest_op = None;
+        ops_executed = 0;
+        op_ns = 0L;
+        lock_ns = 0L;
+      };
+    shadow_globals = Hashtbl.create 16;
+    scratch_prefix;
+    lock_timeout;
+    stmt_cost;
+    cpu_quantum;
+    cpu_acc = 0L;
+    stmts_executed = 0;
+    max_depth = 512;
+  }
+
+let program t = t.prog
+let node t = t.node
+let probe t = t.probe
+let resources t = t.res
+let stmts_executed t = t.stmts_executed
+let set_hook_sink t sink = t.hook_sink <- Some sink
+let register_hook t ~id spec = Hashtbl.replace t.hooks id spec
+let hook_spec t ~id = Hashtbl.find_opt t.hooks id
+
+(* Charge CPU time for interpreted statements, flushed in quanta so that a
+   busy loop advances virtual time (an infinite loop must not freeze the
+   simulation, and must be observable as non-progress). *)
+let charge t cost =
+  t.cpu_acc <- Int64.add t.cpu_acc cost;
+  if t.cpu_acc >= t.cpu_quantum then begin
+    let acc = t.cpu_acc in
+    t.cpu_acc <- 0L;
+    Wd_sim.Sched.sleep acc
+  end
+
+(* --- expression evaluation (pure) --- *)
+
+let truthy loc = function
+  | VBool b -> b
+  | v ->
+      raise
+        (Violation
+           { loc; vkind = "type"; msg = Fmt.str "condition not bool: %a" pp_value v })
+
+let rec eval t frame loc expr =
+  match expr with
+  | Const v -> v
+  | Var x -> (
+      match Hashtbl.find_opt frame x with
+      | Some v -> v
+      | None ->
+          raise
+            (Violation { loc; vkind = "unbound"; msg = Fmt.str "unbound variable %s" x }))
+  | Binop (op, a, b) -> eval_binop t frame loc op a b
+  | Unop (Not, e) -> (
+      match eval t frame loc e with
+      | VBool b -> VBool (not b)
+      | v ->
+          raise
+            (Violation { loc; vkind = "type"; msg = Fmt.str "not: %a" pp_value v }))
+  | Unop (Neg, e) -> (
+      match eval t frame loc e with
+      | VInt i -> VInt (-i)
+      | v ->
+          raise
+            (Violation { loc; vkind = "type"; msg = Fmt.str "neg: %a" pp_value v }))
+  | Unop (Len, e) -> (
+      match eval t frame loc e with
+      | VStr s -> VInt (String.length s)
+      | VBytes b -> VInt (Bytes.length b)
+      | VList l -> VInt (List.length l)
+      | VMap m -> VInt (List.length m)
+      | v ->
+          raise
+            (Violation { loc; vkind = "type"; msg = Fmt.str "len: %a" pp_value v }))
+  | Pair (a, b) -> VPair (eval t frame loc a, eval t frame loc b)
+  | Fst e -> (
+      match eval t frame loc e with
+      | VPair (a, _) -> a
+      | v ->
+          raise
+            (Violation { loc; vkind = "type"; msg = Fmt.str "fst: %a" pp_value v }))
+  | Snd e -> (
+      match eval t frame loc e with
+      | VPair (_, b) -> b
+      | v ->
+          raise
+            (Violation { loc; vkind = "type"; msg = Fmt.str "snd: %a" pp_value v }))
+  | Prim (name, args) -> (
+      let vargs = List.map (eval t frame loc) args in
+      try Prims.apply name vargs
+      with Prims.Prim_error m -> raise (Violation { loc; vkind = "prim"; msg = m }))
+
+and eval_binop t frame loc op a b =
+  let va = eval t frame loc a in
+  (* Short-circuit boolean operators. *)
+  match (op, va) with
+  | And, VBool false -> VBool false
+  | And, VBool true -> eval t frame loc b
+  | Or, VBool true -> VBool true
+  | Or, VBool false -> eval t frame loc b
+  | _ -> (
+      let vb = eval t frame loc b in
+      let int_op f =
+        match (va, vb) with
+        | VInt x, VInt y -> VInt (f x y)
+        | _ ->
+            raise
+              (Violation
+                 {
+                   loc;
+                   vkind = "type";
+                   msg = Fmt.str "int op on %a, %a" pp_value va pp_value vb;
+                 })
+      in
+      let cmp_op f =
+        match (va, vb) with
+        | VInt x, VInt y -> VBool (f (compare x y) 0)
+        | VStr x, VStr y -> VBool (f (String.compare x y) 0)
+        | _ ->
+            raise
+              (Violation
+                 {
+                   loc;
+                   vkind = "type";
+                   msg = Fmt.str "comparison on %a, %a" pp_value va pp_value vb;
+                 })
+      in
+      match op with
+      | Add -> int_op ( + )
+      | Sub -> int_op ( - )
+      | Mul -> int_op ( * )
+      | Div ->
+          int_op (fun x y ->
+              if y = 0 then
+                raise (Violation { loc; vkind = "arith"; msg = "division by zero" })
+              else x / y)
+      | Mod ->
+          int_op (fun x y ->
+              if y = 0 then
+                raise (Violation { loc; vkind = "arith"; msg = "mod by zero" })
+              else x mod y)
+      | Eq -> VBool (value_equal va vb)
+      | Ne -> VBool (not (value_equal va vb))
+      | Lt -> cmp_op ( < )
+      | Le -> cmp_op ( <= )
+      | Gt -> cmp_op ( > )
+      | Ge -> cmp_op ( >= )
+      | And | Or -> assert false
+      | Concat -> (
+          match (va, vb) with
+          | VStr x, VStr y -> VStr (x ^ y)
+          | _ ->
+              raise
+                (Violation
+                   {
+                     loc;
+                     vkind = "type";
+                     msg = Fmt.str "concat on %a, %a" pp_value va pp_value vb;
+                   })))
+
+(* --- operations --- *)
+
+let arg_str loc = function
+  | VStr s -> s
+  | v ->
+      raise
+        (Violation { loc; vkind = "type"; msg = Fmt.str "expected string: %a" pp_value v })
+
+let arg_int loc = function
+  | VInt i -> i
+  | v ->
+      raise
+        (Violation { loc; vkind = "type"; msg = Fmt.str "expected int: %a" pp_value v })
+
+let arg_bytes loc = function
+  | VBytes b -> b
+  | VStr s -> Bytes.of_string s
+  | v ->
+      raise
+        (Violation { loc; vkind = "type"; msg = Fmt.str "expected bytes: %a" pp_value v })
+
+let op_desc kind target = Fmt.str "%s(%s)" (op_kind_name kind) target
+
+(* Record op start/end around an effectful action so the watchdog driver can
+   pinpoint an in-flight hang and track slow operations. *)
+let with_probe t loc desc f =
+  let s = Wd_sim.Sched.get () in
+  let started = Wd_sim.Sched.now s in
+  t.probe.current_op <- Some (loc, desc, started);
+  let finish () =
+    let elapsed = Int64.sub (Wd_sim.Sched.now s) started in
+    t.probe.current_op <- None;
+    t.probe.last_op <- Some loc;
+    t.probe.ops_executed <- t.probe.ops_executed + 1;
+    (if String.length desc >= 5 && String.sub desc 0 5 = "lock(" then
+       t.probe.lock_ns <- Int64.add t.probe.lock_ns elapsed
+     else t.probe.op_ns <- Int64.add t.probe.op_ns elapsed);
+    match t.probe.slowest_op with
+    | Some (_, worst) when worst >= elapsed -> ()
+    | Some _ | None -> t.probe.slowest_op <- Some (loc, elapsed)
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      (* Leave [current_op] set on failure: it is the pinpoint. *)
+      t.probe.last_op <- Some loc;
+      raise e
+
+let scratch t path = t.scratch_prefix ^ path
+
+let exec_op t frame loc ~kind ~target ~args =
+  let vargs = List.map (eval t frame loc) args in
+  let desc = op_desc kind target in
+  with_probe t loc desc (fun () ->
+      match (kind, vargs) with
+      | Disk_write, [ p; data ] ->
+          let d = Runtime.disk t.res target in
+          let path = arg_str loc p and data = arg_bytes loc data in
+          (match t.mode with
+          | Main -> Wd_env.Disk.write d ~path data
+          | Checker ->
+              Wd_env.Disk.write ~as_path:path d ~path:(scratch t path) data);
+          VUnit
+      | Disk_append, [ p; data ] ->
+          let d = Runtime.disk t.res target in
+          let path = arg_str loc p and data = arg_bytes loc data in
+          (match t.mode with
+          | Main -> Wd_env.Disk.append d ~path data
+          | Checker ->
+              Wd_env.Disk.append ~as_path:path d ~path:(scratch t path) data);
+          VUnit
+      | Disk_read, [ p ] ->
+          let d = Runtime.disk t.res target in
+          let path = arg_str loc p in
+          (match t.mode with
+          | Main -> VBytes (Wd_env.Disk.read d ~path)
+          | Checker ->
+              (* Prefer the checker's own scratch copy; fall back to the
+                 real file, which a read cannot damage. Either way the
+                 fault site is the original path (fate sharing). *)
+              let phys =
+                if Wd_env.Disk.peek d ~path:(scratch t path) <> None then
+                  scratch t path
+                else path
+              in
+              VBytes (Wd_env.Disk.read ~as_path:path d ~path:phys))
+      | Disk_sync, [] ->
+          Wd_env.Disk.sync (Runtime.disk t.res target);
+          VUnit
+      | Disk_delete, [ p ] ->
+          let d = Runtime.disk t.res target in
+          let path = arg_str loc p in
+          (match t.mode with
+          | Main -> Wd_env.Disk.delete d ~path
+          | Checker -> Wd_env.Disk.delete ~as_path:path d ~path:(scratch t path));
+          VUnit
+      | Disk_exists, [ p ] ->
+          VBool (Wd_env.Disk.exists (Runtime.disk t.res target) ~path:(arg_str loc p))
+      | Disk_list, [ p ] ->
+          let files =
+            Wd_env.Disk.list (Runtime.disk t.res target) ~prefix:(arg_str loc p)
+          in
+          VList (List.map (fun f -> VStr f) files)
+      | Net_send, [ dst; payload ] ->
+          let n = Runtime.net t.res target in
+          let dst = arg_str loc dst in
+          (match t.mode with
+          | Main -> Wd_env.Net.send n ~src:t.node ~dst payload
+          | Checker ->
+              (* Same src/dst fault site (fate sharing) but delivery lands in
+                 the destination's shadow inbox, invisible to the main
+                 program. *)
+              let shadow = "__wd:" ^ dst in
+              if not (List.mem shadow (Wd_env.Net.endpoints n)) then
+                Wd_env.Net.register n shadow;
+              Wd_env.Net.send ~site_dst:dst n ~src:t.node ~dst:shadow payload);
+          VUnit
+      | Net_recv, [ timeout ] -> (
+          let n = Runtime.net t.res target in
+          let timeout = Wd_sim.Time.ms (arg_int loc timeout) in
+          match t.mode with
+          | Main -> (
+              match Wd_env.Net.recv_timeout n t.node ~timeout with
+              | Some env ->
+                  VMap
+                    [
+                      ("ok", VBool true);
+                      ("src", VStr env.Wd_env.Net.src);
+                      ("payload", env.Wd_env.Net.payload);
+                      ("corrupted", VBool env.Wd_env.Net.corrupted);
+                    ]
+              | None -> VMap [ ("ok", VBool false) ])
+          | Checker ->
+              (* Receiving is not mimicked against live traffic; a checker
+                 poll returns an empty mailbox marker. *)
+              VMap [ ("ok", VBool false) ])
+      | Queue_put, [ data ] ->
+          let q =
+            Runtime.queue t.res
+              (match t.mode with Main -> target | Checker -> "__wd:" ^ target)
+          in
+          Wd_sim.Channel.send q data;
+          VUnit
+      | Queue_get, [ timeout ] -> (
+          match t.mode with
+          | Main -> (
+              let q = Runtime.queue t.res target in
+              let timeout = Wd_sim.Time.ms (arg_int loc timeout) in
+              match Wd_sim.Channel.recv_timeout q ~timeout with
+              | Some v -> VMap [ ("ok", VBool true); ("payload", v) ]
+              | None -> VMap [ ("ok", VBool false) ])
+          | Checker -> VMap [ ("ok", VBool false) ])
+      | Mem_alloc, [ size ] ->
+          let m = Runtime.mem t.res target in
+          let size = arg_int loc size in
+          Wd_env.Memory.alloc m size;
+          (* A checker must experience allocation stalls without leaking. *)
+          (match t.mode with Checker -> Wd_env.Memory.free m size | Main -> ());
+          VUnit
+      | Mem_free, [ size ] ->
+          (match t.mode with
+          | Main -> Wd_env.Memory.free (Runtime.mem t.res target) (arg_int loc size)
+          | Checker -> ());
+          VUnit
+      | State_get, [] -> (
+          match t.mode with
+          | Main -> Runtime.global t.res target
+          | Checker -> (
+              match Hashtbl.find_opt t.shadow_globals target with
+              | Some v -> v
+              | None -> copy_value (Runtime.global t.res target)))
+      | State_set, [ v ] ->
+          (match t.mode with
+          | Main -> Runtime.set_global t.res target v
+          | Checker -> Hashtbl.replace t.shadow_globals target v);
+          VUnit
+      | Sleep_op, [ ms ] ->
+          Wd_sim.Sched.sleep (Wd_sim.Time.ms (arg_int loc ms));
+          VUnit
+      | Log_op, [ msg ] ->
+          Runtime.log t.res ~node:t.node (Fmt.str "%a" pp_value msg);
+          VUnit
+      | _, _ ->
+          raise
+            (Violation
+               {
+                 loc;
+                 vkind = "arity";
+                 msg = Fmt.str "%s: bad arguments" (op_kind_name kind);
+               }))
+
+(* --- statement execution --- *)
+
+let rec exec_block t frame depth block = List.iter (exec_stmt t frame depth) block
+
+and exec_stmt t frame depth st =
+  t.stmts_executed <- t.stmts_executed + 1;
+  charge t t.stmt_cost;
+  let loc = st.loc in
+  match st.node with
+  | Let (x, e) | Assign (x, e) -> Hashtbl.replace frame x (eval t frame loc e)
+  | Op { kind; target; args; bind } -> (
+      let v = exec_op t frame loc ~kind ~target ~args in
+      match bind with Some x -> Hashtbl.replace frame x v | None -> ())
+  | Call { func; args; bind } -> (
+      let vargs = List.map (eval t frame loc) args in
+      let v = exec_call t depth func vargs in
+      match bind with Some x -> Hashtbl.replace frame x v | None -> ())
+  | If (c, th, el) ->
+      if truthy loc (eval t frame loc c) then exec_block t frame depth th
+      else exec_block t frame depth el
+  | While (c, body) ->
+      while truthy loc (eval t frame loc c) do
+        exec_block t frame depth body
+      done
+  | Foreach (x, e, body) -> (
+      match eval t frame loc e with
+      | VList items ->
+          List.iter
+            (fun item ->
+              Hashtbl.replace frame x item;
+              exec_block t frame depth body)
+            items
+      | v ->
+          raise
+            (Violation
+               { loc; vkind = "type"; msg = Fmt.str "foreach over %a" pp_value v }))
+  | Sync (lockname, body) -> exec_sync t frame depth loc lockname body
+  | Try (body, exn, handler) -> (
+      try exec_block t frame depth body with
+      | Wd_env.Disk.Io_error m
+      | Wd_env.Net.Net_error m
+      | Wd_env.Memory.Out_of_memory m ->
+          Hashtbl.replace frame exn (VStr m);
+          exec_block t frame depth handler
+      | Wd_sim.Channel.Closed m ->
+          Hashtbl.replace frame exn (VStr ("channel closed: " ^ m));
+          exec_block t frame depth handler)
+  | Return e -> raise (Return_exn (eval t frame loc e))
+  | Assert (e, msg) ->
+      if not (truthy loc (eval t frame loc e)) then
+        raise (Violation { loc; vkind = "assert"; msg })
+  | Compute { cost_ns; note = _ } -> charge t cost_ns
+  | Hook id -> exec_hook t frame id
+
+and exec_sync t frame depth loc lockname body =
+  let lock = Runtime.lock t.res lockname in
+  let desc = Fmt.str "lock(%s)" lockname in
+  match t.mode with
+  | Main ->
+      with_probe t loc desc (fun () -> Wd_sim.Smutex.lock lock);
+      let release () = Wd_sim.Smutex.unlock lock in
+      (match exec_block t frame depth body with
+      | () -> release ()
+      | exception e ->
+          release ();
+          raise e)
+  | Checker ->
+      (* Try-lock with timeout: hanging forever against a wedged main
+         program would defeat the watchdog; timing out *is* the finding.
+         Once acquired the lock is released immediately: the checker's body
+         works on scratch files and shadow state, so it needs no mutual
+         exclusion — and holding a real lock across a mimicked (possibly
+         hanging) operation would let the watchdog wedge the main program,
+         the §3.2 isolation failure. *)
+      let acquired =
+        with_probe t loc desc (fun () ->
+            let s = Wd_sim.Sched.get () in
+            let deadline = Int64.add (Wd_sim.Sched.now s) t.lock_timeout in
+            let rec attempt () =
+              if Wd_sim.Smutex.try_lock lock then true
+              else if Wd_sim.Sched.now s >= deadline then false
+              else begin
+                Wd_sim.Sched.sleep (Wd_sim.Time.ms 50);
+                attempt ()
+              end
+            in
+            attempt ())
+      in
+      if not acquired then
+        raise
+          (Violation
+             {
+               loc;
+               vkind = "liveness";
+               msg = Fmt.str "lock %s not acquired within %a" lockname Wd_sim.Time.pp t.lock_timeout;
+             });
+      Wd_sim.Smutex.unlock lock;
+      exec_block t frame depth body
+
+and exec_hook t frame id =
+  match t.mode with
+  | Checker -> ()
+  | Main -> (
+      match (t.hook_sink, Hashtbl.find_opt t.hooks id) with
+      | Some sink, Some spec ->
+          let values =
+            List.filter_map
+              (fun x ->
+                match Hashtbl.find_opt frame x with
+                | Some v -> Some (x, copy_value v) (* replication: never alias *)
+                | None -> None)
+              spec.hook_vars
+          in
+          sink id values
+      | _, _ -> ())
+
+and exec_call t depth fname vargs =
+  if depth > t.max_depth then
+    raise
+      (Violation
+         { loc = Loc.dummy; vkind = "depth"; msg = Fmt.str "call depth > %d" t.max_depth });
+  let f = find_func t.prog fname in
+  if List.length f.params <> List.length vargs then
+    raise
+      (Violation
+         { loc = Loc.dummy; vkind = "arity"; msg = Fmt.str "call %s arity" fname });
+  let frame = Hashtbl.create 16 in
+  List.iter2 (fun p v -> Hashtbl.replace frame p v) f.params vargs;
+  match exec_block t frame (depth + 1) f.body with
+  | () -> VUnit
+  | exception Return_exn v -> v
+
+(* --- public API --- *)
+
+let call t fname args = exec_call t 0 fname args
+
+let start ?entries t sched =
+  let wanted = entries in
+  let selected =
+    match wanted with
+    | None -> t.prog.entries
+    | Some names ->
+        List.filter (fun e -> List.mem e.entry_name names) t.prog.entries
+  in
+  List.map
+    (fun e ->
+      Wd_sim.Sched.spawn ~name:(Fmt.str "%s/%s" t.node e.entry_name) ~daemon:true
+        sched
+        (fun () -> ignore (call t e.entry_func e.entry_args)))
+    selected

@@ -1,0 +1,71 @@
+(** IR interpreter. One [t] is one *node*: a network identity plus an
+    execution mode.
+
+    {b Main} mode runs the target system: entries become daemon tasks, ops
+    hit the environment directly, and [Hook] statements push deep-copied
+    live state into the registered sink (one-way context synchronisation).
+
+    {b Checker} mode implements the watchdog isolation rules: disk writes
+    are redirected to a scratch namespace (keeping the original fault site —
+    fate sharing), network sends deliver to shadow inboxes with the real
+    site, lock acquisition becomes try-lock-with-timeout that releases
+    immediately, allocations are returned, and global-state writes land in a
+    private overlay. *)
+
+open Ast
+
+exception Violation of { loc : Loc.t; vkind : string; msg : string }
+(** Raised on assertion failures, type errors, and (in checker mode, with
+    [vkind = "liveness"]) lock-acquisition timeouts. *)
+
+exception Return_exn of value
+(** Internal control flow; escapes only on a toplevel [Return]. *)
+
+type mode = Main | Checker
+
+type probe_state = {
+  mutable current_op : (Loc.t * string * int64) option;
+      (** operation in flight: location, description, start time — the
+          pinpoint when a checker times out *)
+  mutable last_op : Loc.t option;
+  mutable slowest_op : (Loc.t * int64) option;
+  mutable ops_executed : int;
+  mutable op_ns : int64;    (** cumulative operation time *)
+  mutable lock_ns : int64;  (** cumulative lock-wait time (excluded from
+                                slowness assessment) *)
+}
+
+type hook_spec = { hook_checker : string; hook_vars : string list }
+
+type t
+
+val create :
+  ?mode:mode ->
+  ?scratch_prefix:string ->
+  ?lock_timeout:int64 ->
+  ?stmt_cost:int64 ->
+  ?cpu_quantum:int64 ->
+  node:string ->
+  res:Runtime.resources ->
+  program ->
+  t
+
+val program : t -> program
+val node : t -> string
+val probe : t -> probe_state
+val resources : t -> Runtime.resources
+val stmts_executed : t -> int
+
+val set_hook_sink : t -> (int -> (string * value) list -> unit) -> unit
+(** Receives (hook id, captured deep-copied values) from Main-mode hooks. *)
+
+val register_hook : t -> id:int -> hook_spec -> unit
+val hook_spec : t -> id:int -> hook_spec option
+
+val call : t -> string -> value list -> value
+(** Run a function synchronously in the current task. Must be called from
+    inside a running simulation. *)
+
+val start : ?entries:string list -> t -> Wd_sim.Sched.t -> Wd_sim.Sched.task list
+(** Spawn the program's entries (optionally a subset, by entry name) as
+    daemon tasks, in program-entry order. *)

@@ -1,0 +1,113 @@
+(* Pretty-printer for IR programs, in a pseudo-Java style so that the
+   reduction demo reads like the paper's Figure 2/3. *)
+
+open Ast
+
+let rec pp_expr ppf = function
+  | Const v -> pp_value ppf v
+  | Var x -> Fmt.string ppf x
+  | Binop (op, a, b) ->
+      let sym =
+        match op with
+        | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+        | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+        | And -> "&&" | Or -> "||" | Concat -> "^"
+      in
+      Fmt.pf ppf "(%a %s %a)" pp_expr a sym pp_expr b
+  | Unop (Not, e) -> Fmt.pf ppf "!%a" pp_expr e
+  | Unop (Neg, e) -> Fmt.pf ppf "-%a" pp_expr e
+  | Unop (Len, e) -> Fmt.pf ppf "len(%a)" pp_expr e
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp_expr a pp_expr b
+  | Fst e -> Fmt.pf ppf "fst(%a)" pp_expr e
+  | Snd e -> Fmt.pf ppf "snd(%a)" pp_expr e
+  | Prim (name, args) ->
+      Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") pp_expr) args
+
+let pp_args ppf args = Fmt.(list ~sep:(any ", ") pp_expr) ppf args
+
+let rec pp_stmt ~indent ppf st =
+  let pad = String.make indent ' ' in
+  let line fmt = Fmt.pf ppf "%s" pad; Fmt.pf ppf fmt in
+  match st.node with
+  | Let (x, e) -> line "var %s = %a;@." x pp_expr e
+  | Assign (x, e) -> line "%s = %a;@." x pp_expr e
+  | Op { kind; target; args; bind } -> (
+      match bind with
+      | Some x ->
+          line "var %s = %s(%s%s%a);@." x (op_kind_name kind) target
+            (if args = [] then "" else ", ")
+            pp_args args
+      | None ->
+          line "%s(%s%s%a);@." (op_kind_name kind) target
+            (if args = [] then "" else ", ")
+            pp_args args)
+  | Call { func; args; bind } -> (
+      match bind with
+      | Some x -> line "var %s = %s(%a);@." x func pp_args args
+      | None -> line "%s(%a);@." func pp_args args)
+  | If (c, t, []) ->
+      line "if (%a) {@." pp_expr c;
+      pp_block ~indent:(indent + 2) ppf t;
+      line "}@."
+  | If (c, t, e) ->
+      line "if (%a) {@." pp_expr c;
+      pp_block ~indent:(indent + 2) ppf t;
+      line "} else {@.";
+      pp_block ~indent:(indent + 2) ppf e;
+      line "}@."
+  | While (c, body) ->
+      line "while (%a) {@." pp_expr c;
+      pp_block ~indent:(indent + 2) ppf body;
+      line "}@."
+  | Foreach (x, e, body) ->
+      line "for (%s : %a) {@." x pp_expr e;
+      pp_block ~indent:(indent + 2) ppf body;
+      line "}@."
+  | Sync (lock, body) ->
+      line "synchronized (%s) {@." lock;
+      pp_block ~indent:(indent + 2) ppf body;
+      line "}@."
+  | Try (body, exn, handler) ->
+      line "try {@.";
+      pp_block ~indent:(indent + 2) ppf body;
+      line "} catch (%s) {@." exn;
+      pp_block ~indent:(indent + 2) ppf handler;
+      line "}@."
+  | Return (Const VUnit) -> line "return;@."
+  | Return e -> line "return %a;@." pp_expr e
+  | Assert (e, msg) -> line "assert %a : %S;@." pp_expr e msg
+  | Compute { cost_ns; note } ->
+      line "/* %s: %a of work */@." note Wd_sim.Time.pp cost_ns
+  | Hook id -> line "WatchdogHooks.context_setter_%d(...);  // inserted hook@." id
+
+and pp_block ~indent ppf block = List.iter (pp_stmt ~indent ppf) block
+
+let pp_func ppf f =
+  let annots =
+    if f.annots = [] then ""
+    else
+      Fmt.str "@%s "
+        (String.concat " @"
+           (List.map
+              (function
+                | Long_running -> "long_running" | Vulnerable_annot -> "vulnerable")
+              f.annots))
+  in
+  Fmt.pf ppf "%svoid %s(%s) {@.%a}@." annots f.fname
+    (String.concat ", " f.params)
+    (pp_block ~indent:2) f.body
+
+let pp_program ppf p =
+  Fmt.pf ppf "program %s {@." p.pname;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  entry %s -> %s(%a);@." e.entry_name e.entry_func
+        Fmt.(list ~sep:(any ", ") pp_value)
+        e.entry_args)
+    p.entries;
+  Fmt.pf ppf "@.";
+  List.iter (fun f -> Fmt.pf ppf "%a@." pp_func f) p.funcs;
+  Fmt.pf ppf "}@."
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let program_to_string p = Fmt.str "%a" pp_program p

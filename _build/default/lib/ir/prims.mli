@@ -1,0 +1,16 @@
+(** Pure primitives callable from IR expressions via [Prim (name, args)].
+
+    All primitives are deterministic functions of their arguments. Effects
+    live exclusively in [Op] statements so the vulnerability analysis sees
+    every one of them. *)
+
+exception Prim_error of string
+
+val apply : string -> Ast.value list -> Ast.value
+(** Evaluate primitive [name] on the given arguments.
+    Raises {!Prim_error} on unknown names or ill-typed arguments. *)
+
+val known : string list
+(** Names accepted by {!apply}; the validator checks against this list. *)
+
+val is_known : string -> bool

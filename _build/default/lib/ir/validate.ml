@@ -1,0 +1,125 @@
+(* Whole-program static validation, run once after construction and again
+   after instrumentation. Catches the classes of mistakes the builder DSL
+   cannot prevent: dangling calls, bad arity, unknown primitives, use of
+   unbound variables, duplicate function names, misplaced returns. *)
+
+open Ast
+
+type problem = { where : string; what : string }
+
+let pp_problem ppf p = Fmt.pf ppf "%s: %s" p.where p.what
+
+let check_expr ~scope ~problems ~where expr =
+  let prob what = problems := { where; what } :: !problems in
+  let rec go = function
+    | Const _ -> ()
+    | Var x -> if not (List.mem x !scope) then prob (Fmt.str "unbound variable %s" x)
+    | Binop (_, a, b) ->
+        go a;
+        go b
+    | Unop (_, e) -> go e
+    | Pair (a, b) ->
+        go a;
+        go b
+    | Fst e | Snd e -> go e
+    | Prim (name, args) ->
+        if not (Prims.is_known name) then prob (Fmt.str "unknown primitive %s" name);
+        List.iter go args
+  in
+  go expr
+
+let rec check_block p ~scope ~problems ~fname block =
+  List.iter
+    (fun st ->
+      let where = Fmt.str "%s at %a" fname Loc.pp st.loc in
+      let prob what = problems := { where; what } :: !problems in
+      let expr e = check_expr ~scope ~problems ~where e in
+      match st.node with
+      | Let (x, e) ->
+          expr e;
+          scope := x :: !scope
+      | Assign (x, e) ->
+          if not (List.mem x !scope) then prob (Fmt.str "assign to unbound %s" x);
+          expr e
+      | Op { args; bind; kind; target } ->
+          List.iter expr args;
+          if target = "" then prob (Fmt.str "%s: empty target" (op_kind_name kind));
+          (match bind with Some x -> scope := x :: !scope | None -> ())
+      | Call { func; args; bind } ->
+          (match List.find_opt (fun f -> f.fname = func) p.funcs with
+          | None -> prob (Fmt.str "call to undefined function %s" func)
+          | Some f ->
+              if List.length f.params <> List.length args then
+                prob
+                  (Fmt.str "call %s: %d args, %d params" func (List.length args)
+                     (List.length f.params)));
+          List.iter expr args;
+          (match bind with Some x -> scope := x :: !scope | None -> ())
+      (* Scoping matches the interpreter: one flat frame per function call,
+         so bindings made inside nested blocks persist afterwards. *)
+      | If (c, t, e) ->
+          expr c;
+          check_block p ~scope ~problems ~fname t;
+          check_block p ~scope ~problems ~fname e
+      | While (c, body) ->
+          expr c;
+          check_block p ~scope ~problems ~fname body
+      | Foreach (x, e, body) ->
+          expr e;
+          scope := x :: !scope;
+          check_block p ~scope ~problems ~fname body
+      | Sync (lock, body) ->
+          if lock = "" then prob "sync: empty lock name";
+          check_block p ~scope ~problems ~fname body
+      | Try (body, exn, handler) ->
+          check_block p ~scope ~problems ~fname body;
+          scope := exn :: !scope;
+          check_block p ~scope ~problems ~fname handler
+      | Return e -> expr e
+      | Assert (e, _) -> expr e
+      | Compute _ -> ()
+      | Hook _ -> ())
+    block
+
+let check p =
+  let problems = ref [] in
+  (* duplicate function names *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.fname then
+        problems := { where = f.fname; what = "duplicate function name" } :: !problems;
+      Hashtbl.replace seen f.fname ())
+    p.funcs;
+  (* entries reference real functions with matching arity *)
+  List.iter
+    (fun e ->
+      match List.find_opt (fun f -> f.fname = e.entry_func) p.funcs with
+      | None ->
+          problems :=
+            { where = e.entry_name; what = Fmt.str "entry function %s undefined" e.entry_func }
+            :: !problems
+      | Some f ->
+          if List.length f.params <> List.length e.entry_args then
+            problems :=
+              {
+                where = e.entry_name;
+                what = Fmt.str "entry %s: arity mismatch" e.entry_func;
+              }
+              :: !problems)
+    p.entries;
+  (* per-function body checks *)
+  List.iter
+    (fun f -> check_block p ~scope:(ref f.params) ~problems ~fname:f.fname f.body)
+    p.funcs;
+  match !problems with [] -> Ok () | ps -> Error (List.rev ps)
+
+let check_exn p =
+  match check p with
+  | Ok () -> ()
+  | Error ps ->
+      raise
+        (Ir_error
+           (Fmt.str "program %s invalid:@.%a" p.pname
+              Fmt.(list ~sep:(any "@.") pp_problem)
+              ps))

@@ -1,0 +1,1 @@
+lib/sim/cond.ml: Fmt Int64 List Queue Sched

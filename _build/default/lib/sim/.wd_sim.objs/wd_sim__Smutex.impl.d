@@ -1,0 +1,1 @@
+lib/sim/smutex.ml: Cond Fmt Sched

@@ -1,0 +1,44 @@
+(* Condition variables for the cooperative scheduler. Wakers popped by
+   [signal] may belong to tasks already woken by something else (a timeout,
+   a kill); the scheduler's generation guard makes those calls no-ops, so a
+   spurious pop is harmless — waiters must re-check their predicate, exactly
+   as with POSIX condition variables. *)
+
+type t = { name : string; waiters : (unit -> unit) Queue.t }
+
+let create name = { name; waiters = Queue.create () }
+let name c = c.name
+let waiter_count c = Queue.length c.waiters
+
+let wait c =
+  Sched.suspend
+    ~reason:(Fmt.str "cond %s" c.name)
+    ~register:(fun waker -> Queue.push waker c.waiters)
+
+let signal c = if not (Queue.is_empty c.waiters) then (Queue.pop c.waiters) ()
+
+let broadcast c =
+  let wakers = Queue.to_seq c.waiters |> List.of_seq in
+  Queue.clear c.waiters;
+  List.iter (fun w -> w ()) wakers
+
+(* Wait until [pred ()] holds, re-checking after every wake-up. *)
+let rec await c pred = if not (pred ()) then begin wait c; await c pred end
+
+(* Wait for the predicate with a deadline; [false] means timed out. *)
+let await_timeout c pred ~timeout =
+  let s = Sched.get () in
+  let deadline = Int64.add (Sched.now s) timeout in
+  let rec loop () =
+    if pred () then true
+    else if Sched.now s >= deadline then false
+    else begin
+      Sched.suspend
+        ~reason:(Fmt.str "cond %s (timed)" c.name)
+        ~register:(fun waker ->
+          Queue.push waker c.waiters;
+          Sched.at s deadline waker);
+      loop ()
+    end
+  in
+  loop ()

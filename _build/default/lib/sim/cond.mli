@@ -1,0 +1,25 @@
+(** Condition variables for the cooperative scheduler.
+
+    Semantics mirror POSIX condition variables: waiters must re-check their
+    predicate after waking (use {!await} to get that loop for free). *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+val waiter_count : t -> int
+
+val wait : t -> unit
+(** Block until signalled. *)
+
+val signal : t -> unit
+(** Wake one waiter, if any. *)
+
+val broadcast : t -> unit
+(** Wake every current waiter. *)
+
+val await : t -> (unit -> bool) -> unit
+(** [await c pred] blocks until [pred ()] is true, re-checking on wake. *)
+
+val await_timeout : t -> (unit -> bool) -> timeout:int64 -> bool
+(** Like {!await} with a deadline; returns [false] on timeout. *)

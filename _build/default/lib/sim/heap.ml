@@ -1,0 +1,78 @@
+(* Binary min-heap keyed by (time, sequence). The sequence number breaks ties
+   so that events scheduled for the same instant fire in insertion order,
+   which is what makes whole-simulation runs deterministic. *)
+
+type 'a entry = { time : int64; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  dummy : 'a entry;
+}
+
+let create ~dummy_payload =
+  let dummy = { time = 0L; seq = 0; payload = dummy_payload } in
+  { data = Array.make 16 dummy; size = 0; next_seq = 0; dummy }
+
+let size h = h.size
+let is_empty h = h.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let data = Array.make (2 * Array.length h.data) h.dummy in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~time payload =
+  if h.size = Array.length h.data then grow h;
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  h.data.(h.size) <- { time; seq; payload };
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1);
+  seq
+
+let peek_time h = if h.size = 0 then None else Some h.data.(0).time
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- h.dummy;
+    if h.size > 0 then sift_down h 0;
+    Some (top.time, top.payload)
+  end
+
+(* Drain every entry in key order; used by tests and by shutdown paths. *)
+let drain h =
+  let rec loop acc =
+    match pop h with None -> List.rev acc | Some e -> loop (e :: acc)
+  in
+  loop []

@@ -1,0 +1,25 @@
+(** Deterministic binary min-heap keyed by [(time, insertion sequence)].
+
+    Entries with equal times pop in insertion order, which keeps
+    discrete-event runs reproducible. *)
+
+type 'a t
+
+val create : dummy_payload:'a -> 'a t
+(** [create ~dummy_payload] makes an empty heap. The dummy payload fills
+    unused array slots and is never returned. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int64 -> 'a -> int
+(** [push h ~time p] inserts [p] and returns its tie-break sequence number. *)
+
+val peek_time : 'a t -> int64 option
+(** Earliest key in the heap, if any. *)
+
+val pop : 'a t -> (int64 * 'a) option
+(** Remove and return the earliest entry. *)
+
+val drain : 'a t -> (int64 * 'a) list
+(** Pop everything, in key order. *)

@@ -1,0 +1,59 @@
+(* SplitMix64: a small, fast, deterministic PRNG. Every random choice in the
+   simulator flows through one of these so that a run is a pure function of
+   its seed. [split] derives an independent stream, letting subsystems draw
+   randomness without perturbing each other's sequences. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = Int64.to_int (next_int64 t) in
+  { state = Int64.of_int seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+let int64_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int64_range: empty range";
+  let span = Int64.sub hi lo in
+  if span = 0L then lo
+  else
+    let r = Int64.logand (next_int64 t) Int64.max_int in
+    Int64.add lo (Int64.rem r (Int64.add span 1L))
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+(* Exponentially distributed duration with the given mean, in the same unit
+   as [mean]. Used by latency models. *)
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

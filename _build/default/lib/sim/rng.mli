@@ -1,0 +1,28 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    All randomness in the simulator flows through explicit [t] values, so a
+    whole run is a pure function of its seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derive an independent stream; advancing either stream afterwards does not
+    affect the other. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t b] is uniform in [\[0, b)]. Raises on [b <= 0]. *)
+
+val int64_range : t -> int64 -> int64 -> int64
+(** Inclusive range. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+val choice : t -> 'a array -> 'a
+val exponential : t -> mean:float -> float
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,336 @@
+(* Deterministic discrete-event scheduler built on OCaml 5 effect handlers.
+
+   Tasks are cooperative fibers. A fiber gives up control by performing
+   [Suspend], which hands the scheduler a [register] function; [register]
+   receives a waker that, when invoked, re-queues the fiber. Wakers are
+   guarded by a per-task generation counter so a stale waker (e.g. a timer
+   that fires after the condition it was racing already woke the task) is a
+   no-op. This one mechanism implements sleeps, condition waits, joins,
+   mutexes, channels and timeouts.
+
+   All state lives in a single domain; combined with the tie-broken event
+   heap and FIFO run queue, a run is a deterministic function of the seed. *)
+
+exception Cancelled
+(* Raised inside a fiber that another task killed. *)
+
+type exit_status = Exited | Failed of exn | Killed
+
+type state = Ready | Running | Blocked | Finished
+
+type task = {
+  id : int;
+  name : string;
+  mutable state : state;
+  mutable status : exit_status option;
+  mutable blocked_on : string;
+  mutable blocked_since : int64;
+  mutable gen : int;
+  mutable kont : (unit, unit) Effect.Deep.continuation option;
+  mutable exit_hooks : (exit_status -> unit) list;
+  mutable cancel_requested : bool;
+  daemon : bool;
+}
+
+type run_result = Quiescent | Time_limit | Deadlock of task list
+
+type t = {
+  mutable now : int64;
+  timers : (unit -> unit) Heap.t;
+  runq : (unit -> unit) Queue.t;
+  mutable current : task option;
+  mutable next_id : int;
+  mutable live : int; (* unfinished non-daemon tasks *)
+  mutable tasks : task list;
+  rng : Rng.t;
+  mutable switches : int;
+  mutable spawned : int;
+  mutable events_fired : int;
+  mutable trace : Trace.t option;
+}
+
+type _ Effect.t +=
+  | Suspend : { reason : string; register : (unit -> unit) -> unit } -> unit Effect.t
+
+let ambient : t option ref = ref None
+
+let get () =
+  match !ambient with
+  | Some s -> s
+  | None -> failwith "Sched: no simulation is running"
+
+let create ?(seed = 42) () =
+  {
+    now = 0L;
+    timers = Heap.create ~dummy_payload:(fun () -> ());
+    runq = Queue.create ();
+    current = None;
+    next_id = 0;
+    live = 0;
+    tasks = [];
+    rng = Rng.create ~seed;
+    switches = 0;
+    spawned = 0;
+    events_fired = 0;
+    trace = None;
+  }
+
+let now s = s.now
+let rng s = s.rng
+
+let self s =
+  match s.current with
+  | Some t -> t
+  | None -> failwith "Sched.self: called outside a task"
+
+let task_name t = t.name
+let task_id t = t.id
+let task_state t = t.state
+let task_status t = t.status
+let task_blocked_on t = t.blocked_on
+let task_blocked_since t = t.blocked_since
+let all_tasks s = s.tasks
+
+let stats s = (s.spawned, s.switches, s.events_fired)
+
+let set_trace s trace = s.trace <- Some trace
+let trace s = s.trace
+
+let emit s t kind =
+  match s.trace with
+  | None -> ()
+  | Some tr -> Trace.record tr ~at:s.now ~task_id:t.id ~task_name:t.name kind
+
+let finish s t status =
+  emit s t
+    (Trace.Finished
+       (match status with
+       | Exited -> "exited"
+       | Failed e -> "failed: " ^ Printexc.to_string e
+       | Killed -> "killed"));
+  t.state <- Finished;
+  t.status <- Some status;
+  t.kont <- None;
+  if not t.daemon then s.live <- s.live - 1;
+  let hooks = t.exit_hooks in
+  t.exit_hooks <- [];
+  List.iter (fun h -> h status) hooks;
+  s.current <- None;
+  match status with
+  | Failed e when not t.daemon ->
+      Logs.debug (fun m ->
+          m "task %s failed: %s" t.name (Printexc.to_string e))
+  | Exited | Failed _ | Killed -> ()
+
+(* Re-queue a blocked task. [gen] guards against stale wakers. *)
+let wake s t gen =
+  if t.gen = gen && t.state = Blocked then begin
+    match t.kont with
+    | None -> assert false
+    | Some k ->
+        t.kont <- None;
+        t.state <- Ready;
+        Queue.push
+          (fun () ->
+            t.state <- Running;
+            s.current <- Some t;
+            s.switches <- s.switches + 1;
+            emit s t Trace.Resumed;
+            if t.cancel_requested then
+              Effect.Deep.discontinue k Cancelled
+            else Effect.Deep.continue k ())
+          s.runq
+  end
+
+let handler s t =
+  {
+    Effect.Deep.retc = (fun () -> finish s t Exited);
+    exnc =
+      (fun e ->
+        match e with
+        | Cancelled -> finish s t Killed
+        | e -> finish s t (Failed e));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Suspend { reason; register } ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                emit s t (Trace.Blocked reason);
+                t.state <- Blocked;
+                t.blocked_on <- reason;
+                t.blocked_since <- s.now;
+                t.gen <- t.gen + 1;
+                t.kont <- Some k;
+                let gen = t.gen in
+                register (fun () -> wake s t gen);
+                s.current <- None)
+        | _ -> None);
+  }
+
+let spawn ?(name = "task") ?(daemon = false) s f =
+  let t =
+    {
+      id = s.next_id;
+      name;
+      state = Ready;
+      status = None;
+      blocked_on = "";
+      blocked_since = s.now;
+      gen = 0;
+      kont = None;
+      exit_hooks = [];
+      cancel_requested = false;
+      daemon;
+    }
+  in
+  s.next_id <- s.next_id + 1;
+  s.spawned <- s.spawned + 1;
+  if not daemon then s.live <- s.live + 1;
+  s.tasks <- t :: s.tasks;
+  emit s t Trace.Spawned;
+  Queue.push
+    (fun () ->
+      if t.cancel_requested then finish s t Killed
+      else begin
+        t.state <- Running;
+        s.current <- Some t;
+        s.switches <- s.switches + 1;
+        Effect.Deep.match_with f () (handler s t)
+      end)
+    s.runq;
+  t
+
+let suspend ~reason ~register =
+  Effect.perform (Suspend { reason; register })
+
+let at s time f =
+  let time = if time < s.now then s.now else time in
+  ignore (Heap.push s.timers ~time f)
+
+let after s delay f = at s (Int64.add s.now delay) f
+
+let sleep delay =
+  let s = get () in
+  suspend ~reason:(Fmt.str "sleep %a" Time.pp delay) ~register:(fun waker ->
+      after s delay waker)
+
+let yield () =
+  let s = get () in
+  suspend ~reason:"yield" ~register:(fun waker -> Queue.push waker s.runq)
+
+let kill s t =
+  match t.state with
+  | Finished -> ()
+  | Running ->
+      if s.current == Some t then raise Cancelled
+      else
+        (* A running task other than the current one is impossible in a
+           single-domain scheduler. *)
+        assert false
+  | Ready -> t.cancel_requested <- true
+  | Blocked -> (
+      t.cancel_requested <- true;
+      match t.kont with
+      | None -> ()
+      | Some k ->
+          t.kont <- None;
+          t.gen <- t.gen + 1;
+          Queue.push
+            (fun () ->
+              t.state <- Running;
+              s.current <- Some t;
+              Effect.Deep.discontinue k Cancelled)
+            s.runq)
+
+let on_exit t hook =
+  match t.status with
+  | Some st -> hook st
+  | None -> t.exit_hooks <- hook :: t.exit_hooks
+
+let join t =
+  (match t.status with
+  | Some _ -> ()
+  | None ->
+      suspend
+        ~reason:(Fmt.str "join %s" t.name)
+        ~register:(fun waker -> on_exit t (fun _ -> waker ())));
+  match t.status with Some st -> st | None -> assert false
+
+(* Run [f] in a child task with a deadline. If the deadline passes first the
+   child is killed and [Error `Timeout] is returned. *)
+let timeout_join ?(name = "timed") s ~timeout f =
+  let result = ref None in
+  let child = spawn ~name s (fun () -> result := Some (f ())) in
+  let fired = ref false in
+  suspend
+    ~reason:(Fmt.str "timeout_join %s" name)
+    ~register:(fun waker ->
+      on_exit child (fun _ -> waker ());
+      after s timeout (fun () ->
+          fired := true;
+          waker ()));
+  match child.status with
+  | Some Exited -> (
+      match !result with Some v -> Ok v | None -> assert false)
+  | Some (Failed e) -> Error (`Exn e)
+  | Some Killed -> Error (`Killed)
+  | None ->
+      assert !fired;
+      kill s child;
+      Error `Timeout
+
+let blocked_tasks s =
+  List.filter (fun t -> t.state = Blocked && not t.daemon) s.tasks
+
+let run ?(until = Time.never) s =
+  let saved = !ambient in
+  ambient := Some s;
+  let restore () = ambient := saved in
+  let rec loop () =
+    if not (Queue.is_empty s.runq) then begin
+      let job = Queue.pop s.runq in
+      s.events_fired <- s.events_fired + 1;
+      job ();
+      s.current <- None;
+      loop ()
+    end
+    else
+      match Heap.peek_time s.timers with
+      | Some t when t <= until -> (
+          match Heap.pop s.timers with
+          | Some (time, fn) ->
+              if time > s.now then s.now <- time;
+              s.events_fired <- s.events_fired + 1;
+              fn ();
+              s.current <- None;
+              loop ()
+          | None -> assert false)
+      | Some _ ->
+          s.now <- until;
+          Time_limit
+      | None ->
+          if s.live > 0 then Deadlock (blocked_tasks s) else Quiescent
+  in
+  match loop () with
+  | result ->
+      restore ();
+      result
+  | exception e ->
+      restore ();
+      raise e
+
+let pp_task ppf t =
+  let state =
+    match t.state with
+    | Ready -> "ready"
+    | Running -> "running"
+    | Blocked -> Fmt.str "blocked on %s" t.blocked_on
+    | Finished -> (
+        match t.status with
+        | Some Exited -> "exited"
+        | Some (Failed e) -> Fmt.str "failed (%s)" (Printexc.to_string e)
+        | Some Killed -> "killed"
+        | None -> "finished")
+  in
+  Fmt.pf ppf "#%d %s [%s]" t.id t.name state

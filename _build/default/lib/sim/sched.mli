@@ -1,0 +1,83 @@
+(** Deterministic discrete-event scheduler with cooperative tasks.
+
+    Tasks are fibers implemented with OCaml 5 effect handlers. Time is
+    virtual ({!Time.t} nanoseconds); it only advances when every runnable
+    task has yielded, so hangs, slow operations and detection latencies are
+    exact, reproducible quantities. *)
+
+exception Cancelled
+(** Raised inside a fiber that was {!kill}ed. *)
+
+type exit_status = Exited | Failed of exn | Killed
+type state = Ready | Running | Blocked | Finished
+type task
+type run_result = Quiescent | Time_limit | Deadlock of task list
+
+type t
+
+val create : ?seed:int -> unit -> t
+val now : t -> int64
+val rng : t -> Rng.t
+
+val get : unit -> t
+(** The scheduler currently running; raises outside {!run}. *)
+
+val spawn : ?name:string -> ?daemon:bool -> t -> (unit -> unit) -> task
+(** Queue a new task. Daemon tasks do not keep the simulation alive and do
+    not count toward deadlock detection. *)
+
+val self : t -> task
+val task_name : task -> string
+val task_id : task -> int
+val task_state : task -> state
+val task_status : task -> exit_status option
+val task_blocked_on : task -> string
+val task_blocked_since : task -> int64
+val all_tasks : t -> task list
+
+val suspend : reason:string -> register:((unit -> unit) -> unit) -> unit
+(** Core blocking primitive. [register waker] must arrange for [waker] to be
+    called when the task should resume; extra or late calls are ignored. *)
+
+val sleep : int64 -> unit
+(** Block the current task for a virtual duration. *)
+
+val yield : unit -> unit
+
+val at : t -> int64 -> (unit -> unit) -> unit
+(** Run a closure at an absolute virtual time (clamped to now). *)
+
+val after : t -> int64 -> (unit -> unit) -> unit
+
+val kill : t -> task -> unit
+(** Cancel a task: {!Cancelled} is raised at its suspension point. *)
+
+val on_exit : task -> (exit_status -> unit) -> unit
+(** Run a hook when the task finishes (immediately if it already has). *)
+
+val join : task -> exit_status
+(** Block until the task finishes. *)
+
+val timeout_join :
+  ?name:string ->
+  t ->
+  timeout:int64 ->
+  (unit -> 'a) ->
+  ('a, [ `Timeout | `Exn of exn | `Killed ]) result
+(** Run [f] in a child task; kill it and return [Error `Timeout] if it does
+    not finish within [timeout]. *)
+
+val run : ?until:int64 -> t -> run_result
+(** Drive the simulation until quiescence, deadlock among non-daemon tasks,
+    or the time limit. Can be called repeatedly with growing [until]. *)
+
+val stats : t -> int * int * int
+(** [(tasks spawned, context switches, events fired)]. *)
+
+val set_trace : t -> Trace.t -> unit
+(** Start recording scheduler events (spawn/block/resume/finish) into the
+    given ring buffer. *)
+
+val trace : t -> Trace.t option
+
+val pp_task : Format.formatter -> task -> unit

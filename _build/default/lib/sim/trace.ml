@@ -1,0 +1,52 @@
+(* Execution tracing: a bounded ring buffer of scheduler events (spawns,
+   blocks with reasons, wakes, exits). Opt-in via [Sched.set_trace]; the
+   last events before a detection are the postmortem timeline a report
+   invites you to read. *)
+
+type kind =
+  | Spawned
+  | Blocked of string  (* the suspend reason *)
+  | Resumed
+  | Finished of string (* "exited" / "failed: ..." / "killed" *)
+
+type event = { at : int64; task_id : int; task_name : string; kind : kind }
+
+type t = {
+  capacity : int;
+  buf : event option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~at ~task_id ~task_name kind =
+  t.buf.(t.next) <- Some { at; task_id; task_name; kind };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let total t = t.total
+
+(* The most recent [n] events, oldest first. *)
+let recent t n =
+  let n = min n (min t.total t.capacity) in
+  let start = (t.next - n + t.capacity * 2) mod t.capacity in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let kind_name = function
+  | Spawned -> "spawned"
+  | Blocked reason -> "blocked: " ^ reason
+  | Resumed -> "resumed"
+  | Finished how -> "finished: " ^ how
+
+let pp_event ppf e =
+  Fmt.pf ppf "[%a] #%d %-24s %s" Time.pp e.at e.task_id e.task_name
+    (kind_name e.kind)
+
+let dump ?(n = 50) ppf t =
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (recent t n)

@@ -1,0 +1,23 @@
+(** Execution tracing: a bounded ring buffer of scheduler events, opt-in
+    via {!Sched.set_trace}. The recent window before a watchdog detection
+    is a ready-made postmortem timeline. *)
+
+type kind =
+  | Spawned
+  | Blocked of string  (** the suspend reason *)
+  | Resumed
+  | Finished of string
+
+type event = { at : int64; task_id : int; task_name : string; kind : kind }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val record : t -> at:int64 -> task_id:int -> task_name:string -> kind -> unit
+val total : t -> int
+
+val recent : t -> int -> event list
+(** Most recent [n] events, oldest first. *)
+
+val pp_event : Format.formatter -> event -> unit
+val dump : ?n:int -> Format.formatter -> t -> unit

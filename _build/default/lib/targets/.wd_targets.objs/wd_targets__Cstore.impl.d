@@ -1,0 +1,1 @@
+lib/targets/cstore.ml: Ast Builder Interp List Rpcq Runtime String Wd_env Wd_ir Wd_sim

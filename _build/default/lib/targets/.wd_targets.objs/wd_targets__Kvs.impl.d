@@ -1,0 +1,1 @@
+lib/targets/kvs.ml: Ast Builder Fmt Interp List Runtime Wd_env Wd_ir Wd_sim

@@ -1,0 +1,1 @@
+lib/targets/kvs.mli: Wd_env Wd_ir Wd_sim

@@ -1,0 +1,1 @@
+lib/targets/mqbroker.mli: Rpcq Wd_env Wd_ir Wd_sim

@@ -1,0 +1,1 @@
+lib/targets/rpcq.ml: Ast Fmt List Runtime Wd_ir Wd_sim

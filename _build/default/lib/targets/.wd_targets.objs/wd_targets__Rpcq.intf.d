@@ -1,0 +1,1 @@
+lib/targets/rpcq.mli: Wd_ir Wd_sim

@@ -1,0 +1,1 @@
+lib/targets/workload.ml: Array Int64 Wd_sim

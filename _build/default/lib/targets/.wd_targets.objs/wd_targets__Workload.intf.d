@@ -1,0 +1,1 @@
+lib/targets/workload.mli: Wd_ir Wd_sim

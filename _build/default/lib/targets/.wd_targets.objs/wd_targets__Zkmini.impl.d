@@ -1,0 +1,1 @@
+lib/targets/zkmini.ml: Ast Builder Interp List Rpcq Runtime Wd_env Wd_ir Wd_sim

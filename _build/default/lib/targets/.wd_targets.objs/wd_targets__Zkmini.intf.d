@@ -1,0 +1,1 @@
+lib/targets/zkmini.mli: Rpcq Wd_env Wd_ir Wd_sim

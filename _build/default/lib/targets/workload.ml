@@ -1,0 +1,67 @@
+(* Generic closed-loop client workload: one task issuing an operation every
+   [period], collecting success/latency statistics. The operation callback
+   receives the request index so callers can rotate ops and keys. *)
+
+type stats = {
+  mutable issued : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable total_latency : int64;
+  mutable max_latency : int64;
+  mutable latencies : int64 list; (* newest first *)
+}
+
+let create_stats () =
+  {
+    issued = 0;
+    ok = 0;
+    errors = 0;
+    timeouts = 0;
+    total_latency = 0L;
+    max_latency = 0L;
+    latencies = [];
+  }
+
+let record stats ~latency result =
+  stats.issued <- stats.issued + 1;
+  stats.total_latency <- Int64.add stats.total_latency latency;
+  if latency > stats.max_latency then stats.max_latency <- latency;
+  stats.latencies <- latency :: stats.latencies;
+  match result with
+  | `Ok _ -> stats.ok <- stats.ok + 1
+  | `Err _ -> stats.errors <- stats.errors + 1
+  | `Timeout -> stats.timeouts <- stats.timeouts + 1
+
+let mean_latency stats =
+  if stats.issued = 0 then 0L
+  else Int64.div stats.total_latency (Int64.of_int stats.issued)
+
+let percentile stats p =
+  match stats.latencies with
+  | [] -> 0L
+  | ls ->
+      let arr = Array.of_list ls in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let idx = min (n - 1) (int_of_float (p *. float_of_int n)) in
+      arr.(idx)
+
+let success_ratio stats =
+  if stats.issued = 0 then 1.0 else float_of_int stats.ok /. float_of_int stats.issued
+
+(* Spawn the client loop. [op] must block (it is called inside a task).
+   [on_result] lets observers tap every outcome. *)
+let spawn ?(name = "workload") ?(on_result = fun _ -> ()) ~sched ~period ~op
+    stats =
+  Wd_sim.Sched.spawn ~name ~daemon:true sched (fun () ->
+      let i = ref 0 in
+      while true do
+        Wd_sim.Sched.sleep period;
+        let t0 = Wd_sim.Sched.now sched in
+        let result = op !i in
+        let latency = Int64.sub (Wd_sim.Sched.now sched) t0 in
+        record stats ~latency result;
+        on_result result;
+        incr i
+      done)

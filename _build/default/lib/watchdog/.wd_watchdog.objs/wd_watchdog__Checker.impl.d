@@ -1,0 +1,1 @@
+lib/watchdog/checker.ml: Fmt Report Wd_ir Wd_sim

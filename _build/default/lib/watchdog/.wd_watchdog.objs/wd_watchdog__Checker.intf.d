@@ -1,0 +1,1 @@
+lib/watchdog/checker.mli: Format Report Wd_ir

@@ -1,0 +1,1 @@
+lib/watchdog/driver.ml: Checker Fmt Int64 List Policy Printexc Report String Wd_env Wd_ir Wd_sim

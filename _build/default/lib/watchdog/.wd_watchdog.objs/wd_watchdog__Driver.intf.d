@@ -1,0 +1,1 @@
+lib/watchdog/driver.mli: Checker Policy Report Wd_sim

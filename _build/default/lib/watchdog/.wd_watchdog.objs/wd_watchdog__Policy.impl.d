@@ -1,0 +1,1 @@
+lib/watchdog/policy.ml: Report Wd_sim

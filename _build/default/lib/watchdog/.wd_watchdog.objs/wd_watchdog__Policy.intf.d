@@ -1,0 +1,1 @@
+lib/watchdog/policy.mli: Report

@@ -1,0 +1,1 @@
+lib/watchdog/recovery.ml: Fmt Int64 List Printexc Report Wd_ir Wd_sim

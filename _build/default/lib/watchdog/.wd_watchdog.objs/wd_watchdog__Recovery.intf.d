@@ -1,0 +1,1 @@
+lib/watchdog/recovery.mli: Format Report Wd_sim

@@ -1,0 +1,1 @@
+lib/watchdog/report.ml: Fmt Wd_ir Wd_sim

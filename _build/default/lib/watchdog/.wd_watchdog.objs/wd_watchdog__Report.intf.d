@@ -1,0 +1,1 @@
+lib/watchdog/report.mli: Format Wd_ir

@@ -1,0 +1,1 @@
+lib/watchdog/wcontext.ml: Hashtbl Int64 List Wd_ir

@@ -1,0 +1,1 @@
+lib/watchdog/wcontext.mli: Wd_ir

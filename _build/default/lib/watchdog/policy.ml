@@ -1,0 +1,34 @@
+(* Alarm policy: how raw checker failures become reports.
+
+   [confirmations] debounces one-off blips; [dedup_window] suppresses
+   repeats of the same finding; [validate] is the paper's §5 false-alarm
+   mitigation — when a mimic checker fails, invoke a probe checker to assess
+   the impact before (optionally) suppressing the alarm. *)
+
+type t = {
+  confirmations : int;
+  dedup_window : int64;
+  validate : (Report.t -> bool) option;
+  suppress_unvalidated : bool;
+  (* Adaptive slowness: once a checker has [slow_min_samples] fault-free
+     executions, a run taking longer than
+     [max slow_floor (slow_mult * baseline)] is reported as Slow. This is
+     how fail-slow and limplock faults are caught without absolute budgets. *)
+  slow_floor : int64;
+  slow_mult : float;
+  slow_min_samples : int;
+}
+
+let default =
+  {
+    confirmations = 1;
+    dedup_window = Wd_sim.Time.sec 30;
+    validate = None;
+    suppress_unvalidated = false;
+    slow_floor = Wd_sim.Time.ms 5;
+    slow_mult = 20.0;
+    slow_min_samples = 5;
+  }
+
+let with_validation ?(suppress = false) validate p =
+  { p with validate = Some validate; suppress_unvalidated = suppress }

@@ -1,0 +1,20 @@
+(** Alarm policy: how raw checker failures become reports.
+
+    [confirmations] debounces blips; [dedup_window] suppresses repeats of
+    the same finding; [validate] is the §5 false-alarm mitigation (probe the
+    impact when a mimic checker fails); the [slow_*] fields drive the
+    driver's adaptive fail-slow detection. *)
+
+type t = {
+  confirmations : int;
+  dedup_window : int64;
+  validate : (Report.t -> bool) option;
+  suppress_unvalidated : bool;
+  slow_floor : int64;
+  slow_mult : float;
+  slow_min_samples : int;
+}
+
+val default : t
+
+val with_validation : ?suppress:bool -> (Report.t -> bool) -> t -> t

@@ -1,0 +1,35 @@
+(** Cheap recovery (§5.2): microreboot the component a watchdog report
+    pinpoints, instead of restarting the whole process.
+
+    A component is a named set of functions plus a respawn closure.
+    {!action} (wired via {!Driver.on_report}) reboots the component owning
+    the report's function; {!supervise} additionally sweeps for components
+    whose task died of an exception. Per-component backoff and a restart
+    budget prevent reboot storms; exhausting the budget records an
+    escalation instead. *)
+
+type t
+
+type event = { ev_at : int64; ev_component : string; ev_reason : string }
+
+val create : ?backoff:int64 -> ?max_restarts:int -> Wd_sim.Sched.t -> t
+
+val register :
+  t ->
+  name:string ->
+  funcs:string list ->
+  respawn:(unit -> Wd_sim.Sched.task) ->
+  task:Wd_sim.Sched.task ->
+  unit
+
+val action : t -> Report.t -> unit
+(** Driver action: map the report's pinpointed function to its component
+    and microreboot it. Reports without localisation are ignored. *)
+
+val supervise : ?period:int64 -> t -> Wd_sim.Sched.task
+(** Spawn the supervision sweep (reboots components whose task failed). *)
+
+val events : t -> event list
+val escalations : t -> string list
+val restarts : t -> name:string -> int
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,50 @@
+(* Failure reports produced by watchdog checkers. A report carries what the
+   paper says an intrinsic detector should provide: a verdict, the
+   pinpointed code location, and the failure-inducing payload (context
+   values) for diagnosis and reproduction. *)
+
+type fkind =
+  | Hang            (* liveness: checker (or op) did not complete in time *)
+  | Slow            (* liveness: completed but beyond its latency budget *)
+  | Error_sig of string   (* safety: operation raised an error *)
+  | Assert_fail of string (* safety: an embedded check failed *)
+  | Checker_crash of string (* the checker itself died: still a signal *)
+
+type t = {
+  at : int64;
+  checker_id : string;
+  fkind : fkind;
+  loc : Wd_ir.Loc.t option;   (* pinpointed failing statement *)
+  op_desc : string;           (* e.g. "disk_write(data)" *)
+  payload : (string * Wd_ir.Ast.value) list;  (* captured context *)
+  mutable validated : bool option;  (* probe-after-mimic confirmation *)
+}
+
+let make ~at ~checker_id ~fkind ?loc ?(op_desc = "") ?(payload = []) () =
+  { at; checker_id; fkind; loc; op_desc; payload; validated = None }
+
+let is_liveness r = match r.fkind with Hang | Slow -> true | _ -> false
+
+let fkind_name = function
+  | Hang -> "hang"
+  | Slow -> "slow"
+  | Error_sig _ -> "error"
+  | Assert_fail _ -> "assert"
+  | Checker_crash _ -> "checker-crash"
+
+let pp ppf r =
+  let detail =
+    match r.fkind with
+    | Hang -> ""
+    | Slow -> ""
+    | Error_sig m | Assert_fail m | Checker_crash m -> ": " ^ m
+  in
+  Fmt.pf ppf "[%a] %s %s%s %a%s%s" Wd_sim.Time.pp r.at r.checker_id
+    (fkind_name r.fkind) detail
+    Fmt.(option ~none:(any "<no loc>") Wd_ir.Loc.pp)
+    r.loc
+    (if r.op_desc = "" then "" else " at " ^ r.op_desc)
+    (match r.validated with
+    | None -> ""
+    | Some true -> " (validated)"
+    | Some false -> " (not confirmed)")

@@ -1,0 +1,128 @@
+(* Watchdog context table (§3.1 State Synchronization).
+
+   Hooks in the main program push live values in (one-way: the main program
+   never reads the table); the driver checks readiness and fetches arguments
+   before running a checker. Values are deep-copied on the way in (by the
+   interpreter's hook capture) *and* on the way out, so a checker can never
+   alias main-program memory — the paper's context-replication isolation. *)
+
+open Wd_ir.Ast
+
+type slot = { mutable value : value option; mutable updated_at : int64 }
+
+type unit_ctx = {
+  unit_id : string;
+  params : string list; (* ordered: the reduced function's parameter list *)
+  slots : (string, slot) Hashtbl.t;
+  mutable updates : int;
+}
+
+type hook_binding = { hb_unit : string; hb_map : (string * string) list }
+(* hb_map: (tmp variable captured in main program, context parameter) *)
+
+type t = {
+  units : (string, unit_ctx) Hashtbl.t;
+  hook_bindings : (int, hook_binding) Hashtbl.t;
+  mutable total_updates : int;
+}
+
+let create () =
+  { units = Hashtbl.create 32; hook_bindings = Hashtbl.create 32; total_updates = 0 }
+
+let register_unit t ~unit_id ~params =
+  let slots = Hashtbl.create (max 1 (List.length params)) in
+  List.iter
+    (fun p -> Hashtbl.replace slots p { value = None; updated_at = 0L })
+    params;
+  Hashtbl.replace t.units unit_id { unit_id; params; slots; updates = 0 }
+
+let bind_hook t ~hook_id ~unit_id ~captures =
+  Hashtbl.replace t.hook_bindings hook_id { hb_unit = unit_id; hb_map = captures }
+
+let find_unit t unit_id = Hashtbl.find_opt t.units unit_id
+
+(* The sink the main-program interpreter calls when a Hook fires. *)
+let sink t ~now hook_id values =
+  match Hashtbl.find_opt t.hook_bindings hook_id with
+  | None -> ()
+  | Some { hb_unit; hb_map } -> (
+      match Hashtbl.find_opt t.units hb_unit with
+      | None -> ()
+      | Some ctx ->
+          List.iter
+            (fun (tmp, v) ->
+              match List.assoc_opt tmp (List.map (fun (a, b) -> (b, a)) hb_map) with
+              | None -> ()
+              | Some param -> (
+                  match Hashtbl.find_opt ctx.slots param with
+                  | None -> ()
+                  | Some slot ->
+                      slot.value <- Some v;
+                      slot.updated_at <- now))
+            values;
+          ctx.updates <- ctx.updates + 1;
+          t.total_updates <- t.total_updates + 1)
+
+let ready t unit_id =
+  match find_unit t unit_id with
+  | None -> false
+  | Some ctx ->
+      List.for_all
+        (fun p ->
+          match Hashtbl.find_opt ctx.slots p with
+          | Some { value = Some _; _ } -> true
+          | Some { value = None; _ } | None -> false)
+        ctx.params
+
+(* Ordered argument list for the reduced function, deep-copied. *)
+let args t unit_id =
+  match find_unit t unit_id with
+  | None -> None
+  | Some ctx ->
+      let rec gather = function
+        | [] -> Some []
+        | p :: rest -> (
+            match Hashtbl.find_opt ctx.slots p with
+            | Some { value = Some v; _ } -> (
+                match gather rest with
+                | Some vs -> Some (copy_value v :: vs)
+                | None -> None)
+            | Some { value = None; _ } | None -> None)
+      in
+      gather ctx.params
+
+(* Captured (param, value) pairs for failure reports. *)
+let snapshot t unit_id =
+  match find_unit t unit_id with
+  | None -> []
+  | Some ctx ->
+      List.filter_map
+        (fun p ->
+          match Hashtbl.find_opt ctx.slots p with
+          | Some { value = Some v; _ } -> Some (p, copy_value v)
+          | Some { value = None; _ } | None -> None)
+        ctx.params
+
+(* Age of the stalest slot: how long since the main program last passed this
+   point. *)
+let staleness t ~now unit_id =
+  match find_unit t unit_id with
+  | None -> None
+  | Some ctx ->
+      if ctx.params = [] then None
+      else
+        List.fold_left
+          (fun acc p ->
+            match Hashtbl.find_opt ctx.slots p with
+            | Some { value = Some _; updated_at } -> (
+                let age = Int64.sub now updated_at in
+                match acc with
+                | Some worst when worst >= age -> acc
+                | Some _ | None -> Some age)
+            | Some { value = None; _ } | None -> acc)
+          None ctx.params
+
+let updates t unit_id =
+  match find_unit t unit_id with Some ctx -> ctx.updates | None -> 0
+
+let total_updates t = t.total_updates

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ast Builder Callgraph Hashtbl List Loc Reduction Regions String Validate Vulnerable Wd_analysis Wd_ir Wd_targets

@@ -1,0 +1,1 @@
+test/test_autowatchdog.ml: Alcotest Ast Builder Bytes Fmt Interp List Loc Runtime String Validate Wd_analysis Wd_autowatchdog Wd_env Wd_ir Wd_sim Wd_targets Wd_watchdog

@@ -1,0 +1,1 @@
+test/test_detectors.ml: Alcotest Hashtbl List String Wd_detectors Wd_env Wd_ir Wd_sim Wd_watchdog

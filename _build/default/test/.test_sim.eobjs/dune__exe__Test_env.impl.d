@@ -1,0 +1,1 @@
+test/test_env.ml: Alcotest Bytes Disk Faultreg Int64 List Memory Net Option QCheck QCheck_alcotest String Wd_env Wd_sim

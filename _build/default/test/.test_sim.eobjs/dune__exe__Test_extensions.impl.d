@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bytes List Wd_analysis Wd_autowatchdog Wd_env Wd_ir Wd_sim Wd_watchdog

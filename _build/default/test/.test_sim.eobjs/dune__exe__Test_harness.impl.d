@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Campaign Experiments List String Systems Tables Wd_analysis Wd_autowatchdog Wd_faults Wd_harness Wd_ir Wd_sim Wd_targets

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast Builder Bytes Int64 Interp List Loc Option Pp Prims QCheck QCheck_alcotest Runtime String Validate Wd_env Wd_ir Wd_sim

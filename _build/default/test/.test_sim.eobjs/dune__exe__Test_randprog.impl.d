@@ -1,0 +1,1 @@
+test/test_randprog.ml: Alcotest Fmt Hashtbl List QCheck QCheck_alcotest String Wd_analysis Wd_autowatchdog Wd_env Wd_ir Wd_sim Wd_watchdog

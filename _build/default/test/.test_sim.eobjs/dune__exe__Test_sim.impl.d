@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Channel Cond Fmt Fun Heap Int64 List QCheck QCheck_alcotest Rng Sched Smutex Time Trace Wd_sim

@@ -1,0 +1,1 @@
+test/test_targets.ml: Alcotest Bytes Fmt Int64 List String Wd_env Wd_ir Wd_sim Wd_targets

@@ -1,0 +1,1 @@
+test/test_watchdog.ml: Alcotest Bytes Checker Driver Fmt List Policy Report String Wcontext Wd_ir Wd_sim Wd_watchdog

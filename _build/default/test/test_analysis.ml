@@ -1,0 +1,429 @@
+(* Tests for the static-analysis library: call graph, regions, vulnerable
+   operations, and program logic reduction. *)
+
+open Wd_analysis
+open Wd_ir
+open Ast
+module B = Builder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A small system with a daemon loop, a call chain with a vulnerable op at
+   the bottom, and an initialisation function that must be excluded. *)
+let sample =
+  B.program "sample"
+    ~funcs:
+      [
+        B.func "init" ~params:[]
+          [
+            B.disk_write ~disk:"d" ~path:(B.s "boot/marker")
+              ~data:(B.prim "bytes_of_str" [ B.s "up" ]);
+            B.return_unit;
+          ];
+        B.func "daemon" ~params:[]
+          [
+            B.call "init" [];
+            B.while_true
+              [ B.sleep_ms 100; B.call "work" [ B.s "item" ] ];
+          ];
+        B.func "work" ~params:[ "x" ]
+          [
+            B.compute_us 2;
+            B.call "store" [ B.v "x" ];
+            B.return_unit;
+          ];
+        B.func "store" ~params:[ "x" ]
+          [
+            B.let_ "data" (B.prim "bytes_of_str" [ B.v "x" ]);
+            B.sync "store_lock"
+              [ B.disk_write ~disk:"d" ~path:(B.s "data/x") ~data:(B.v "data") ];
+            B.return_unit;
+          ];
+        B.func "unreachable" ~params:[]
+          [ B.disk_sync ~disk:"d"; B.return_unit ];
+      ]
+    ~entries:[ B.entry "daemon" "daemon" ]
+
+let () = Validate.check_exn sample
+
+(* --- callgraph --- *)
+
+let test_callgraph_callees () =
+  let cg = Callgraph.build sample in
+  Alcotest.(check (list string)) "daemon calls" [ "init"; "work" ]
+    (List.map fst (Callgraph.callees cg "daemon"));
+  Alcotest.(check (list string)) "store calls nothing" []
+    (List.map fst (Callgraph.callees cg "store"))
+
+let test_callgraph_reachable () =
+  let cg = Callgraph.build sample in
+  Alcotest.(check (list string)) "reachable from daemon"
+    [ "daemon"; "init"; "work"; "store" ]
+    (Callgraph.reachable cg "daemon")
+
+let test_callgraph_depths () =
+  let cg = Callgraph.build sample in
+  let d = Callgraph.depths cg "daemon" in
+  check_int "daemon" 0 (Hashtbl.find d "daemon");
+  check_int "work" 1 (Hashtbl.find d "work");
+  check_int "store" 2 (Hashtbl.find d "store")
+
+let test_callgraph_recursion () =
+  let rec_prog =
+    B.program "r"
+      ~funcs:
+        [
+          B.func "a" ~params:[] [ B.call "b" [] ];
+          B.func "b" ~params:[] [ B.call "a" [] ];
+          B.func "c" ~params:[] [ B.return_unit ];
+        ]
+      ~entries:[]
+  in
+  let cg = Callgraph.build rec_prog in
+  check "a recursive" true (Callgraph.is_recursive cg "a");
+  check "c not" false (Callgraph.is_recursive cg "c")
+
+(* --- regions --- *)
+
+let test_regions_found () =
+  let regions = Regions.find sample in
+  check_int "one loop region" 1 (List.length regions);
+  let r = List.hd regions in
+  Alcotest.(check string) "rooted in daemon" "daemon" r.Regions.root_func;
+  check "reaches store" true (List.mem "store" r.Regions.reachable);
+  check "init excluded from region body" true
+    (not (List.mem "init" (List.map fst (Callgraph.callees_of_block r.Regions.body []))))
+
+let test_regions_annotated () =
+  let prog =
+    B.program "a"
+      ~funcs:
+        [
+          B.func ~annots:[ Long_running ] "svc" ~params:[]
+            [ B.disk_sync ~disk:"d"; B.return_unit ];
+        ]
+      ~entries:[]
+  in
+  check_int "annotated body region" 1 (List.length (Regions.find prog))
+
+(* --- vulnerable ops --- *)
+
+let test_vulnerable_classification () =
+  let cfg = Vulnerable.default in
+  check "disk write" true (Vulnerable.kind_vulnerable cfg Disk_write);
+  check "net send" true (Vulnerable.kind_vulnerable cfg Net_send);
+  check "mem alloc" true (Vulnerable.kind_vulnerable cfg Mem_alloc);
+  check "net recv not" false (Vulnerable.kind_vulnerable cfg Net_recv);
+  check "state get not" false (Vulnerable.kind_vulnerable cfg State_get);
+  check "log not" false (Vulnerable.kind_vulnerable cfg Log_op)
+
+let test_vulnerable_collect () =
+  let store = find_func sample "store" in
+  let vops = Vulnerable.collect_in_func Vulnerable.default store in
+  (* the sync acquisition and the disk write *)
+  check_int "two vulnerable ops" 2 (List.length vops);
+  check "sync key" true
+    (List.exists (fun v -> v.Vulnerable.vkey = "sync:store_lock:") vops);
+  check "write key carries path prefix" true
+    (List.exists (fun v -> v.Vulnerable.vkey = "disk_write:d:data/x") vops)
+
+let test_vulnerable_prefix_distinguishes () =
+  let f =
+    B.func "w2" ~params:[ "id" ]
+      [
+        B.let_ "p1" (B.prim "concat" [ B.s "blk/"; B.v "id" ]);
+        B.let_ "p2" (B.prim "concat" [ B.s "meta/"; B.v "id" ]);
+        B.disk_write ~disk:"d" ~path:(B.v "p1") ~data:(B.prim "bytes_of_str" [ B.s "x" ]);
+        B.disk_write ~disk:"d" ~path:(B.v "p2") ~data:(B.prim "bytes_of_str" [ B.s "y" ]);
+        B.return_unit;
+      ]
+  in
+  let prog = B.program "p" ~funcs:[ f ] ~entries:[] in
+  let vops = Vulnerable.collect_in_func Vulnerable.default (find_func prog "w2") in
+  let keys = List.map (fun v -> v.Vulnerable.vkey) vops in
+  check "distinct families" true
+    (List.mem "disk_write:d:blk/" keys && List.mem "disk_write:d:meta/" keys)
+
+(* --- reduction --- *)
+
+let test_reduction_units () =
+  let r = Reduction.reduce sample in
+  (* store's sync+write becomes one unit; init and unreachable contribute
+     nothing (not in a long-running region) *)
+  check_int "one unit" 1 (List.length r.Reduction.units);
+  let u = List.hd r.Reduction.units in
+  Alcotest.(check string) "from store" "store" u.Reduction.source_func;
+  check "keeps the lock" true (List.mem "sync:store_lock:" u.Reduction.keys);
+  check "keeps the write" true (List.mem "disk_write:d:data/x" u.Reduction.keys)
+
+let test_reduction_excludes_init () =
+  let r = Reduction.reduce sample in
+  check "no unit anchored in init" true
+    (List.for_all (fun u -> u.Reduction.source_func <> "init") r.Reduction.units);
+  check "no unit from unreachable code" true
+    (List.for_all (fun u -> u.Reduction.source_func <> "unreachable") r.Reduction.units)
+
+let test_reduction_loops_flattened () =
+  (* a loop of N writes reduces to a single mimicked write *)
+  let prog =
+    B.program "p"
+      ~funcs:
+        [
+          B.func "loopy" ~params:[]
+            [
+              B.while_true
+                [
+                  B.sleep_ms 10;
+                  B.foreach "i" (B.prim "range" [ B.i 100 ])
+                    [
+                      B.disk_write ~disk:"d"
+                        ~path:(B.prim "concat" [ B.s "f/"; B.prim "str_of_int" [ B.v "i" ] ])
+                        ~data:(B.prim "bytes_of_str" [ B.s "x" ]);
+                    ];
+                ];
+            ];
+        ]
+      ~entries:[ B.entry "loopy" "loopy" ]
+  in
+  let r = Reduction.reduce prog in
+  check_int "single unit despite the loop" 1 (List.length r.Reduction.units);
+  let u = List.hd r.Reduction.units in
+  (* the unit body is the write alone: no While/Foreach wrapper *)
+  check "flat body" true
+    (List.for_all
+       (fun st ->
+         match st.node with While _ | Foreach _ -> false | _ -> true)
+       u.Reduction.ufunc.body)
+
+let test_reduction_dedup_similar () =
+  let prog =
+    B.program "p"
+      ~funcs:
+        [
+          B.func "f" ~params:[]
+            [
+              B.while_true
+                [
+                  B.sleep_ms 10;
+                  B.disk_append ~disk:"d" ~path:(B.s "log/a")
+                    ~data:(B.prim "bytes_of_str" [ B.s "1" ]);
+                  B.disk_append ~disk:"d" ~path:(B.s "log/b")
+                    ~data:(B.prim "bytes_of_str" [ B.s "2" ]);
+                  B.disk_append ~disk:"d" ~path:(B.s "log/a")
+                    ~data:(B.prim "bytes_of_str" [ B.s "3" ]);
+                ];
+            ];
+        ]
+      ~entries:[ B.entry "f" "f" ]
+  in
+  let with_dedup = Reduction.reduce prog in
+  (* log/a and log/b are distinct prefixes; the second log/a write is similar
+     and removed *)
+  check_int "dedup keeps two" 2 (List.length with_dedup.Reduction.units);
+  let no_dedup =
+    Reduction.reduce
+      ~opts:{ Reduction.default_options with Reduction.dedup_similar = false }
+      prog
+  in
+  check_int "ablation keeps three" 3 (List.length no_dedup.Reduction.units)
+
+let test_reduction_global_along_chain () =
+  (* caller and callee touch the same operation family: global reduction
+     keeps only the callee's *)
+  let prog =
+    B.program "p"
+      ~funcs:
+        [
+          B.func "top" ~params:[]
+            [
+              B.while_true
+                [
+                  B.sleep_ms 10;
+                  B.disk_sync ~disk:"d";
+                  B.call "bottom" [];
+                ];
+            ];
+          B.func "bottom" ~params:[] [ B.disk_sync ~disk:"d"; B.return_unit ];
+        ]
+      ~entries:[ B.entry "top" "top" ]
+  in
+  let r = Reduction.reduce prog in
+  let sources = List.map (fun u -> u.Reduction.source_func) r.Reduction.units in
+  check "only the callee retains it" true (sources = [ "bottom" ]);
+  let ablated =
+    Reduction.reduce
+      ~opts:{ Reduction.default_options with Reduction.global_reduction = false }
+      prog
+  in
+  check_int "ablation keeps both" 2 (List.length ablated.Reduction.units)
+
+let test_reduction_instrumented_valid () =
+  let r = Reduction.reduce sample in
+  Validate.check_exn r.Reduction.instrumented;
+  (* hooks and captures were inserted *)
+  let rec count_hooks block =
+    List.fold_left
+      (fun n st ->
+        n
+        +
+        match st.node with
+        | Hook _ -> 1
+        | If (_, t, e) -> count_hooks t + count_hooks e
+        | While (_, b) | Foreach (_, _, b) | Sync (_, b) -> count_hooks b
+        | Try (b, _, h) -> count_hooks b + count_hooks h
+        | _ -> 0)
+      0 block
+  in
+  let hooks =
+    List.fold_left (fun n f -> n + count_hooks f.body) 0 r.Reduction.instrumented.funcs
+  in
+  check_int "hook per capture site" (List.length r.Reduction.hooks) hooks
+
+let test_reduction_preserves_original_locs () =
+  let r = Reduction.reduce sample in
+  (* every uid present in the original program is still present (identical
+     func/path) in the instrumented program *)
+  let index prog =
+    let tbl = Hashtbl.create 64 in
+    let rec go block =
+      List.iter
+        (fun st ->
+          Hashtbl.replace tbl (Loc.uid st.loc) (Loc.to_string st.loc);
+          match st.node with
+          | If (_, t, e) -> go t; go e
+          | While (_, b) | Foreach (_, _, b) | Sync (_, b) -> go b
+          | Try (b, _, h) -> go b; go h
+          | _ -> ())
+        block
+    in
+    List.iter (fun f -> go f.body) prog.funcs;
+    tbl
+  in
+  let orig = index sample and inst = index r.Reduction.instrumented in
+  Hashtbl.iter
+    (fun uid loc ->
+      match Hashtbl.find_opt inst uid with
+      | Some loc' -> check "loc preserved" true (String.equal loc loc')
+      | None -> Alcotest.failf "uid %d lost by instrumentation" uid)
+    orig
+
+let test_reduction_params_match_hooks () =
+  let r = Reduction.reduce sample in
+  List.iter
+    (fun (u : Reduction.unit_) ->
+      let hook_params =
+        List.concat_map
+          (fun h ->
+            if h.Reduction.hi_unit = u.Reduction.unit_id then
+              List.map (fun (p, _, _) -> p) h.Reduction.hi_captures
+            else [])
+          r.Reduction.hooks
+      in
+      List.iter
+        (fun (p, _) -> check "param fed by a hook" true (List.mem p hook_params))
+        u.Reduction.params)
+    r.Reduction.units
+
+(* Property: every reduced unit key corresponds to a vulnerable op key of the
+   original program (reduction never invents checks). *)
+let unit_keys_sound prog =
+  let r = Reduction.reduce prog in
+  let all_vulnerable =
+    List.concat_map
+      (fun f ->
+        List.map (fun v -> v.Vulnerable.vkey)
+          (Vulnerable.collect_in_func Vulnerable.default f))
+      prog.funcs
+  in
+  List.for_all
+    (fun (u : Reduction.unit_) ->
+      List.for_all (fun k -> List.mem k all_vulnerable) u.Reduction.keys)
+    r.Reduction.units
+
+let test_reduction_sound_on_targets () =
+  check "kvs" true (unit_keys_sound (Wd_targets.Kvs.program ()));
+  check "zkmini" true (unit_keys_sound (Wd_targets.Zkmini.program ()));
+  check "dfsmini" true (unit_keys_sound (Wd_targets.Dfsmini.program ()));
+  check "cstore" true (unit_keys_sound (Wd_targets.Cstore.program ()));
+  check "mqbroker" true (unit_keys_sound (Wd_targets.Mqbroker.program ()))
+
+(* §4.1: developers can tag custom vulnerable functions — every effectful
+   operation inside becomes checkable, here a state write that the default
+   classification ignores. *)
+let test_reduction_annotated_function () =
+  let mk annots =
+    B.program "a"
+      ~funcs:
+        [
+          B.func "loop" ~params:[]
+            [ B.while_true [ B.sleep_ms 50; B.call "update" [] ] ];
+          B.func ~annots "update" ~params:[]
+            [ B.state_set ~global:"watermark" ~value:(B.i 1); B.return_unit ];
+        ]
+      ~entries:[ B.entry "loop" "loop" ]
+  in
+  let plain = Reduction.reduce (mk []) in
+  let tagged = Reduction.reduce (mk [ Vulnerable_annot ]) in
+  check "state op ignored by default" true
+    (List.for_all
+       (fun (u : Reduction.unit_) -> u.Reduction.source_func <> "update")
+       plain.Reduction.units);
+  check "state op retained when annotated" true
+    (List.exists
+       (fun (u : Reduction.unit_) ->
+         u.Reduction.source_func = "update"
+         && List.mem "state_set:watermark:" u.Reduction.keys)
+       tagged.Reduction.units)
+
+let test_reduction_stats_shape () =
+  let r = Reduction.reduce (Wd_targets.Kvs.program ()) in
+  let s = r.Reduction.stats in
+  check "reduction shrinks" true (s.Reduction.reduced_stmts < s.Reduction.total_stmts);
+  check "tens of checkers" true (s.Reduction.unit_count >= 10);
+  check "retained bounded by vulnerable" true
+    (s.Reduction.retained_ops <= s.Reduction.vulnerable_ops)
+
+let () =
+  Alcotest.run "wd_analysis"
+    [
+      ( "callgraph",
+        [
+          Alcotest.test_case "callees" `Quick test_callgraph_callees;
+          Alcotest.test_case "reachable" `Quick test_callgraph_reachable;
+          Alcotest.test_case "depths" `Quick test_callgraph_depths;
+          Alcotest.test_case "recursion" `Quick test_callgraph_recursion;
+        ] );
+      ( "regions",
+        [
+          Alcotest.test_case "loop regions" `Quick test_regions_found;
+          Alcotest.test_case "annotated regions" `Quick test_regions_annotated;
+        ] );
+      ( "vulnerable",
+        [
+          Alcotest.test_case "classification" `Quick test_vulnerable_classification;
+          Alcotest.test_case "collection" `Quick test_vulnerable_collect;
+          Alcotest.test_case "prefix keys" `Quick test_vulnerable_prefix_distinguishes;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "units" `Quick test_reduction_units;
+          Alcotest.test_case "excludes init" `Quick test_reduction_excludes_init;
+          Alcotest.test_case "loops flattened" `Quick test_reduction_loops_flattened;
+          Alcotest.test_case "dedup similar (+ablation)" `Quick
+            test_reduction_dedup_similar;
+          Alcotest.test_case "global reduction (+ablation)" `Quick
+            test_reduction_global_along_chain;
+          Alcotest.test_case "instrumented program valid" `Quick
+            test_reduction_instrumented_valid;
+          Alcotest.test_case "original locs preserved" `Quick
+            test_reduction_preserves_original_locs;
+          Alcotest.test_case "params fed by hooks" `Quick
+            test_reduction_params_match_hooks;
+          Alcotest.test_case "sound on all targets" `Quick
+            test_reduction_sound_on_targets;
+          Alcotest.test_case "annotated functions (§4.1)" `Quick
+            test_reduction_annotated_function;
+          Alcotest.test_case "stats shape on kvs" `Quick test_reduction_stats_shape;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* End-to-end experiment tests: the campaign machinery reproduces the
+   paper's qualitative claims. These run whole-system simulations with
+   shortened windows to keep `dune runtest` snappy. *)
+
+open Wd_harness
+module Time = Wd_sim.Time
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let quick_cfg =
+  { Campaign.default_config with Campaign.warmup = Time.sec 6; observe = Time.sec 20 }
+
+let outcome r name = List.assoc name r.Campaign.r_outcomes
+
+let test_zk2201_story () =
+  let r = Campaign.run_scenario ~cfg:quick_cfg "zk-2201" in
+  let mimic = outcome r "mimic" in
+  check "mimic detects" true mimic.Campaign.o_detected;
+  check "mimic pinpoints the commit path" true
+    (mimic.Campaign.o_pinpoint = Some Campaign.Exact);
+  check "within ten seconds" true
+    (match mimic.Campaign.o_latency with
+    | Some l -> l < Time.sec 10
+    | None -> false);
+  check "heartbeat blind" false (outcome r "heartbeat").Campaign.o_detected;
+  check "no false alarms before injection" true (r.Campaign.r_pre_inject_reports = 0)
+
+let test_silent_stuck_only_mimic () =
+  let r = Campaign.run_scenario ~cfg:quick_cfg "cs-compaction-stuck" in
+  check "mimic detects" true (outcome r "mimic").Campaign.o_detected;
+  check "probe blind" false (outcome r "probe").Campaign.o_detected;
+  check "heartbeat blind" false (outcome r "heartbeat").Campaign.o_detected;
+  check "observer blind (clients unaffected)" false
+    (outcome r "observer").Campaign.o_detected;
+  (* the gray failure leaves the workload healthy *)
+  check "clients fine" true (r.Campaign.r_workload_ok_ratio > 0.99)
+
+let test_crash_favors_extrinsic () =
+  let r = Campaign.run_scenario ~cfg:quick_cfg "kvs-crash" in
+  check "heartbeat detects crash" true (outcome r "heartbeat").Campaign.o_detected;
+  check "watchdog died with the process" false (outcome r "mimic").Campaign.o_detected
+
+let test_corruption_needs_mimic () =
+  let r = Campaign.run_scenario ~cfg:quick_cfg "kvs-seg-corrupt" in
+  check "mimic detects" true (outcome r "mimic").Campaign.o_detected;
+  check "exact pinpoint" true
+    ((outcome r "mimic").Campaign.o_pinpoint = Some Campaign.Exact);
+  check "signal blind" false (outcome r "signal").Campaign.o_detected
+
+let test_fault_free_accuracy () =
+  List.iter
+    (fun sys ->
+      (* full default window: long enough for progress-checker staleness
+         thresholds, which a shortened window would never exercise *)
+      let ff = Campaign.run_fault_free sys in
+      check_int (sys ^ " mimic clean") 0 ff.Campaign.ff_mimic_fp;
+      check_int (sys ^ " probe clean") 0 ff.Campaign.ff_probe_fp;
+      check_int (sys ^ " hb clean") 0 ff.Campaign.ff_heartbeat_fp;
+      check (sys ^ " workload healthy") true (ff.Campaign.ff_workload_ok_ratio > 0.95))
+    Systems.all_systems
+
+let test_context_ablation () =
+  let rows = Experiments.e8_run () in
+  match rows with
+  | [ generated; naive ] ->
+      check_int "context sync: no false alarms" 0 generated.Experiments.e8_false_alarms;
+      check "context sync: not-ready checkers skip" true
+        (generated.Experiments.e8_skips > 0);
+      check "naive checkers raise spurious alarms" true
+        (naive.Experiments.e8_false_alarms > 0)
+  | _ -> Alcotest.fail "two rows"
+
+let test_isolation_properties () =
+  let r = Experiments.e10_run () in
+  check "scratch namespace disjoint" true r.Experiments.e10_scratch_disjoint;
+  check "driver survives crashing checker" true r.Experiments.e10_driver_survives;
+  check "main program unperturbed" true r.Experiments.e10_main_unperturbed
+
+let test_generation_stats () =
+  let rows = Experiments.e6_run () in
+  check_int "five targets" 5 (List.length rows);
+  List.iter
+    (fun (name, (g : Wd_autowatchdog.Generate.generated), _ms) ->
+      let s = g.Wd_autowatchdog.Generate.red.Wd_analysis.Reduction.stats in
+      check (name ^ " checkers generated") true (s.Wd_analysis.Reduction.unit_count > 0);
+      check
+        (name ^ " reduction shrinks the program")
+        true
+        (s.Wd_analysis.Reduction.reduced_stmts < s.Wd_analysis.Reduction.total_stmts))
+    rows
+
+let test_classify_checker () =
+  check "probe" true (Campaign.classify_checker "probe:x" = `Probe);
+  check "signal" true (Campaign.classify_checker "signal:y" = `Signal);
+  check "mimic unit" true (Campaign.classify_checker "save__u0" = `Mimic);
+  check "naive counts as mimic" true (Campaign.classify_checker "naive:u" = `Mimic)
+
+let test_scenario_catalog_consistent () =
+  List.iter
+    (fun s ->
+      check
+        (s.Wd_faults.Catalog.sid ^ " system known")
+        true
+        (List.mem s.Wd_faults.Catalog.system Systems.all_systems);
+      (* ground-truth functions must exist in the target program *)
+      match s.Wd_faults.Catalog.truth_func with
+      | None -> ()
+      | Some f ->
+          let prog =
+            match s.Wd_faults.Catalog.system with
+            | "kvs" -> Wd_targets.Kvs.program ()
+            | "zkmini" -> Wd_targets.Zkmini.program ()
+            | "dfsmini" -> Wd_targets.Dfsmini.program ()
+            | "cstore" -> Wd_targets.Cstore.program ()
+            | "mqbroker" -> Wd_targets.Mqbroker.program ()
+            | _ -> assert false
+          in
+          check (s.Wd_faults.Catalog.sid ^ " truth exists") true
+            (Wd_ir.Ast.has_func prog f))
+    Wd_faults.Catalog.all
+
+(* Full-catalog conformance: every scenario's measured detections match its
+   paper-informed prediction (the "as predicted" column of E2). *)
+let test_catalog_conformance () =
+  List.iter
+    (fun s ->
+      if s.Wd_faults.Catalog.special <> Some "crash" then begin
+        (* slow-building faults (the leak) need the full observation
+           window, so this one uses the default campaign config *)
+        let r = Campaign.run_scenario s.Wd_faults.Catalog.sid in
+        check
+          (s.Wd_faults.Catalog.sid ^ " as predicted")
+          true
+          (Experiments.e2_matches_expectation r)
+      end)
+    Wd_faults.Catalog.all
+
+let test_tables_render () =
+  let text =
+    Tables.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  check "renders" true (String.length text > 0);
+  check "has rules" true (String.contains text '+')
+
+let () =
+  Alcotest.run "wd_harness"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "zk-2201 story" `Slow test_zk2201_story;
+          Alcotest.test_case "silent stuck: only mimic" `Slow
+            test_silent_stuck_only_mimic;
+          Alcotest.test_case "crash favours extrinsic" `Slow
+            test_crash_favors_extrinsic;
+          Alcotest.test_case "corruption needs mimic" `Slow
+            test_corruption_needs_mimic;
+          Alcotest.test_case "fault-free accuracy" `Slow test_fault_free_accuracy;
+          Alcotest.test_case "full-catalog conformance" `Slow
+            test_catalog_conformance;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "context-sync ablation (E8)" `Slow test_context_ablation;
+          Alcotest.test_case "isolation (E10)" `Slow test_isolation_properties;
+          Alcotest.test_case "generation stats (E6)" `Quick test_generation_stats;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "checker classification" `Quick test_classify_checker;
+          Alcotest.test_case "catalog consistency" `Quick
+            test_scenario_catalog_consistent;
+          Alcotest.test_case "table rendering" `Quick test_tables_render;
+        ] );
+    ]

@@ -1,0 +1,287 @@
+(* Property tests over randomly generated IR programs: the analysis and the
+   generated watchdog must uphold their invariants on arbitrary (well-formed,
+   fault-free-safe) system programs, not just the four hand-written targets.
+
+   The generator emits programs built from safe operation templates (writes
+   followed by reads of the same path, alloc/free pairs, guarded reads...) so
+   that a fault-free run never raises — making "no false alarms" a testable
+   property of the generated watchdog itself. *)
+
+module B = Wd_ir.Builder
+module Rng = Wd_sim.Rng
+module Sched = Wd_sim.Sched
+module Time = Wd_sim.Time
+module Reduction = Wd_analysis.Reduction
+module Generate = Wd_autowatchdog.Generate
+open Wd_ir.Ast
+
+(* --- program generator --- *)
+
+let gen_ident rng prefix = Fmt.str "%s%d" prefix (Rng.int rng 1000)
+
+(* A safe statement template; [depth] bounds nesting, [k] is a unique id for
+   fresh variable names. *)
+let rec gen_template rng ~depth k =
+  let fresh s = Fmt.str "%s_%d" s k in
+  let choice = Rng.int rng (if depth > 0 then 10 else 8) in
+  match choice with
+  | 0 ->
+      (* write then read back the same path *)
+      let p = fresh "p" and d = fresh "d" in
+      [
+        B.let_ p (B.prim "concat" [ B.s (gen_ident rng "dir/"); B.s "/f" ]);
+        B.let_ d (B.prim "bytes_of_str" [ B.s (gen_ident rng "content") ]);
+        B.disk_write ~disk:"d0" ~path:(B.v p) ~data:(B.v d);
+        B.disk_read ~bind:(fresh "back") ~disk:"d0" ~path:(B.v p) ();
+      ]
+  | 1 ->
+      let d = fresh "d" in
+      [
+        B.let_ d (B.prim "bytes_of_str" [ B.s "entry;" ]);
+        B.disk_append ~disk:"d0" ~path:(B.s (gen_ident rng "log/")) ~data:(B.v d);
+      ]
+  | 2 -> [ B.net_send ~net:"net0" ~dst:(B.s "peer") ~payload:(B.s "msg") ]
+  | 3 ->
+      let n = 64 + Rng.int rng 256 in
+      [ B.mem_alloc ~pool:"m0" ~size:(B.i n); B.mem_free ~pool:"m0" ~size:(B.i n) ]
+  | 4 ->
+      let g = gen_ident rng "g" in
+      let x = fresh "x" in
+      [
+        B.state_set ~global:g ~value:(B.i (Rng.int rng 100));
+        B.state_get ~bind:x ~global:g;
+      ]
+  | 5 -> [ B.sleep_ms (1 + Rng.int rng 20) ]
+  | 6 -> [ B.compute_us (1 + Rng.int rng 10) ]
+  | 7 -> [ B.disk_sync ~disk:"d0" ]
+  | 8 ->
+      (* synchronized block around a nested template *)
+      [ B.sync (gen_ident rng "lock") (gen_block rng ~depth:(depth - 1) (k * 31 + 1)) ]
+  | _ ->
+      [
+        B.if_
+          B.(i (Rng.int rng 10) <: i 5)
+          (gen_block rng ~depth:(depth - 1) (k * 31 + 2))
+          (gen_block rng ~depth:(depth - 1) (k * 31 + 3));
+      ]
+
+and gen_block rng ~depth k =
+  let n = 1 + Rng.int rng 3 in
+  List.concat (List.init n (fun i -> gen_template rng ~depth (k * 17 + i)))
+
+let gen_program seed =
+  let rng = Rng.create ~seed in
+  (* helper functions, callable from the loop *)
+  let n_helpers = 1 + Rng.int rng 3 in
+  let helpers =
+    List.init n_helpers (fun i ->
+        B.func
+          (Fmt.str "helper%d" i)
+          ~params:[]
+          (gen_block rng ~depth:2 (100 + i) @ [ B.return_unit ]))
+  in
+  let loop_body =
+    gen_block rng ~depth:2 7
+    @ List.concat
+        (List.init n_helpers (fun i ->
+             if Rng.bool rng then [ B.call (Fmt.str "helper%d" i) [] ] else []))
+    @ [ B.sleep_ms (50 + Rng.int rng 100) ]
+  in
+  B.program
+    (Fmt.str "rand%d" seed)
+    ~funcs:(B.func "main_loop" ~params:[] [ B.while_true loop_body ] :: helpers)
+    ~entries:[ B.entry "main" "main_loop" ]
+
+(* --- properties --- *)
+
+let prop_valid =
+  QCheck.Test.make ~name:"generated programs validate" ~count:60 QCheck.small_int
+    (fun seed ->
+      match Wd_ir.Validate.check (gen_program seed) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let all_vulnerable_keys prog =
+  List.concat_map
+    (fun f ->
+      List.map
+        (fun v -> v.Wd_analysis.Vulnerable.vkey)
+        (Wd_analysis.Vulnerable.collect_in_func Wd_analysis.Vulnerable.default f))
+    prog.funcs
+
+let prop_reduction_sound =
+  QCheck.Test.make ~name:"reduction only retains vulnerable operations"
+    ~count:60 QCheck.small_int (fun seed ->
+      let prog = gen_program seed in
+      let r = Reduction.reduce prog in
+      let vuln = all_vulnerable_keys prog in
+      List.for_all
+        (fun (u : Reduction.unit_) ->
+          List.for_all (fun k -> List.mem k vuln) u.Reduction.keys)
+        r.Reduction.units)
+
+let prop_instrumented_valid =
+  QCheck.Test.make ~name:"instrumented programs validate" ~count:60
+    QCheck.small_int (fun seed ->
+      let r = Reduction.reduce (gen_program seed) in
+      match Wd_ir.Validate.check r.Reduction.instrumented with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_locs_preserved =
+  QCheck.Test.make ~name:"instrumentation preserves original locations"
+    ~count:40 QCheck.small_int (fun seed ->
+      let prog = gen_program seed in
+      let r = Reduction.reduce prog in
+      let uids prog =
+        let tbl = Hashtbl.create 64 in
+        let rec go block =
+          List.iter
+            (fun st ->
+              Hashtbl.replace tbl (Wd_ir.Loc.uid st.loc) ();
+              match st.node with
+              | If (_, t, e) -> go t; go e
+              | While (_, b) | Foreach (_, _, b) | Sync (_, b) -> go b
+              | Try (b, _, h) -> go b; go h
+              | _ -> ())
+            block
+        in
+        List.iter (fun f -> go f.body) prog.funcs;
+        tbl
+      in
+      let orig = uids prog and inst = uids r.Reduction.instrumented in
+      Hashtbl.fold (fun uid () acc -> acc && Hashtbl.mem inst uid) orig true)
+
+(* Boot the instrumented program with its generated watchdog on a clean
+   environment: nothing may crash and no checker may raise a false alarm. *)
+let run_with_watchdog seed =
+  let prog = gen_program seed in
+  let g = Generate.analyze prog in
+  let sched = Sched.create ~seed () in
+  let reg = Wd_env.Faultreg.create () in
+  let rng = Rng.create ~seed:(seed + 1) in
+  let res = Wd_ir.Runtime.create ~reg ~rng in
+  Wd_ir.Runtime.add_disk res (Wd_env.Disk.create ~reg ~rng:(Rng.split rng) "d0");
+  let net = Wd_env.Net.create ~reg ~rng:(Rng.split rng) "net0" in
+  Wd_env.Net.register net "n1";
+  Wd_env.Net.register net "peer";
+  Wd_ir.Runtime.add_net res net;
+  Wd_ir.Runtime.add_mem res (Wd_env.Memory.create ~reg ~capacity:(1 lsl 24) "m0");
+  let main =
+    Wd_ir.Interp.create ~node:"n1" ~res g.Generate.red.Reduction.instrumented
+  in
+  let driver = Wd_watchdog.Driver.create sched in
+  ignore (Generate.attach g ~sched ~main ~driver);
+  let tasks = Wd_ir.Interp.start main sched in
+  Wd_watchdog.Driver.start driver;
+  ignore (Sched.run ~until:(Time.sec 12) sched);
+  let entry_alive =
+    List.for_all
+      (fun t ->
+        match Sched.task_status t with
+        | None -> true
+        | Some Sched.Exited | Some Sched.Killed | Some (Sched.Failed _) -> false)
+      tasks
+  in
+  (entry_alive, Wd_watchdog.Driver.reports driver)
+
+let prop_no_false_alarms =
+  QCheck.Test.make
+    ~name:"generated watchdog raises no false alarms on fault-free programs"
+    ~count:25 QCheck.small_int (fun seed ->
+      let entry_alive, reports = run_with_watchdog seed in
+      entry_alive && reports = [])
+
+(* Detection-completeness property: pick a vulnerable disk-write family of
+   the generated program, wedge it with a Hang fault, and require that the
+   watchdog either reports it within the budget or never armed the relevant
+   checker (the op sits on an untaken branch, so its context stayed
+   NOT_READY). *)
+let hang_site_of_program prog =
+  (* a disk-write key with a static path prefix makes a precise fault site *)
+  List.concat_map
+    (fun f ->
+      List.filter_map
+        (fun v ->
+          match String.split_on_char ':' v.Wd_analysis.Vulnerable.vkey with
+          | [ "disk_write"; target; prefix ] when prefix <> "" ->
+              Some (Fmt.str "disk:%s:write:%s*" target prefix)
+          | _ -> None)
+        (Wd_analysis.Vulnerable.collect_in_func Wd_analysis.Vulnerable.default f))
+    prog.Wd_ir.Ast.funcs
+
+let prop_hang_detected_or_unarmed =
+  QCheck.Test.make
+    ~name:"injected hangs are detected wherever a checker armed" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let prog = gen_program seed in
+      let sites = hang_site_of_program prog in
+      if sites = [] then true (* nothing to wedge in this program *)
+      else begin
+        let site = List.hd sites in
+        let g = Generate.analyze prog in
+        let sched = Sched.create ~seed () in
+        let reg = Wd_env.Faultreg.create () in
+        let rng = Rng.create ~seed:(seed + 1) in
+        let res = Wd_ir.Runtime.create ~reg ~rng in
+        Wd_ir.Runtime.add_disk res
+          (Wd_env.Disk.create ~reg ~rng:(Rng.split rng) "d0");
+        let net = Wd_env.Net.create ~reg ~rng:(Rng.split rng) "net0" in
+        Wd_env.Net.register net "n1";
+        Wd_env.Net.register net "peer";
+        Wd_ir.Runtime.add_net res net;
+        Wd_ir.Runtime.add_mem res
+          (Wd_env.Memory.create ~reg ~capacity:(1 lsl 24) "m0");
+        let main =
+          Wd_ir.Interp.create ~node:"n1" ~res g.Generate.red.Reduction.instrumented
+        in
+        let driver = Wd_watchdog.Driver.create sched in
+        let wctx = Generate.attach g ~sched ~main ~driver in
+        ignore (Wd_ir.Interp.start main sched);
+        Wd_watchdog.Driver.start driver;
+        ignore (Sched.run ~until:(Time.sec 5) sched);
+        Wd_env.Faultreg.inject reg
+          {
+            Wd_env.Faultreg.id = "hang";
+            site_pattern = site;
+            behaviour = Wd_env.Faultreg.Hang;
+            start_at = Time.sec 5;
+            stop_at = Time.never;
+            once = false;
+          };
+        ignore (Sched.run ~until:(Time.sec 25) sched);
+        let detected = Wd_watchdog.Driver.reports driver <> [] in
+        let any_armed =
+          List.exists
+            (fun (u : Reduction.unit_) ->
+              List.exists
+                (fun k ->
+                  match String.split_on_char ':' k with
+                  | [ "disk_write"; _; p ] ->
+                      p <> ""
+                      && String.length site
+                         >= String.length (Fmt.str "disk:d0:write:%s" p)
+                      && Wd_env.Faultreg.site_matches ~pattern:site
+                           ~site:(Fmt.str "disk:d0:write:%sXX" p)
+                  | _ -> false)
+                u.Reduction.keys
+              && Wd_watchdog.Wcontext.ready wctx u.Reduction.unit_id)
+            g.Generate.units
+        in
+        detected || not any_armed
+      end)
+
+let () =
+  Alcotest.run "randprog"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_valid;
+          QCheck_alcotest.to_alcotest prop_reduction_sound;
+          QCheck_alcotest.to_alcotest prop_instrumented_valid;
+          QCheck_alcotest.to_alcotest prop_locs_preserved;
+          QCheck_alcotest.to_alcotest ~long:true prop_no_false_alarms;
+          QCheck_alcotest.to_alcotest ~long:true prop_hang_detected_or_unarmed;
+        ] );
+    ]

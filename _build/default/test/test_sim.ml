@@ -1,0 +1,620 @@
+(* Unit and property tests for the simulation kernel. *)
+
+open Wd_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- heap --- *)
+
+let test_heap_order () =
+  let h = Heap.create ~dummy_payload:(-1) in
+  ignore (Heap.push h ~time:30L 3);
+  ignore (Heap.push h ~time:10L 1);
+  ignore (Heap.push h ~time:20L 2);
+  let order = List.map snd (Heap.drain h) in
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] order
+
+let test_heap_ties_fifo () =
+  let h = Heap.create ~dummy_payload:(-1) in
+  List.iter (fun i -> ignore (Heap.push h ~time:5L i)) [ 1; 2; 3; 4; 5 ];
+  let order = List.map snd (Heap.drain h) in
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4; 5 ] order
+
+let test_heap_grow () =
+  let h = Heap.create ~dummy_payload:0 in
+  for i = 1 to 1000 do
+    ignore (Heap.push h ~time:(Int64.of_int (1000 - i)) i)
+  done;
+  check_int "size" 1000 (Heap.size h);
+  let times = List.map fst (Heap.drain h) in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | [ _ ] | [] -> true
+  in
+  check "sorted" true (sorted times)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let h = Heap.create ~dummy_payload:0 in
+      List.iteri (fun i t -> ignore (Heap.push h ~time:(Int64.of_int t) i)) times;
+      let drained = Heap.drain h in
+      List.length drained = List.length times
+      && fst
+           (List.fold_left
+              (fun (ok, prev) (t, _) -> (ok && t >= prev, t))
+              (true, Int64.min_int) drained))
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  let first_c = Rng.next_int64 c in
+  let a2 = Rng.create ~seed:7 in
+  let c2 = Rng.split a2 in
+  ignore (Rng.next_int64 a2);
+  Alcotest.(check int64) "child unaffected by parent advance" first_c
+    (Rng.next_int64 c2)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    check "in range" true (x >= 0 && x < 10)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    check "float range" true (f >= 0.0 && f < 1.0)
+  done
+
+let prop_rng_exponential_positive =
+  QCheck.Test.make ~name:"exponential durations are nonnegative" ~count:100
+    QCheck.(pair small_int (float_bound_exclusive 1000.0))
+    (fun (seed, mean) ->
+      let r = Rng.create ~seed in
+      Rng.exponential r ~mean:(mean +. 0.001) >= 0.0)
+
+(* --- time --- *)
+
+let test_time_units () =
+  Alcotest.(check int64) "ms" 5_000_000L (Time.ms 5);
+  Alcotest.(check int64) "sec" 2_000_000_000L (Time.sec 2);
+  Alcotest.(check int64) "us" 3_000L (Time.us 3);
+  check_str "pp seconds" "2.000s" (Time.to_string (Time.sec 2));
+  check_str "pp millis" "5.000ms" (Time.to_string (Time.ms 5))
+
+(* --- scheduler --- *)
+
+let test_sched_runs_tasks_in_time_order () =
+  let s = Sched.create () in
+  let log = ref [] in
+  let t name delay =
+    ignore
+      (Sched.spawn ~name s (fun () ->
+           Sched.sleep delay;
+           log := name :: !log))
+  in
+  t "c" (Time.ms 30);
+  t "a" (Time.ms 10);
+  t "b" (Time.ms 20);
+  (match Sched.run s with
+  | Sched.Quiescent -> ()
+  | _ -> Alcotest.fail "expected quiescent");
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_sched_virtual_time () =
+  let s = Sched.create () in
+  ignore (Sched.spawn s (fun () -> Sched.sleep (Time.sec 3600)));
+  ignore (Sched.run s);
+  Alcotest.(check int64) "one simulated hour" (Time.sec 3600) (Sched.now s)
+
+let test_sched_yield_interleaves () =
+  let s = Sched.create () in
+  let log = ref [] in
+  let t name =
+    ignore
+      (Sched.spawn ~name s (fun () ->
+           for i = 1 to 2 do
+             log := Fmt.str "%s%d" name i :: !log;
+             Sched.yield ()
+           done))
+  in
+  t "a";
+  t "b";
+  ignore (Sched.run s);
+  Alcotest.(check (list string)) "interleaved" [ "a1"; "b1"; "a2"; "b2" ]
+    (List.rev !log)
+
+let test_sched_join () =
+  let s = Sched.create () in
+  let child_done = ref false in
+  ignore
+    (Sched.spawn s (fun () ->
+         let child =
+           Sched.spawn ~name:"child" s (fun () ->
+               Sched.sleep (Time.ms 10);
+               child_done := true)
+         in
+         match Sched.join child with
+         | Sched.Exited -> Alcotest.(check bool) "done first" true !child_done
+         | _ -> Alcotest.fail "child should exit"));
+  ignore (Sched.run s)
+
+let test_sched_kill () =
+  let s = Sched.create () in
+  let reached = ref false in
+  let victim =
+    Sched.spawn ~name:"victim" s (fun () ->
+        Sched.sleep (Time.sec 100);
+        reached := true)
+  in
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep (Time.ms 1);
+         Sched.kill s victim));
+  ignore (Sched.run s);
+  check "never resumed" false !reached;
+  check "killed status" true (Sched.task_status victim = Some Sched.Killed)
+
+let test_sched_failure_status () =
+  let s = Sched.create () in
+  let t = Sched.spawn ~name:"fails" s (fun () -> failwith "boom") in
+  ignore (Sched.run s);
+  match Sched.task_status t with
+  | Some (Sched.Failed (Failure m)) -> check_str "msg" "boom" m
+  | _ -> Alcotest.fail "expected failure status"
+
+let test_sched_timeout_join_completes () =
+  let s = Sched.create () in
+  ignore
+    (Sched.spawn s (fun () ->
+         match Sched.timeout_join s ~timeout:(Time.sec 1) (fun () -> 41 + 1) with
+         | Ok v -> check_int "value" 42 v
+         | Error _ -> Alcotest.fail "should complete"));
+  ignore (Sched.run s)
+
+let test_sched_timeout_join_times_out () =
+  let s = Sched.create () in
+  let returned_at = ref (-1L) in
+  ignore
+    (Sched.spawn s (fun () ->
+         match
+           Sched.timeout_join s ~timeout:(Time.ms 10) (fun () ->
+               Sched.sleep (Time.sec 5))
+         with
+         | Error `Timeout -> returned_at := Sched.now s
+         | _ -> Alcotest.fail "should time out"));
+  (match Sched.run s with
+  | Sched.Quiescent -> ()
+  | _ -> Alcotest.fail "child must be killed, leaving the sim quiescent");
+  (* the killed child's stale sleep timer may advance the final clock, but
+     the caller observed the timeout exactly at the deadline *)
+  Alcotest.(check int64) "timed out at the deadline" (Time.ms 10) !returned_at
+
+let test_sched_deadlock_detection () =
+  let s = Sched.create () in
+  let c = Cond.create "never" in
+  ignore (Sched.spawn ~name:"waiter" s (fun () -> Cond.wait c));
+  match Sched.run s with
+  | Sched.Deadlock [ t ] -> check_str "who" "waiter" (Sched.task_name t)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_sched_daemon_does_not_block_exit () =
+  let s = Sched.create () in
+  ignore
+    (Sched.spawn ~name:"daemon" ~daemon:true s (fun () ->
+         while true do
+           Sched.sleep (Time.sec 1)
+         done));
+  ignore (Sched.spawn s (fun () -> Sched.sleep (Time.ms 5)));
+  match Sched.run ~until:(Time.sec 10) s with
+  | Sched.Time_limit | Sched.Quiescent -> ()
+  | Sched.Deadlock _ -> Alcotest.fail "daemons must not deadlock the sim"
+
+let test_sched_run_until_resumable () =
+  let s = Sched.create () in
+  let hits = ref 0 in
+  ignore
+    (Sched.spawn ~daemon:true s (fun () ->
+         while true do
+           Sched.sleep (Time.sec 1);
+           incr hits
+         done));
+  ignore (Sched.run ~until:(Time.sec 5) s);
+  let five = !hits in
+  ignore (Sched.run ~until:(Time.sec 10) s);
+  check_int "first window" 5 five;
+  check_int "second window" 10 !hits
+
+let prop_sched_deterministic =
+  QCheck.Test.make ~name:"same seed, same trace" ~count:20
+    QCheck.(small_list (int_bound 50))
+    (fun delays ->
+      let trace seed =
+        let s = Sched.create ~seed () in
+        let log = ref [] in
+        List.iteri
+          (fun i d ->
+            ignore
+              (Sched.spawn ~name:(string_of_int i) s (fun () ->
+                   Sched.sleep (Time.ms d);
+                   log := (i, Sched.now s) :: !log)))
+          delays;
+        ignore (Sched.run s);
+        !log
+      in
+      trace 5 = trace 5)
+
+let test_sched_stats () =
+  let s = Sched.create () in
+  for _ = 1 to 5 do
+    ignore (Sched.spawn s (fun () -> Sched.sleep (Time.ms 1)))
+  done;
+  ignore (Sched.run s);
+  let spawned, switches, events = Sched.stats s in
+  check_int "spawned" 5 spawned;
+  check "switched at least once per task" true (switches >= 5);
+  check "events fired" true (events >= 10)
+
+let test_sched_kill_ready_task () =
+  let s = Sched.create () in
+  let ran = ref false in
+  let victim = Sched.spawn ~name:"v" s (fun () -> ran := true) in
+  (* killed before it ever runs: the queued start job must not execute *)
+  Sched.kill s victim;
+  ignore (Sched.run s);
+  check "never ran" false !ran;
+  check "killed" true (Sched.task_status victim = Some Sched.Killed)
+
+let test_sched_self_identity () =
+  let s = Sched.create () in
+  ignore
+    (Sched.spawn ~name:"me" s (fun () ->
+         check_str "self name" "me" (Sched.task_name (Sched.self s))));
+  ignore (Sched.run s)
+
+let test_time_arithmetic () =
+  Alcotest.(check int64) "add" (Time.ms 3) Time.(ms 1 + ms 2);
+  Alcotest.(check int64) "sub" (Time.ms 1) Time.(ms 3 - ms 2);
+  check "never dominates" true (Time.never > Time.sec 1_000_000);
+  Alcotest.(check int64) "of_float roundtrip" (Time.sec 2)
+    (Time.of_float_sec (Time.to_float_sec (Time.sec 2)))
+
+let test_rng_choice_and_shuffle () =
+  let r = Rng.create ~seed:9 in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 50 do
+    check "choice member" true (Array.exists (( = ) (Rng.choice r arr)) arr)
+  done;
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle r a;
+  Array.sort compare a;
+  check "shuffle is a permutation" true (a = Array.init 20 Fun.id);
+  for _ = 1 to 100 do
+    let x = Rng.int64_range r 5L 9L in
+    check "range inclusive" true (x >= 5L && x <= 9L)
+  done
+
+(* --- cond --- *)
+
+let test_cond_signal_wakes_one () =
+  let s = Sched.create () in
+  let c = Cond.create "c" in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Sched.spawn ~daemon:true s (fun () ->
+           Cond.wait c;
+           incr woken))
+  done;
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep (Time.ms 1);
+         Cond.signal c));
+  ignore (Sched.run ~until:(Time.ms 100) s);
+  check_int "one woken" 1 !woken
+
+let test_cond_broadcast_wakes_all () =
+  let s = Sched.create () in
+  let c = Cond.create "c" in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Sched.spawn ~daemon:true s (fun () ->
+           Cond.wait c;
+           incr woken))
+  done;
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep (Time.ms 1);
+         Cond.broadcast c));
+  ignore (Sched.run ~until:(Time.ms 100) s);
+  check_int "all woken" 3 !woken
+
+let test_cond_await_timeout () =
+  let s = Sched.create () in
+  let c = Cond.create "c" in
+  let result = ref None in
+  ignore
+    (Sched.spawn s (fun () ->
+         result :=
+           Some (Cond.await_timeout c (fun () -> false) ~timeout:(Time.ms 20))));
+  ignore (Sched.run s);
+  check "timed out" true (!result = Some false);
+  Alcotest.(check int64) "waited the timeout" (Time.ms 20) (Sched.now s)
+
+(* --- mutex --- *)
+
+let test_mutex_mutual_exclusion () =
+  let s = Sched.create () in
+  let m = Smutex.create "m" in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 4 do
+    ignore
+      (Sched.spawn s (fun () ->
+           Smutex.with_lock m (fun () ->
+               incr inside;
+               if !inside > !max_inside then max_inside := !inside;
+               Sched.sleep (Time.ms 5);
+               decr inside)))
+  done;
+  ignore (Sched.run s);
+  check_int "never concurrent" 1 !max_inside;
+  check_int "all acquired" 4 (Smutex.acquisitions m)
+
+let test_mutex_released_on_exception () =
+  let s = Sched.create () in
+  let m = Smutex.create "m" in
+  ignore
+    (Sched.spawn s (fun () ->
+         (try Smutex.with_lock m (fun () -> failwith "inner")
+          with Failure _ -> ());
+         check "released" false (Smutex.locked m)));
+  ignore (Sched.run s)
+
+let test_mutex_try_lock () =
+  let s = Sched.create () in
+  let m = Smutex.create "m" in
+  ignore
+    (Sched.spawn s (fun () ->
+         check "first try" true (Smutex.try_lock m);
+         check "second try fails" false (Smutex.try_lock m);
+         Smutex.unlock m));
+  ignore (Sched.run s)
+
+let test_mutex_deadlock_cycle () =
+  let s = Sched.create () in
+  let a = Smutex.create "a" and b = Smutex.create "b" in
+  ignore
+    (Sched.spawn ~name:"t1" s (fun () ->
+         Smutex.lock a;
+         Sched.sleep (Time.ms 5);
+         Smutex.lock b));
+  ignore
+    (Sched.spawn ~name:"t2" s (fun () ->
+         Smutex.lock b;
+         Sched.sleep (Time.ms 5);
+         Smutex.lock a));
+  match Sched.run s with
+  | Sched.Deadlock tasks -> check_int "both stuck" 2 (List.length tasks)
+  | _ -> Alcotest.fail "expected a lock cycle deadlock"
+
+(* --- channel --- *)
+
+let test_channel_fifo () =
+  let s = Sched.create () in
+  let ch = Channel.create "ch" in
+  let got = ref [] in
+  ignore
+    (Sched.spawn s (fun () ->
+         for i = 1 to 5 do
+           Channel.send ch i
+         done));
+  ignore
+    (Sched.spawn s (fun () ->
+         for _ = 1 to 5 do
+           got := Channel.recv ch :: !got
+         done));
+  ignore (Sched.run s);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_channel_capacity_blocks_sender () =
+  let s = Sched.create () in
+  let ch = Channel.create ~capacity:2 "ch" in
+  let sent = ref 0 in
+  ignore
+    (Sched.spawn ~daemon:true s (fun () ->
+         for i = 1 to 5 do
+           Channel.send ch i;
+           sent := i
+         done));
+  ignore (Sched.run ~until:(Time.ms 10) s);
+  check_int "sender blocked at capacity" 2 !sent;
+  ignore
+    (Sched.spawn ~daemon:true s (fun () ->
+         for _ = 1 to 5 do
+           ignore (Channel.recv ch)
+         done));
+  ignore (Sched.run ~until:(Time.ms 20) s);
+  check_int "drained" 5 !sent
+
+let test_channel_recv_timeout () =
+  let s = Sched.create () in
+  let ch : int Channel.t = Channel.create "ch" in
+  let got = ref (Some 0) in
+  ignore
+    (Sched.spawn s (fun () ->
+         got := Channel.recv_timeout ch ~timeout:(Time.ms 15)));
+  ignore (Sched.run s);
+  check "timed out empty" true (!got = None)
+
+let test_channel_try_ops_and_stats () =
+  let s = Sched.create () in
+  let ch = Channel.create ~capacity:1 "ch" in
+  ignore
+    (Sched.spawn s (fun () ->
+         check "try_send ok" true (Channel.try_send ch 1);
+         check "try_send full" false (Channel.try_send ch 2);
+         check_int "length" 1 (Channel.length ch);
+         check "try_recv" true (Channel.try_recv ch = Some 1);
+         check "try_recv empty" true (Channel.try_recv ch = None);
+         let sent, received = Channel.stats ch in
+         check_int "sent" 1 sent;
+         check_int "received" 1 received));
+  ignore (Sched.run s)
+
+let test_cond_waiter_count () =
+  let s = Sched.create () in
+  let c = Cond.create "c" in
+  for _ = 1 to 3 do
+    ignore (Sched.spawn ~daemon:true s (fun () -> Cond.wait c))
+  done;
+  ignore (Sched.run ~until:(Time.ms 5) s);
+  check_int "three waiting" 3 (Cond.waiter_count c)
+
+let test_channel_close () =
+  let s = Sched.create () in
+  let ch : int Channel.t = Channel.create "ch" in
+  let outcome = ref "" in
+  ignore
+    (Sched.spawn s (fun () ->
+         match Channel.recv ch with
+         | _ -> outcome := "value"
+         | exception Channel.Closed _ -> outcome := "closed"));
+  ignore
+    (Sched.spawn s (fun () ->
+         Sched.sleep (Time.ms 1);
+         Channel.close ch));
+  ignore (Sched.run s);
+  check_str "closed" "closed" !outcome
+
+(* --- trace --- *)
+
+let test_trace_records_lifecycle () =
+  let s = Sched.create () in
+  let tr = Trace.create ~capacity:64 () in
+  Sched.set_trace s tr;
+  ignore
+    (Sched.spawn ~name:"traced" s (fun () ->
+         Sched.sleep (Time.ms 5);
+         Sched.sleep (Time.ms 5)));
+  ignore (Sched.run s);
+  let events = Trace.recent tr 100 in
+  let kinds =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        if e.Trace.task_name = "traced" then Some e.Trace.kind else None)
+      events
+  in
+  (match kinds with
+  | Trace.Spawned
+    :: Trace.Blocked _ :: Trace.Resumed
+    :: Trace.Blocked _ :: Trace.Resumed
+    :: [ Trace.Finished "exited" ] ->
+      ()
+  | _ -> Alcotest.failf "unexpected lifecycle (%d events)" (List.length kinds));
+  check "chronological" true
+    (let rec mono = function
+       | (a : Trace.event) :: (b :: _ as rest) ->
+           a.Trace.at <= b.Trace.at && mono rest
+       | [ _ ] | [] -> true
+     in
+     mono events)
+
+let test_trace_ring_bounds () =
+  let s = Sched.create () in
+  let tr = Trace.create ~capacity:8 () in
+  Sched.set_trace s tr;
+  for i = 1 to 20 do
+    ignore (Sched.spawn ~name:(Fmt.str "t%d" i) s (fun () -> ()))
+  done;
+  ignore (Sched.run s);
+  check "total counts everything" true (Trace.total tr >= 40);
+  check_int "recent bounded by capacity" 8 (List.length (Trace.recent tr 100));
+  (* the survivors are the newest events *)
+  match List.rev (Trace.recent tr 100) with
+  | (e : Trace.event) :: _ -> check_str "newest last spawn" "t20" e.Trace.task_name
+  | [] -> Alcotest.fail "empty"
+
+let () =
+  Alcotest.run "wd_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "time order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_ties_fifo;
+          Alcotest.test_case "growth" `Quick test_heap_grow;
+          QCheck_alcotest.to_alcotest prop_heap_sorted;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "choice/shuffle/range" `Quick test_rng_choice_and_shuffle;
+          QCheck_alcotest.to_alcotest prop_rng_exponential_positive;
+        ] );
+      ( "time",
+        [
+          Alcotest.test_case "units and pp" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+        ] );
+      ( "sched",
+        [
+          Alcotest.test_case "time order" `Quick test_sched_runs_tasks_in_time_order;
+          Alcotest.test_case "virtual time" `Quick test_sched_virtual_time;
+          Alcotest.test_case "yield interleaves" `Quick test_sched_yield_interleaves;
+          Alcotest.test_case "join" `Quick test_sched_join;
+          Alcotest.test_case "kill" `Quick test_sched_kill;
+          Alcotest.test_case "failure status" `Quick test_sched_failure_status;
+          Alcotest.test_case "timeout_join ok" `Quick test_sched_timeout_join_completes;
+          Alcotest.test_case "timeout_join timeout" `Quick
+            test_sched_timeout_join_times_out;
+          Alcotest.test_case "deadlock detection" `Quick test_sched_deadlock_detection;
+          Alcotest.test_case "daemon exit" `Quick test_sched_daemon_does_not_block_exit;
+          Alcotest.test_case "resumable run" `Quick test_sched_run_until_resumable;
+          Alcotest.test_case "stats" `Quick test_sched_stats;
+          Alcotest.test_case "kill ready task" `Quick test_sched_kill_ready_task;
+          Alcotest.test_case "self identity" `Quick test_sched_self_identity;
+          QCheck_alcotest.to_alcotest prop_sched_deterministic;
+        ] );
+      ( "cond",
+        [
+          Alcotest.test_case "signal one" `Quick test_cond_signal_wakes_one;
+          Alcotest.test_case "broadcast all" `Quick test_cond_broadcast_wakes_all;
+          Alcotest.test_case "await timeout" `Quick test_cond_await_timeout;
+          Alcotest.test_case "waiter count" `Quick test_cond_waiter_count;
+        ] );
+      ( "mutex",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_mutex_mutual_exclusion;
+          Alcotest.test_case "release on exception" `Quick
+            test_mutex_released_on_exception;
+          Alcotest.test_case "try_lock" `Quick test_mutex_try_lock;
+          Alcotest.test_case "deadlock cycle" `Quick test_mutex_deadlock_cycle;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_trace_records_lifecycle;
+          Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "fifo" `Quick test_channel_fifo;
+          Alcotest.test_case "capacity blocks" `Quick
+            test_channel_capacity_blocks_sender;
+          Alcotest.test_case "recv timeout" `Quick test_channel_recv_timeout;
+          Alcotest.test_case "try ops and stats" `Quick test_channel_try_ops_and_stats;
+          Alcotest.test_case "close" `Quick test_channel_close;
+        ] );
+    ]

@@ -1,0 +1,312 @@
+(* Tests for the watchdog core: reports, context table, driver behaviour
+   (scheduling, timeout confinement, failure-signature capture, debounce,
+   adaptive slowness), and alarm policy. *)
+
+open Wd_watchdog
+module Sched = Wd_sim.Sched
+module Time = Wd_sim.Time
+open Wd_ir.Ast
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- report --- *)
+
+let test_report_pp () =
+  let r =
+    Report.make ~at:(Time.sec 3) ~checker_id:"c1" ~fkind:Report.Hang
+      ~loc:(Wd_ir.Loc.make ~func:"f" ~path:[ 1; 2 ] ~uid:9)
+      ~op_desc:"disk_write(d)" ()
+  in
+  let s = Fmt.str "%a" Report.pp r in
+  check "mentions checker" true (String.length s > 0);
+  check "liveness kind" true (Report.is_liveness r);
+  Alcotest.(check string) "kind name" "hang" (Report.fkind_name r.Report.fkind)
+
+(* --- context table --- *)
+
+let test_wcontext_readiness () =
+  let w = Wcontext.create () in
+  Wcontext.register_unit w ~unit_id:"u" ~params:[ "a"; "b" ];
+  Wcontext.bind_hook w ~hook_id:0 ~unit_id:"u" ~captures:[ ("a", "t_a") ];
+  Wcontext.bind_hook w ~hook_id:1 ~unit_id:"u" ~captures:[ ("b", "t_b") ];
+  check "not ready" false (Wcontext.ready w "u");
+  Wcontext.sink w ~now:1L 0 [ ("t_a", VInt 1) ];
+  check "half ready" false (Wcontext.ready w "u");
+  Wcontext.sink w ~now:2L 1 [ ("t_b", VInt 2) ];
+  check "ready" true (Wcontext.ready w "u");
+  match Wcontext.args w "u" with
+  | Some [ VInt 1; VInt 2 ] -> ()
+  | _ -> Alcotest.fail "ordered args"
+
+let test_wcontext_empty_params_always_ready () =
+  let w = Wcontext.create () in
+  Wcontext.register_unit w ~unit_id:"u" ~params:[];
+  check "ready" true (Wcontext.ready w "u");
+  check "empty args" true (Wcontext.args w "u" = Some [])
+
+let test_wcontext_replication () =
+  let w = Wcontext.create () in
+  Wcontext.register_unit w ~unit_id:"u" ~params:[ "a" ];
+  Wcontext.bind_hook w ~hook_id:0 ~unit_id:"u" ~captures:[ ("a", "t") ];
+  Wcontext.sink w ~now:1L 0 [ ("t", VBytes (Bytes.of_string "XY")) ];
+  (match Wcontext.args w "u" with
+  | Some [ VBytes b ] ->
+      Bytes.set b 0 '!';
+      (* mutating the fetched copy must not damage the stored context *)
+      (match Wcontext.args w "u" with
+      | Some [ VBytes b2 ] ->
+          Alcotest.(check string) "fresh copy each fetch" "XY" (Bytes.to_string b2)
+      | _ -> Alcotest.fail "fetch")
+  | _ -> Alcotest.fail "fetch");
+  check_int "updates counted" 1 (Wcontext.updates w "u")
+
+let test_wcontext_staleness () =
+  let w = Wcontext.create () in
+  Wcontext.register_unit w ~unit_id:"u" ~params:[ "a" ];
+  Wcontext.bind_hook w ~hook_id:0 ~unit_id:"u" ~captures:[ ("a", "t") ];
+  Wcontext.sink w ~now:(Time.sec 1) 0 [ ("t", VInt 1) ];
+  check "age measured" true
+    (Wcontext.staleness w ~now:(Time.sec 5) "u" = Some (Time.sec 4));
+  Wcontext.sink w ~now:(Time.sec 6) 0 [ ("t", VInt 2) ];
+  check "refreshed" true (Wcontext.staleness w ~now:(Time.sec 6) "u" = Some 0L)
+
+let test_wcontext_unknown_hook_ignored () =
+  let w = Wcontext.create () in
+  Wcontext.sink w ~now:0L 99 [ ("x", VInt 0) ];
+  check "no units" true (Wcontext.args w "nothing" = None)
+
+(* --- driver --- *)
+
+let with_driver ?policy f =
+  let s = Sched.create ~seed:2 () in
+  let driver = Driver.create ?policy s in
+  f s driver
+
+let const_checker ?(period = Time.sec 1) ?(timeout = Time.sec 5) ~id outcome =
+  Checker.make ~period ~timeout ~id (fun ~now:_ -> outcome ())
+
+let test_driver_schedules_periodically () =
+  with_driver (fun s driver ->
+      let runs = ref 0 in
+      Driver.add_checker driver
+        (const_checker ~id:"ok" (fun () -> incr runs; Checker.Pass));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 10) s);
+      check "about ten runs" true (!runs >= 9 && !runs <= 10);
+      check_int "no reports" 0 (List.length (Driver.reports driver)))
+
+let test_driver_reports_failures () =
+  with_driver (fun s driver ->
+      Driver.add_checker driver
+        (const_checker ~id:"bad" (fun () ->
+             Checker.Fail
+               (Report.make ~at:(Sched.now s) ~checker_id:"bad"
+                  ~fkind:(Report.Error_sig "oops") ())));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 3) s);
+      (* dedup window suppresses repeats of the same finding *)
+      check_int "one deduped report" 1 (List.length (Driver.reports driver)))
+
+let test_driver_timeout_becomes_hang_report () =
+  with_driver (fun s driver ->
+      Driver.add_checker driver
+        (Checker.make ~id:"hangs" ~period:(Time.sec 1) ~timeout:(Time.sec 2)
+           ~locate:(fun () ->
+             (Some (Wd_ir.Loc.make ~func:"stuck_op" ~path:[] ~uid:1), "op", []))
+           (fun ~now:_ -> Sched.sleep (Time.sec 60); Checker.Pass));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 5) s);
+      match Driver.reports driver with
+      | r :: _ ->
+          check "hang kind" true (r.Report.fkind = Report.Hang);
+          check "located" true
+            (match r.Report.loc with
+            | Some l -> Wd_ir.Loc.func l = "stuck_op"
+            | None -> false)
+      | [] -> Alcotest.fail "expected a hang report")
+
+let test_driver_survives_checker_crash () =
+  with_driver (fun s driver ->
+      let good_runs = ref 0 in
+      Driver.add_checker driver
+        (const_checker ~id:"crasher" (fun () -> failwith "bug in checker"));
+      Driver.add_checker driver
+        (const_checker ~id:"good" (fun () -> incr good_runs; Checker.Pass));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 5) s);
+      check "good checker kept running" true (!good_runs >= 4);
+      match Driver.reports driver with
+      | r :: _ -> (
+          match r.Report.fkind with
+          | Report.Checker_crash _ -> ()
+          | _ -> Alcotest.fail "crash signature expected")
+      | [] -> Alcotest.fail "crash must be reported")
+
+let test_driver_skip_not_a_failure () =
+  with_driver (fun s driver ->
+      Driver.add_checker driver
+        (const_checker ~id:"skippy" (fun () -> Checker.Skip "not ready"));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 5) s);
+      check_int "no reports" 0 (List.length (Driver.reports driver));
+      match Driver.stats driver with
+      | [ st ] -> check "skips counted" true (st.Driver.cs_skips >= 4)
+      | _ -> Alcotest.fail "one checker")
+
+let test_driver_confirmations_debounce () =
+  let policy = { Policy.default with Policy.confirmations = 3 } in
+  with_driver ~policy (fun s driver ->
+      let n = ref 0 in
+      Driver.add_checker driver
+        (const_checker ~id:"flaky" (fun () ->
+             incr n;
+             if !n = 1 then
+               Checker.Fail
+                 (Report.make ~at:(Sched.now s) ~checker_id:"flaky"
+                    ~fkind:(Report.Error_sig "blip") ())
+             else Checker.Pass));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 5) s);
+      check_int "single blip suppressed" 0 (List.length (Driver.reports driver)))
+
+let test_driver_adaptive_slow () =
+  with_driver (fun s driver ->
+      let n = ref 0 in
+      Driver.add_checker driver
+        (Checker.make ~id:"adaptive" ~period:(Time.sec 1) ~timeout:(Time.sec 20)
+           (fun ~now:_ ->
+             incr n;
+             (* normal runs take 1ms; from run 10 they take 400ms *)
+             Sched.sleep (if !n < 10 then Time.ms 1 else Time.ms 400);
+             Checker.Pass));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 15) s);
+      match Driver.reports driver with
+      | r :: _ -> check "slow kind" true (r.Report.fkind = Report.Slow)
+      | [] -> Alcotest.fail "expected a Slow report")
+
+let test_driver_stop () =
+  with_driver (fun s driver ->
+      let runs = ref 0 in
+      Driver.add_checker driver
+        (const_checker ~id:"c" (fun () -> incr runs; Checker.Pass));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 3) s);
+      Driver.stop driver;
+      let before = !runs in
+      ignore (Sched.run ~until:(Time.sec 10) s);
+      check_int "no runs after stop" before !runs)
+
+let test_policy_validation_suppression () =
+  let validate _ = false in
+  let policy = Policy.with_validation ~suppress:true validate Policy.default in
+  with_driver ~policy (fun s driver ->
+      Driver.add_checker driver
+        (const_checker ~id:"mimic-ish" (fun () ->
+             Checker.Fail
+               (Report.make ~at:(Sched.now s) ~checker_id:"mimic-ish"
+                  ~fkind:(Report.Error_sig "maybe") ())));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 3) s);
+      check_int "suppressed" 0 (List.length (Driver.reports driver));
+      check "kept aside" true (List.length (Driver.suppressed driver) >= 1))
+
+let test_driver_slow_elapsed_override () =
+  (* a checker that spends wall time waiting (e.g. on locks) but reports a
+     tiny op time must not be flagged slow *)
+  with_driver (fun s driver ->
+      let n = ref 0 in
+      Driver.add_checker driver
+        (Checker.make ~id:"waity" ~period:(Time.sec 1) ~timeout:(Time.sec 30)
+           ~slow_elapsed:(fun () -> Some (Time.us 100))
+           (fun ~now:_ ->
+             incr n;
+             (* wall time balloons after warm-up, op time stays tiny *)
+             Sched.sleep (if !n < 8 then Time.ms 1 else Time.ms 500);
+             Checker.Pass));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 20) s);
+      check_int "no slow reports" 0 (List.length (Driver.reports driver)))
+
+let test_driver_first_report_where () =
+  with_driver (fun s driver ->
+      Driver.add_checker driver
+        (const_checker ~id:"a" (fun () ->
+             Checker.Fail
+               (Report.make ~at:(Sched.now s) ~checker_id:"a"
+                  ~fkind:(Report.Error_sig "x") ())));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 3) s);
+      check "finds by predicate" true
+        (Driver.first_report_where driver (fun r -> r.Report.checker_id = "a")
+        <> None);
+      check "misses absent" true
+        (Driver.first_report_where driver (fun r -> r.Report.checker_id = "zz")
+        = None))
+
+let test_validation_marks_reports () =
+  (* without suppression, validation annotates the report instead *)
+  let policy = Policy.with_validation (fun _ -> true) Policy.default in
+  with_driver ~policy (fun s driver ->
+      Driver.add_checker driver
+        (const_checker ~id:"m" (fun () ->
+             Checker.Fail
+               (Report.make ~at:(Sched.now s) ~checker_id:"m"
+                  ~fkind:(Report.Error_sig "e") ())));
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 3) s);
+      match Driver.reports driver with
+      | r :: _ -> check "validated flag" true (r.Report.validated = Some true)
+      | [] -> Alcotest.fail "expected a report")
+
+let test_driver_add_checker_while_running () =
+  with_driver (fun s driver ->
+      Driver.start driver;
+      ignore (Sched.run ~until:(Time.sec 1) s);
+      let runs = ref 0 in
+      Driver.add_checker driver
+        (const_checker ~id:"late" (fun () -> incr runs; Checker.Pass));
+      ignore (Sched.run ~until:(Time.sec 5) s);
+      check "late checker runs" true (!runs >= 3))
+
+let () =
+  Alcotest.run "wd_watchdog"
+    [
+      ("report", [ Alcotest.test_case "pp and kinds" `Quick test_report_pp ]);
+      ( "wcontext",
+        [
+          Alcotest.test_case "readiness" `Quick test_wcontext_readiness;
+          Alcotest.test_case "no params = ready" `Quick
+            test_wcontext_empty_params_always_ready;
+          Alcotest.test_case "replication" `Quick test_wcontext_replication;
+          Alcotest.test_case "staleness" `Quick test_wcontext_staleness;
+          Alcotest.test_case "unknown hook" `Quick test_wcontext_unknown_hook_ignored;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "periodic scheduling" `Quick
+            test_driver_schedules_periodically;
+          Alcotest.test_case "failure reports + dedup" `Quick
+            test_driver_reports_failures;
+          Alcotest.test_case "timeout -> hang report" `Quick
+            test_driver_timeout_becomes_hang_report;
+          Alcotest.test_case "survives checker crash" `Quick
+            test_driver_survives_checker_crash;
+          Alcotest.test_case "skip is not failure" `Quick test_driver_skip_not_a_failure;
+          Alcotest.test_case "confirmation debounce" `Quick
+            test_driver_confirmations_debounce;
+          Alcotest.test_case "adaptive slow" `Quick test_driver_adaptive_slow;
+          Alcotest.test_case "stop" `Quick test_driver_stop;
+          Alcotest.test_case "policy validation suppression" `Quick
+            test_policy_validation_suppression;
+          Alcotest.test_case "add checker while running" `Quick
+            test_driver_add_checker_while_running;
+          Alcotest.test_case "slow_elapsed override" `Quick
+            test_driver_slow_elapsed_override;
+          Alcotest.test_case "first_report_where" `Quick
+            test_driver_first_report_where;
+          Alcotest.test_case "validation marks reports" `Quick
+            test_validation_marks_reports;
+        ] );
+    ]
