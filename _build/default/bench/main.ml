@@ -144,11 +144,129 @@ let run_microbenches () =
     microbenches;
   print_newline ()
 
+(* --- Part 3: --json mode — the harness performance trajectory ---
+
+   Emits BENCH_harness.json: wall-clock for a fixed campaign batch (the E2
+   scenario sweep) at jobs=1 and jobs=N, a determinism cross-check of the
+   two result sets, analysis-cache cold/hit times, and interpreter
+   micro-bench throughput. Every future perf PR reruns this file. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let interp_call_prog =
+  B.program "bench_call"
+    ~funcs:
+      [
+        B.func "leaf" ~params:[ "x" ] [ B.return (B.v "x") ];
+        B.func "call_loop" ~params:[ "n" ]
+          [
+            B.let_ "i" (B.i 0);
+            B.while_
+              B.(v "i" <: v "n")
+              [
+                B.call ~bind:"r" "leaf" [ B.v "i" ];
+                B.assign "i" B.(v "i" +: i 1);
+              ];
+            B.return (B.v "i");
+          ];
+      ]
+    ~entries:[]
+
+(* Host seconds to interpret [fname nv] in a fresh one-task simulation;
+   returns (statements executed, wall seconds). *)
+let interp_bench prog fname nv =
+  let s = Sched.create ~seed:1 () in
+  let reg = Wd_env.Faultreg.create () in
+  let res = Wd_ir.Runtime.create ~reg ~rng:(Wd_sim.Rng.create ~seed:2) in
+  let main = Wd_ir.Interp.create ~node:"n" ~res prog in
+  ignore
+    (Sched.spawn s (fun () ->
+         ignore (Wd_ir.Interp.call main fname [ Wd_ir.Ast.VInt nv ])));
+  let (), secs = wall (fun () -> ignore (Sched.run s)) in
+  (Wd_ir.Interp.stmts_executed main, secs)
+
+let run_json_bench ~jobs_n () =
+  let module Campaign = Wd_harness.Campaign in
+  let scenarios =
+    List.filter
+      (fun s -> s.Wd_faults.Catalog.special <> Some "crash")
+      Wd_faults.Catalog.all
+  in
+  let cells =
+    List.map (fun s -> Campaign.cell s.Wd_faults.Catalog.sid) scenarios
+  in
+  (* Both widths start from a cold analysis cache so the comparison
+     isolates domain parallelism, not cache warmth. *)
+  Generate.clear_cache ();
+  let runs1, secs1 = wall (fun () -> Campaign.run_batch ~jobs:1 cells) in
+  Generate.clear_cache ();
+  let runs_n, secs_n = wall (fun () -> Campaign.run_batch ~jobs:jobs_n cells) in
+  let deterministic = runs1 = runs_n in
+  (* analysis cache: cold analysis vs memoised hit *)
+  Generate.clear_cache ();
+  let _, cold_s = wall (fun () -> ignore (Generate.analyze_cached zk_prog)) in
+  let _, hit_s = wall (fun () -> ignore (Generate.analyze_cached zk_prog)) in
+  (* interpreter micro-benches: straight-line statements and call-heavy *)
+  let stmts, stmt_s = interp_bench interp_prog "sum_to" 100_000 in
+  let calls = 30_000 in
+  let _, call_s = wall (fun () -> ignore (interp_bench interp_call_prog "call_loop" calls)) in
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "{\n";
+  bpf "  \"schema\": \"wd-bench-harness/v1\",\n";
+  bpf "  \"host\": { \"recommended_domains\": %d },\n"
+    (Domain.recommended_domain_count ());
+  bpf "  \"campaign_e2\": {\n";
+  bpf "    \"scenarios\": %d,\n" (List.length cells);
+  bpf "    \"jobs1_wall_s\": %.3f,\n" secs1;
+  bpf "    \"jobs\": %d,\n" jobs_n;
+  bpf "    \"jobsN_wall_s\": %.3f,\n" secs_n;
+  bpf "    \"speedup\": %.2f,\n" (secs1 /. Float.max 1e-9 secs_n);
+  bpf "    \"deterministic\": %b\n" deterministic;
+  bpf "  },\n";
+  bpf "  \"analysis_cache\": { \"cold_ms\": %.3f, \"hit_ms\": %.4f },\n"
+    (1e3 *. cold_s) (1e3 *. hit_s);
+  bpf "  \"interp\": {\n";
+  bpf "    \"stmt_loop\": { \"stmts\": %d, \"wall_s\": %.3f, \"stmts_per_s\": %.0f },\n"
+    stmts stmt_s (float_of_int stmts /. Float.max 1e-9 stmt_s);
+  bpf "    \"call_loop\": { \"calls\": %d, \"wall_s\": %.3f, \"calls_per_s\": %.0f }\n"
+    calls call_s (float_of_int calls /. Float.max 1e-9 call_s);
+  bpf "  }\n";
+  bpf "}\n";
+  let json = Buffer.contents buf in
+  let oc = open_out "BENCH_harness.json" in
+  output_string oc json;
+  close_out oc;
+  print_string json;
+  Printf.printf "-> wrote BENCH_harness.json\n%!";
+  if not deterministic then begin
+    prerr_endline "ERROR: jobs=1 and jobs=N campaign results differ";
+    exit 1
+  end
+
 let () =
-  run_microbenches ();
-  (* Part 2: every table and figure of the paper. *)
-  List.iter
-    (fun (name, f) ->
-      Printf.printf "\n================ %s ================\n\n%!" name;
-      print_string (f ()))
-    (Wd_harness.Experiments.all_texts ())
+  let argv = Array.to_list Sys.argv in
+  let rec jobs_of = function
+    | "--jobs" :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> jobs_of rest
+    | [] -> None
+  in
+  if List.mem "--json" argv then
+    let jobs_n =
+      match jobs_of argv with
+      | Some n when n > 0 -> n
+      | Some _ | None -> Wd_parallel.Pool.default_jobs ()
+    in
+    run_json_bench ~jobs_n ()
+  else begin
+    run_microbenches ();
+    (* Part 2: every table and figure of the paper. *)
+    List.iter
+      (fun (name, f) ->
+        Printf.printf "\n================ %s ================\n\n%!" name;
+        print_string (f ()))
+      (Wd_harness.Experiments.all_texts ())
+  end

@@ -7,7 +7,21 @@
 
 open Cmdliner
 
-let run_experiment name =
+(* Domain-pool width for the parallel campaign engine. Tables are
+   byte-identical at any width; the flag only changes wall-clock. *)
+let jobs_arg =
+  let doc =
+    "Fan simulations out over $(docv) domains (default: \\$WD_JOBS or the \
+     host's recommended domain count). Results are identical at any width."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let apply_jobs = function
+  | Some n -> Wd_harness.Experiments.set_jobs n
+  | None -> ()
+
+let run_experiment name jobs =
+  apply_jobs jobs;
   match List.assoc_opt name (Wd_harness.Experiments.all_texts ()) with
   | Some f ->
       print_string (f ());
@@ -35,21 +49,22 @@ let experiment_cmds =
   List.map
     (fun (ename, _) ->
       let doc = Printf.sprintf "Run experiment %s." ename in
-      let term = Term.(const run_experiment $ const ename) in
+      let term = Term.(const run_experiment $ const ename $ jobs_arg) in
       Cmd.v (Cmd.info ename ~doc) term)
     (Wd_harness.Experiments.all_texts ())
 
 let all_cmd =
   let doc = "Run every experiment." in
-  let run () =
+  let run jobs =
+    apply_jobs jobs;
     List.fold_left
       (fun acc (name, _) ->
         Printf.printf "\n================ repro %s ================\n\n" name;
-        max acc (run_experiment name))
+        max acc (run_experiment name None))
       0
       (Wd_harness.Experiments.all_texts ())
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg)
 
 let checkers_cmd =
   let doc =

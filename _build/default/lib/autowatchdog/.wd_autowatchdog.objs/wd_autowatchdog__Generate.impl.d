@@ -1,1 +1,1 @@
-lib/autowatchdog/generate.ml: Buffer Config Fmt Format Int64 List Recipes String Wd_analysis Wd_env Wd_ir Wd_sim Wd_watchdog
+lib/autowatchdog/generate.ml: Atomic Buffer Config Digest Fmt Format Hashtbl Int64 List Marshal Mutex Recipes String Wd_analysis Wd_env Wd_ir Wd_sim Wd_watchdog

@@ -22,6 +22,10 @@ type generated = {
   red : Reduction.result;
   units : Reduction.unit_ list; (* after recipe enhancement *)
   watchdog_prog : program;      (* all unit functions, one program *)
+  callgraph : Wd_analysis.Callgraph.t;
+      (* of the original program, built once: region attachment, component
+         registration and campaign localisation all need it, and it is
+         read-only after construction (safe to share across domains) *)
 }
 
 let analyze ?(config = Config.default) prog =
@@ -37,7 +41,59 @@ let analyze ?(config = Config.default) prog =
       entries = [];
     }
   in
-  { config; red; units; watchdog_prog }
+  { config; red; units; watchdog_prog;
+    callgraph = Wd_analysis.Callgraph.build prog }
+
+(* --- analysis cache ---
+
+   A campaign re-boots the same target system for every (scenario, mode,
+   seed) cell, and each boot used to re-run the whole reduction pipeline on
+   a byte-identical program. The cache keys on a digest of the marshalled
+   (config, program) pair — both are pure data — so N runs of one system
+   pay for one analysis. The table is shared by all domains of a parallel
+   campaign and guarded by a mutex; the analysis itself runs outside the
+   lock, and a lost insert race returns the winner so physical sharing
+   still holds. A [generated] value is immutable after construction, which
+   makes cross-domain sharing safe. *)
+
+let digest ~config prog = Digest.string (Marshal.to_string (config, prog) [])
+
+let cache : (string, generated) Hashtbl.t = Hashtbl.create 16
+let cache_mu = Mutex.create ()
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+
+let cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
+
+let clear_cache () =
+  Mutex.lock cache_mu;
+  Hashtbl.reset cache;
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0;
+  Mutex.unlock cache_mu
+
+let analyze_cached ?(config = Config.default) prog =
+  let key = digest ~config prog in
+  Mutex.lock cache_mu;
+  match Hashtbl.find_opt cache key with
+  | Some g ->
+      Atomic.incr cache_hits;
+      Mutex.unlock cache_mu;
+      g
+  | None ->
+      Mutex.unlock cache_mu;
+      Atomic.incr cache_misses;
+      let g = analyze ~config prog in
+      Mutex.lock cache_mu;
+      let g =
+        match Hashtbl.find_opt cache key with
+        | Some winner -> winner (* another domain analysed concurrently *)
+        | None ->
+            Hashtbl.add cache key g;
+            g
+      in
+      Mutex.unlock cache_mu;
+      g
 
 (* Build the runtime checker for one unit: a checker-mode interpreter over
    the watchdog program, fed by the unit's context. *)
@@ -106,7 +162,7 @@ let checker_of_unit g ~sched ~wctx ~res ~node (u : Reduction.unit_) =
    daemons (a watchdog is intrinsic to one node, §3.1). *)
 let regions_for_entry_funcs g ~entry_funcs =
   let prog = g.red.Reduction.original in
-  let cg = Wd_analysis.Callgraph.build prog in
+  let cg = g.callgraph in
   let reachable =
     List.sort_uniq String.compare
       (List.concat_map (fun f -> Wd_analysis.Callgraph.reachable cg f) entry_funcs)

@@ -7,10 +7,25 @@ type generated = {
   red : Wd_analysis.Reduction.result;
   units : Wd_analysis.Reduction.unit_ list;  (** after recipe enhancement *)
   watchdog_prog : Wd_ir.Ast.program;         (** all unit functions *)
+  callgraph : Wd_analysis.Callgraph.t;
+      (** of the original program, built once at analysis time *)
 }
 
 val analyze : ?config:Config.t -> Wd_ir.Ast.program -> generated
 (** Static half; no simulation needed. *)
+
+val analyze_cached : ?config:Config.t -> Wd_ir.Ast.program -> generated
+(** Like {!analyze}, but memoised on a digest of the marshalled
+    (config, program) pair: repeated boots of one system share a single
+    [generated] (physically equal). The cache is mutex-guarded, so it is
+    safe (and shared) across the domains of a parallel campaign; a
+    [generated] value is immutable after construction. Use {!analyze} to
+    bypass the cache — both produce equal reductions. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of {!analyze_cached} since start or {!clear_cache}. *)
+
+val clear_cache : unit -> unit
 
 val regions_for_entry_funcs :
   generated -> entry_funcs:string list -> string list

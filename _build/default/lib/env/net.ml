@@ -53,6 +53,9 @@ let register n endpoint =
   Hashtbl.replace n.endpoints endpoint
     (Wd_sim.Channel.create (Fmt.str "net:%s:%s" n.name endpoint))
 
+let exists n endpoint = Hashtbl.mem n.endpoints endpoint
+let ensure_registered n endpoint = if not (exists n endpoint) then register n endpoint
+
 let endpoints n =
   Hashtbl.fold (fun e _ acc -> e :: acc) n.endpoints [] |> List.sort compare
 

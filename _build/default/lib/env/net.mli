@@ -22,6 +22,13 @@ val create :
 
 val name : 'a t -> string
 val register : 'a t -> string -> unit
+val exists : 'a t -> string -> bool
+(** O(1) endpoint-membership test. *)
+
+val ensure_registered : 'a t -> string -> unit
+(** Register the endpoint unless it already exists. O(1) on the hot path,
+    unlike scanning {!endpoints}. *)
+
 val endpoints : 'a t -> string list
 val inbox_length : 'a t -> string -> int
 

@@ -1,1 +1,1 @@
-lib/harness/campaign.ml: Fmt Int64 List Option String Systems Wd_analysis Wd_autowatchdog Wd_detectors Wd_env Wd_faults Wd_ir Wd_sim Wd_targets Wd_watchdog
+lib/harness/campaign.ml: Fmt Int64 List Option String Systems Wd_analysis Wd_autowatchdog Wd_detectors Wd_env Wd_faults Wd_ir Wd_parallel Wd_sim Wd_targets Wd_watchdog

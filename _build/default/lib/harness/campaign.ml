@@ -157,7 +157,8 @@ let run_scenario ?(cfg = default_config) sid =
         let prog =
           g.Wd_autowatchdog.Generate.red.Wd_analysis.Reduction.original
         in
-        let cg = Wd_analysis.Callgraph.build prog in
+        (* analysis-time callgraph, shared across every run of the system *)
+        let cg = g.Wd_autowatchdog.Generate.callgraph in
         fun f truth ->
           Wd_ir.Ast.has_func prog f
           && (List.mem_assoc truth (Wd_analysis.Callgraph.callees cg f)
@@ -191,6 +192,20 @@ let run_scenario ?(cfg = default_config) sid =
     r_checker_count = Driver.checker_count booted.Systems.b_driver;
     r_sim_events = events;
   }
+
+(* A campaign cell: one scenario under one configuration (mode, seed,
+   windows). Cells are self-contained deterministic worlds, so a batch is
+   embarrassingly parallel; [run_batch] farms cells out to a domain pool
+   and returns results in input order, making the parallel batch
+   byte-identical to the sequential one. *)
+type cell = { cell_sid : string; cell_cfg : config }
+
+let cell ?(cfg = default_config) sid = { cell_sid = sid; cell_cfg = cfg }
+
+let run_batch ?jobs cells =
+  Wd_parallel.Pool.run_map ?jobs
+    (fun c -> run_scenario ~cfg:c.cell_cfg c.cell_sid)
+    cells
 
 (* Fault-free accuracy run: any report or suspicion is a false alarm. *)
 type fault_free = {

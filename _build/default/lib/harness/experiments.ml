@@ -12,6 +12,25 @@ module Reduction = Wd_analysis.Reduction
 
 let fp = Format.asprintf
 
+(* --- parallel campaign engine knob ---
+
+   Every experiment below runs a list of independent simulations; each one
+   is its own deterministic world, so the lists fan out across a domain
+   pool. [set_jobs] (the repro/bench [--jobs] flag) overrides the width;
+   the default comes from [WD_JOBS] or the host's recommended domain
+   count. [par_map] preserves input order, so rendered tables are
+   byte-identical to a sequential run at any width. *)
+
+let jobs_override = ref None
+let set_jobs n = jobs_override := Some (max 1 n)
+
+let jobs () =
+  match !jobs_override with
+  | Some n -> n
+  | None -> Wd_parallel.Pool.default_jobs ()
+
+let par_map f xs = Wd_parallel.Pool.run_map ~jobs:(jobs ()) f xs
+
 let pinpoint_cell = function
   | None -> "-"
   | Some Campaign.Exact -> "exact"
@@ -45,7 +64,7 @@ let e1_scenarios =
     "dfs-limplock"; "kvs-seg-corrupt"; "kvs-deadlock" ]
 
 let e1_run () =
-  List.map
+  par_map
     (fun sid ->
       let scenario = Catalog.find sid in
       let cfg = Campaign.default_config in
@@ -108,8 +127,11 @@ let e2_scenarios () =
   List.filter (fun s -> s.Catalog.special <> Some "crash") Catalog.all
 
 let e2_run () =
-  let runs = List.map (fun s -> Campaign.run_scenario s.Catalog.sid) (e2_scenarios ()) in
-  let ffs = List.map (fun sys -> Campaign.run_fault_free sys) Systems.all_systems in
+  let runs =
+    Campaign.run_batch ~jobs:(jobs ())
+      (List.map (fun s -> Campaign.cell s.Catalog.sid) (e2_scenarios ()))
+  in
+  let ffs = par_map (fun sys -> Campaign.run_fault_free sys) Systems.all_systems in
   let agg kind fp_of =
     let outcomes =
       List.map (fun (r : Campaign.run) -> List.assoc kind r.Campaign.r_outcomes) runs
@@ -352,7 +374,7 @@ let target_programs () =
   ]
 
 let e6_run () =
-  List.map
+  par_map
     (fun (name, prog) ->
       let t0 = Unix.gettimeofday () in
       let g = Generate.analyze prog in
@@ -482,7 +504,7 @@ let e7_run_one mode_name () =
   }
 
 let e7_run () =
-  List.map
+  par_map
     (fun m -> e7_run_one m ())
     [ "no checking"; "concurrent watchdog"; "in-place checks" ]
 
@@ -513,7 +535,7 @@ let e7_text () =
 type e8_row = { e8_mode : string; e8_false_alarms : int; e8_skips : int }
 
 let e8_run () =
-  List.map
+  par_map
     (fun (label, mode) ->
       let cfg =
         { Campaign.default_config with Campaign.mode }
@@ -754,7 +776,7 @@ let e11_run_one ~with_recovery =
   }
 
 let e11_run () =
-  [ e11_run_one ~with_recovery:false; e11_run_one ~with_recovery:true ]
+  par_map (fun with_recovery -> e11_run_one ~with_recovery) [ false; true ]
 
 let e11_text () =
   let rows = e11_run () in
@@ -905,7 +927,7 @@ let e14_options =
   ]
 
 let e14_run () =
-  List.map
+  par_map
     (fun (label, opts) ->
       let per_target =
         List.map
@@ -1014,12 +1036,15 @@ let e15_run_point ~period ~lock_timeout =
     e15_ff_false_alarms = false_alarms }
 
 let e15_run () =
-  List.concat_map
-    (fun period ->
-      List.map
-        (fun lock_timeout -> e15_run_point ~period ~lock_timeout)
-        [ Wd_sim.Time.sec 1; Wd_sim.Time.sec 2; Wd_sim.Time.sec 4 ])
-    [ Wd_sim.Time.ms 500; Wd_sim.Time.sec 1; Wd_sim.Time.sec 2; Wd_sim.Time.sec 5 ]
+  let grid =
+    List.concat_map
+      (fun period ->
+        List.map
+          (fun lock_timeout -> (period, lock_timeout))
+          [ Wd_sim.Time.sec 1; Wd_sim.Time.sec 2; Wd_sim.Time.sec 4 ])
+      [ Wd_sim.Time.ms 500; Wd_sim.Time.sec 1; Wd_sim.Time.sec 2; Wd_sim.Time.sec 5 ]
+  in
+  par_map (fun (period, lock_timeout) -> e15_run_point ~period ~lock_timeout) grid
 
 let e15_text () =
   let rows = e15_run () in
@@ -1057,7 +1082,7 @@ let e16_scenarios =
     "dfs-block-corrupt"; "kvs-deadlock" ]
 
 let e16_run () =
-  List.map
+  par_map
     (fun sid ->
       let stats, exact =
         Metrics.scenario_across_seeds ~seeds:e16_seeds ~detector:"mimic" sid

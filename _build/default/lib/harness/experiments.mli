@@ -3,6 +3,14 @@
     EXPERIMENTS.md). Each [eN_run] returns structured results; each
     [eN_text] runs the experiment and renders its table. *)
 
+val set_jobs : int -> unit
+(** Set the domain-pool width every experiment fans its simulations across
+    (clamped to >= 1). Defaults to [WD_JOBS] or the host's recommended
+    domain count. Tables are byte-identical at any width. *)
+
+val jobs : unit -> int
+(** The effective width. *)
+
 (* E1 — Table 1 *)
 type e1_row = {
   e1_scenario : string;

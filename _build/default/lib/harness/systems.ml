@@ -109,7 +109,7 @@ let boot_kvs ~sched ~reg ~mode ~special () =
   let deadlock_bug = special = Some "deadlock_bug" in
   let prog = Wd_targets.Kvs.program ~leak_bug ~deadlock_bug () in
   Wd_ir.Validate.check_exn prog;
-  let g = Generate.analyze prog in
+  let g = Generate.analyze_cached prog in
   let run_prog =
     match mode with
     | Wd_generated -> g.Generate.red.Wd_analysis.Reduction.instrumented
@@ -204,7 +204,7 @@ let boot_kvs ~sched ~reg ~mode ~special () =
 let boot_zk ~sched ~reg ~mode ~special:_ () =
   let prog = Wd_targets.Zkmini.program () in
   Wd_ir.Validate.check_exn prog;
-  let g = Generate.analyze prog in
+  let g = Generate.analyze_cached prog in
   let run_prog =
     match mode with
     | Wd_generated -> g.Generate.red.Wd_analysis.Reduction.instrumented
@@ -275,7 +275,7 @@ let boot_zk ~sched ~reg ~mode ~special:_ () =
 let boot_dfs ~sched ~reg ~mode ~special:_ () =
   let prog = Wd_targets.Dfsmini.program () in
   Wd_ir.Validate.check_exn prog;
-  let g = Generate.analyze prog in
+  let g = Generate.analyze_cached prog in
   let run_prog =
     match mode with
     | Wd_generated -> g.Generate.red.Wd_analysis.Reduction.instrumented
@@ -348,7 +348,7 @@ let boot_cs ~sched ~reg ~mode ~special () =
   let spin_bug = special = Some "spin_bug" in
   let prog = Wd_targets.Cstore.program ~spin_bug () in
   Wd_ir.Validate.check_exn prog;
-  let g = Generate.analyze prog in
+  let g = Generate.analyze_cached prog in
   let run_prog =
     match mode with
     | Wd_generated -> g.Generate.red.Wd_analysis.Reduction.instrumented
@@ -412,7 +412,7 @@ let boot_cs ~sched ~reg ~mode ~special () =
 let boot_mq ~sched ~reg ~mode ~special:_ () =
   let prog = Wd_targets.Mqbroker.program () in
   Wd_ir.Validate.check_exn prog;
-  let g = Generate.analyze prog in
+  let g = Generate.analyze_cached prog in
   let run_prog =
     match mode with
     | Wd_generated -> g.Generate.red.Wd_analysis.Reduction.instrumented

@@ -42,6 +42,10 @@ type hook_spec = { hook_checker : string; hook_vars : string list }
 
 type t = {
   prog : program;
+  (* Call fast path: function lookup and arity check are on the per-call
+     hot path; a scan of [prog.funcs] plus two [List.length]s per call is
+     measurable on checker-heavy campaigns. Resolved once at creation. *)
+  funcs_by_name : (string, func * int) Hashtbl.t;
   res : Runtime.resources;
   node : string;
   mode : mode;
@@ -61,8 +65,16 @@ type t = {
 let create ?(mode = Main) ?(scratch_prefix = "__wd/")
     ?(lock_timeout = Wd_sim.Time.sec 5) ?(stmt_cost = 100L)
     ?(cpu_quantum = Wd_sim.Time.us 10) ~node ~res prog =
+  let funcs_by_name = Hashtbl.create (2 * List.length prog.funcs) in
+  List.iter
+    (fun f ->
+      (* keep the first binding, matching [Ast.find_func] *)
+      if not (Hashtbl.mem funcs_by_name f.fname) then
+        Hashtbl.add funcs_by_name f.fname (f, List.length f.params))
+    prog.funcs;
   {
     prog;
+    funcs_by_name;
     res;
     node;
     mode;
@@ -257,8 +269,10 @@ let arg_bytes loc = function
 let op_desc kind target = Fmt.str "%s(%s)" (op_kind_name kind) target
 
 (* Record op start/end around an effectful action so the watchdog driver can
-   pinpoint an in-flight hang and track slow operations. *)
-let with_probe t loc desc f =
+   pinpoint an in-flight hang and track slow operations. [is_lock] routes
+   the elapsed time to the lock-wait counter (excluded from slowness
+   assessment); the call site knows, so no description sniffing. *)
+let with_probe t loc ~is_lock desc f =
   let s = Wd_sim.Sched.get () in
   let started = Wd_sim.Sched.now s in
   t.probe.current_op <- Some (loc, desc, started);
@@ -267,8 +281,7 @@ let with_probe t loc desc f =
     t.probe.current_op <- None;
     t.probe.last_op <- Some loc;
     t.probe.ops_executed <- t.probe.ops_executed + 1;
-    (if String.length desc >= 5 && String.sub desc 0 5 = "lock(" then
-       t.probe.lock_ns <- Int64.add t.probe.lock_ns elapsed
+    (if is_lock then t.probe.lock_ns <- Int64.add t.probe.lock_ns elapsed
      else t.probe.op_ns <- Int64.add t.probe.op_ns elapsed);
     match t.probe.slowest_op with
     | Some (_, worst) when worst >= elapsed -> ()
@@ -288,7 +301,7 @@ let scratch t path = t.scratch_prefix ^ path
 let exec_op t frame loc ~kind ~target ~args =
   let vargs = List.map (eval t frame loc) args in
   let desc = op_desc kind target in
-  with_probe t loc desc (fun () ->
+  with_probe t loc ~is_lock:false desc (fun () ->
       match (kind, vargs) with
       | Disk_write, [ p; data ] ->
           let d = Runtime.disk t.res target in
@@ -348,8 +361,7 @@ let exec_op t frame loc ~kind ~target ~args =
                  the destination's shadow inbox, invisible to the main
                  program. *)
               let shadow = "__wd:" ^ dst in
-              if not (List.mem shadow (Wd_env.Net.endpoints n)) then
-                Wd_env.Net.register n shadow;
+              Wd_env.Net.ensure_registered n shadow;
               Wd_env.Net.send ~site_dst:dst n ~src:t.node ~dst:shadow payload);
           VUnit
       | Net_recv, [ timeout ] -> (
@@ -485,7 +497,7 @@ and exec_sync t frame depth loc lockname body =
   let desc = Fmt.str "lock(%s)" lockname in
   match t.mode with
   | Main ->
-      with_probe t loc desc (fun () -> Wd_sim.Smutex.lock lock);
+      with_probe t loc ~is_lock:true desc (fun () -> Wd_sim.Smutex.lock lock);
       let release () = Wd_sim.Smutex.unlock lock in
       (match exec_block t frame depth body with
       | () -> release ()
@@ -501,7 +513,7 @@ and exec_sync t frame depth loc lockname body =
          hanging) operation would let the watchdog wedge the main program,
          the §3.2 isolation failure. *)
       let acquired =
-        with_probe t loc desc (fun () ->
+        with_probe t loc ~is_lock:true desc (fun () ->
             let s = Wd_sim.Sched.get () in
             let deadline = Int64.add (Wd_sim.Sched.now s) t.lock_timeout in
             let rec attempt () =
@@ -547,8 +559,15 @@ and exec_call t depth fname vargs =
     raise
       (Violation
          { loc = Loc.dummy; vkind = "depth"; msg = Fmt.str "call depth > %d" t.max_depth });
-  let f = find_func t.prog fname in
-  if List.length f.params <> List.length vargs then
+  let f, arity =
+    match Hashtbl.find_opt t.funcs_by_name fname with
+    | Some fa -> fa
+    | None ->
+        (* unknown function: defer to [find_func] for the canonical error *)
+        let f = find_func t.prog fname in
+        (f, List.length f.params)
+  in
+  if List.compare_length_with vargs arity <> 0 then
     raise
       (Violation
          { loc = Loc.dummy; vkind = "arity"; msg = Fmt.str "call %s arity" fname });

@@ -1,0 +1,1 @@
+lib/parallel/pool.ml: Array Atomic Condition Domain List Mutex Printexc Queue String Sys

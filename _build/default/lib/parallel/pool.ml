@@ -1,0 +1,146 @@
+(* Domain pool with a shared work queue.
+
+   Workers block on a mutex/condvar-guarded queue of thunks; [map] submits
+   one thunk per input element, each writing its slot of a results array,
+   and waits on a per-batch condvar until the batch's remaining-counter
+   reaches zero. Distinct array slots are written by at most one domain and
+   read by the caller only after the counter (an [Atomic.t]) plus the batch
+   mutex have established the necessary happens-before edges.
+
+   Determinism: results are collected by input index, not completion order,
+   and exceptions are re-raised for the lowest failing index — so a
+   parallel batch is observationally identical to the sequential one. *)
+
+type job = unit -> unit
+
+type t = {
+  width : int;
+  queue : job Queue.t;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "WD_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let rec worker_loop pool =
+  Mutex.lock pool.mu;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.nonempty pool.mu
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mu (* closed: exit *)
+  else begin
+    let job = Queue.pop pool.queue in
+    Mutex.unlock pool.mu;
+    job ();
+    worker_loop pool
+  end
+
+let create ~jobs =
+  let width = max 1 jobs in
+  let pool =
+    {
+      width;
+      queue = Queue.create ();
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      workers = [];
+      closed = false;
+    }
+  in
+  if width > 1 then
+    pool.workers <-
+      List.init width (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.width
+
+let shutdown pool =
+  let workers =
+    Mutex.lock pool.mu;
+    let ws = pool.workers in
+    pool.closed <- true;
+    pool.workers <- [];
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.mu;
+    ws
+  in
+  List.iter Domain.join workers
+
+let submit pool jobs_ =
+  Mutex.lock pool.mu;
+  if pool.closed then begin
+    Mutex.unlock pool.mu;
+    invalid_arg "Pool.map: pool is shut down"
+  end;
+  List.iter (fun j -> Queue.push j pool.queue) jobs_;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mu
+
+let map pool f xs =
+  if pool.width <= 1 then begin
+    if pool.closed then invalid_arg "Pool.map: pool is shut down";
+    List.map f xs
+  end
+  else
+    match xs with
+    | [] -> []
+    | _ ->
+        let inputs = Array.of_list xs in
+        let n = Array.length inputs in
+        let results = Array.make n None in
+        let remaining = Atomic.make n in
+        let batch_mu = Mutex.create () in
+        let batch_done = Condition.create () in
+        let job i () =
+          let r =
+            try Ok (f inputs.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            Mutex.lock batch_mu;
+            Condition.broadcast batch_done;
+            Mutex.unlock batch_mu
+          end
+        in
+        submit pool (List.init n (fun i -> job i));
+        Mutex.lock batch_mu;
+        while Atomic.get remaining > 0 do
+          Condition.wait batch_done batch_mu
+        done;
+        Mutex.unlock batch_mu;
+        Array.iter
+          (function
+            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+            | Some (Ok _) | None -> ())
+          results;
+        Array.to_list
+          (Array.map
+             (function
+               | Some (Ok v) -> v
+               | Some (Error _) | None -> assert false)
+             results)
+
+let map_reduce pool ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map pool f xs)
+
+let with_pool ?jobs f =
+  let pool = create ~jobs:(match jobs with Some n -> n | None -> default_jobs ()) in
+  match f pool with
+  | v ->
+      shutdown pool;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      shutdown pool;
+      Printexc.raise_with_backtrace e bt
+
+let run_map ?jobs f xs = with_pool ?jobs (fun pool -> map pool f xs)

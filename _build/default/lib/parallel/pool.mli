@@ -1,0 +1,47 @@
+(** Fixed-size OCaml 5 domain pool with a work-queue [map]/[map_reduce]
+    API, built for embarrassingly parallel simulation campaigns.
+
+    Every simulation in this repository is a self-contained deterministic
+    world (its own scheduler, fault registry and resources; the ambient
+    scheduler is domain-local), so independent runs can execute on separate
+    domains with no shared state. [map] preserves input order and re-raises
+    the first (by input position) exception a task raised, which makes a
+    parallel campaign observationally identical to its sequential
+    counterpart — only faster. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [max 1 jobs] worker domains sharing one work queue.
+    With [jobs <= 1] no domains are spawned and [map] degenerates to
+    [List.map] in the calling domain. *)
+
+val jobs : t -> int
+(** Parallelism width the pool was created with (>= 1). *)
+
+val shutdown : t -> unit
+(** Drain and join the worker domains. Idempotent. Submitting work to a
+    pool after shutdown raises [Invalid_argument]. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element, distributing the calls
+    across the pool's domains. Results come back in input order. If any
+    call raises, the exception of the lowest-indexed failing element is
+    re-raised in the caller (with its backtrace) after all tasks settle. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c -> 'a list -> 'c
+(** Parallel map, then a sequential left fold in the calling domain — the
+    reduction order is the input order, keeping the result deterministic
+    regardless of completion order. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** Run [f] with a transient pool, shutting it down on exit (also on
+    exceptions). [jobs] defaults to {!default_jobs}. *)
+
+val run_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool ?jobs (fun p -> map p f xs)]. *)
+
+val default_jobs : unit -> int
+(** The [WD_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)

@@ -1,1 +1,1 @@
-lib/sim/sched.ml: Effect Fmt Heap Int64 List Logs Printexc Queue Rng Time Trace
+lib/sim/sched.ml: Domain Effect Fmt Heap Int64 List Logs Printexc Queue Rng Time Trace

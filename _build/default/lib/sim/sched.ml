@@ -52,10 +52,12 @@ type t = {
 type _ Effect.t +=
   | Suspend : { reason : string; register : (unit -> unit) -> unit } -> unit Effect.t
 
-let ambient : t option ref = ref None
+(* Domain-local, so independent simulations can run on separate domains
+   (one self-contained world per domain) without observing each other. *)
+let ambient : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let get () =
-  match !ambient with
+  match Domain.DLS.get ambient with
   | Some s -> s
   | None -> failwith "Sched: no simulation is running"
 
@@ -284,9 +286,9 @@ let blocked_tasks s =
   List.filter (fun t -> t.state = Blocked && not t.daemon) s.tasks
 
 let run ?(until = Time.never) s =
-  let saved = !ambient in
-  ambient := Some s;
-  let restore () = ambient := saved in
+  let saved = Domain.DLS.get ambient in
+  Domain.DLS.set ambient (Some s);
+  let restore () = Domain.DLS.set ambient saved in
   let rec loop () =
     if not (Queue.is_empty s.runq) then begin
       let job = Queue.pop s.runq in

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest List Wd_analysis Wd_autowatchdog Wd_env Wd_harness Wd_sim Wd_targets

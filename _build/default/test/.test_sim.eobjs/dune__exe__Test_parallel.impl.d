@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Fun List String Sys Wd_autowatchdog Wd_faults Wd_harness Wd_parallel

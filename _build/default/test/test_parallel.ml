@@ -1,0 +1,138 @@
+(* Tests for the domain pool (Wd_parallel.Pool) and the parallel campaign
+   engine: order preservation, exception propagation, pool lifecycle, and
+   the headline guarantee — a campaign batch is byte-identical at any
+   [jobs] width. *)
+
+module Pool = Wd_parallel.Pool
+module Campaign = Wd_harness.Campaign
+module Systems = Wd_harness.Systems
+module Catalog = Wd_faults.Catalog
+module Generate = Wd_autowatchdog.Generate
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Pool.map --- *)
+
+let test_map_order () =
+  let input = List.init 200 Fun.id in
+  let expected = List.map (fun i -> i * i) input in
+  Alcotest.(check (list int))
+    "order preserved" expected
+    (Pool.run_map ~jobs:4 (fun i -> i * i) input);
+  (* deliberately uneven work so completion order differs from input order *)
+  let lumpy i =
+    if i mod 7 = 0 then
+      ignore (Sys.opaque_identity (List.init 5000 Fun.id));
+    i
+  in
+  Alcotest.(check (list int))
+    "order preserved under uneven work" input
+    (Pool.run_map ~jobs:4 lumpy input);
+  Alcotest.(check (list int)) "empty input" [] (Pool.run_map ~jobs:4 lumpy []);
+  Alcotest.(check (list int))
+    "jobs=1 degenerates to List.map" expected
+    (Pool.run_map ~jobs:1 (fun i -> i * i) input)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  (* several elements raise; the lowest input index must win *)
+  let f i = if i mod 13 = 4 then raise (Boom i) else i in
+  (match Pool.run_map ~jobs:4 f (List.init 64 Fun.id) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> check_int "lowest failing index re-raised" 4 i);
+  (* a failing batch must not poison the pool for later batches *)
+  Pool.with_pool ~jobs:3 (fun p ->
+      (match Pool.map p f (List.init 64 Fun.id) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom _ -> ());
+      Alcotest.(check (list int))
+        "pool usable after a failing batch"
+        [ 0; 1; 2; 3 ]
+        (Pool.map p Fun.id [ 0; 1; 2; 3 ]))
+
+let test_map_reduce () =
+  let sum =
+    Pool.with_pool ~jobs:3 (fun p ->
+        Pool.map_reduce p
+          ~map:(fun i -> i * i)
+          ~reduce:(fun acc v -> acc + v)
+          ~init:0 (List.init 100 Fun.id))
+  in
+  check_int "sum of squares" 328350 sum;
+  (* reduction order is input order: string concat is order-sensitive *)
+  let cat =
+    Pool.run_map ~jobs:4 string_of_int (List.init 10 Fun.id)
+    |> String.concat ""
+  in
+  Alcotest.(check string) "reduction in input order" "0123456789" cat
+
+let test_lifecycle () =
+  let p = Pool.create ~jobs:2 in
+  check_int "width" 2 (Pool.jobs p);
+  Alcotest.(check (list int)) "batch 1" [ 1; 2; 3 ] (Pool.map p succ [ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "batch 2 reuses pool" [ 0; 1 ] (Pool.map p Fun.id [ 0; 1 ]);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  (match Pool.map p Fun.id [ 1 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ());
+  check_int "jobs clamped to >= 1" 1 (Pool.jobs (Pool.create ~jobs:0))
+
+(* --- parallel campaign determinism ---
+
+   The acceptance bar of the parallel engine: running the whole scenario
+   catalog through [Campaign.run_batch] at jobs=4 yields structurally
+   identical [run] records to jobs=1, for a mix of modes and seeds. *)
+
+let test_campaign_batch_deterministic () =
+  let base = List.map (fun s -> Campaign.cell s.Catalog.sid) Catalog.all in
+  let variants =
+    [
+      Campaign.cell
+        ~cfg:{ Campaign.default_config with Campaign.seed = 7 }
+        "zk-2201";
+      Campaign.cell
+        ~cfg:
+          {
+            Campaign.default_config with
+            Campaign.mode = Systems.Wd_no_context;
+          }
+        "kvs-flush-hang";
+      Campaign.cell
+        ~cfg:{ Campaign.default_config with Campaign.mode = Systems.Wd_none }
+        "cs-compaction-stuck";
+    ]
+  in
+  let cells = base @ variants in
+  (* cold cache on both sides; the jobs=4 run also exercises concurrent
+     [analyze_cached] calls racing to fill the cache *)
+  Generate.clear_cache ();
+  let seq = Campaign.run_batch ~jobs:1 cells in
+  Generate.clear_cache ();
+  let par = Campaign.run_batch ~jobs:4 cells in
+  check_int "same number of runs" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Campaign.run) (b : Campaign.run) ->
+      Alcotest.(check string) "same scenario order" a.Campaign.r_sid b.Campaign.r_sid;
+      check (a.Campaign.r_sid ^ ": identical run record") true (a = b))
+    seq par
+
+let () =
+  Alcotest.run "wd_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          Alcotest.test_case "lifecycle" `Quick test_lifecycle;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 identical over catalog" `Slow
+            test_campaign_batch_deterministic;
+        ] );
+    ]
