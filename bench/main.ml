@@ -113,6 +113,26 @@ let bench_checker_execution =
          Wd_watchdog.Driver.start driver;
          ignore (Sched.run ~until:(Vtime.sec 2) s)))
 
+let bench_cluster_fleet =
+  Test.make ~name:"cluster/5-node zkmini fleet, 2 sim-seconds"
+    (Staged.stage (fun () ->
+         let s = Sched.create ~seed:1 () in
+         let ids = List.init 5 Wd_cluster.Fabric.node_name in
+         let fabric = Wd_cluster.Fabric.create ~sched:s ~nodes:ids () in
+         let nodes =
+           List.init 5 (fun i ->
+               Wd_cluster.Node.boot ~sched:s ~system:"zkmini" ~index:i ())
+         in
+         let agents =
+           List.map
+             (fun n -> Wd_cluster.Membership.create ~sched:s ~fabric ~node:n ())
+             nodes
+         in
+         let fleet = Wd_cluster.Fleet.create ~sched:s ~nodes ~agents () in
+         List.iter Wd_cluster.Membership.start agents;
+         Wd_cluster.Fleet.start fleet;
+         ignore (Sched.run ~until:(Vtime.sec 2) s)))
+
 let microbenches =
   [
     bench_sched_spawn_run;
@@ -122,6 +142,7 @@ let microbenches =
     bench_generate_zk;
     bench_context_sync;
     bench_checker_execution;
+    bench_cluster_fleet;
   ]
 
 let run_microbenches () =

@@ -20,8 +20,19 @@ let apply_jobs = function
   | Some n -> Wd_harness.Experiments.set_jobs n
   | None -> ()
 
-let run_experiment name jobs =
+(* Base seed for experiments that fan out over seed lists (default 42).
+   Results are a pure function of the seed, independent of --jobs. *)
+let seed_arg =
+  let doc = "Base seed for seed-fanned experiments (default 42)." in
+  Arg.(value & opt (some int) None & info [ "seed"; "s" ] ~docv:"S" ~doc)
+
+let apply_seed = function
+  | Some s -> Wd_harness.Experiments.set_seed s
+  | None -> ()
+
+let run_experiment name jobs seed =
   apply_jobs jobs;
+  apply_seed seed;
   match List.assoc_opt name (Wd_harness.Experiments.all_texts ()) with
   | Some f ->
       print_string (f ());
@@ -49,22 +60,25 @@ let experiment_cmds =
   List.map
     (fun (ename, _) ->
       let doc = Printf.sprintf "Run experiment %s." ename in
-      let term = Term.(const run_experiment $ const ename $ jobs_arg) in
+      let term =
+        Term.(const run_experiment $ const ename $ jobs_arg $ seed_arg)
+      in
       Cmd.v (Cmd.info ename ~doc) term)
     (Wd_harness.Experiments.all_texts ())
 
 let all_cmd =
   let doc = "Run every experiment." in
-  let run jobs =
+  let run jobs seed =
     apply_jobs jobs;
+    apply_seed seed;
     List.fold_left
       (fun acc (name, _) ->
         Printf.printf "\n================ repro %s ================\n\n" name;
-        max acc (run_experiment name None))
+        max acc (run_experiment name None None))
       0
       (Wd_harness.Experiments.all_texts ())
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg $ seed_arg)
 
 let checkers_cmd =
   let doc =

@@ -1,0 +1,50 @@
+(* Inter-node fabric: the message plane the membership service gossips and
+   probes over, built on [Wd_env.Net] so the fault machinery applies
+   unchanged. Sites are "net:fabric:send:<src>:<dst>", so
+   "net:fabric:send:n3:*" cuts every link out of n3 and
+   "net:fabric:send:n1:n3" cuts exactly one direction of one link — the
+   asymmetric partial partition the fleet plane must localise.
+
+   The fabric owns its own fault registry, separate from every node's
+   private environment registry: a fabric fault degrades links without
+   touching any node's disks or queues, and vice versa. *)
+
+type msg =
+  | Gossip of { from_ : string; seq : int }
+      (* liveness heartbeat: "I am scheduling and my network path to you
+         works" — deliberately cheap, touching no disk or queue, so a
+         limping node keeps gossiping (the gray-failure signature) *)
+  | Probe_req of { from_ : string; seq : int }
+      (* end-to-end health probe: the receiver runs a bounded client
+         operation against its local service before acking *)
+  | Probe_ack of { from_ : string; seq : int; healthy : bool }
+
+type t = {
+  net : msg Wd_env.Net.t;
+  reg : Wd_env.Faultreg.t;
+  nodes : string list;
+}
+
+let fabric_name = "fabric"
+let node_name i = Fmt.str "n%d" i
+
+let create ~sched ~nodes () =
+  let reg = Wd_env.Faultreg.create () in
+  let rng = Wd_sim.Rng.split (Wd_sim.Sched.rng sched) in
+  let net =
+    Wd_env.Net.create ~base_latency:(Wd_sim.Time.ms 1) ~reg ~rng fabric_name
+  in
+  List.iter (Wd_env.Net.register net) nodes;
+  { net; reg; nodes }
+
+let peers t me = List.filter (fun n -> n <> me) t.nodes
+
+(* [Net.send] can raise [Net_error] under an Error fault; fabric callers
+   treat an unsendable message like a lost one. *)
+let send t ~src ~dst m =
+  try Wd_env.Net.send t.net ~src ~dst m with Wd_env.Net.Net_error _ -> ()
+
+let recv_timeout t endpoint ~timeout =
+  Wd_env.Net.recv_timeout t.net endpoint ~timeout
+
+let stats t = Wd_env.Net.stats t.net

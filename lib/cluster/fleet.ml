@@ -1,0 +1,277 @@
+(* The fleet plane: one aggregator correlating every node's local watchdog
+   report stream with the membership service's probe/gossip evidence, and
+   turning N streams of local findings into one fleet-level verdict.
+
+   It stays off the nodes' hot paths: reports arrive through the drivers'
+   [on_report] subscription (an O(1) append on the reporting path — reports
+   are rare by construction) and membership state is read, never written,
+   once per correlation tick.
+
+   Rule set, evaluated in priority order each tick:
+
+   1. Global overload — signal checkers alarm on a majority of nodes while
+      every mimic checker is quiet. Queue pressure without any failed or
+      slow mimicked operation means legitimate load, not a fault: record
+      [Overload], indict nobody (the paper's §4.2 false-alarm case).
+      Evaluated first because overload also makes probes time out.
+
+   2. Node-local gray failure — some node's mimic checkers alarm AND at
+      least [quorum] distinct peers independently accuse it (their deep
+      probes of it fail, or they suspect it for gossip silence). Indict the
+      node and name the component from its mimic report's localisation.
+
+   3. Fabric-level failure — no mimic alarms anywhere, yet probes fail on
+      specific (a,b) pairs while every involved node still has a healthy
+      link to some other peer. A node that answers one peer's deep probe
+      but not another's is not sick — the link is. Indict the link pairs,
+      never a node.
+
+   A candidate verdict must survive [confirm] consecutive ticks before it
+   is recorded (debounce), and each distinct verdict is recorded once. *)
+
+module Report = Wd_watchdog.Report
+module Checker = Wd_watchdog.Checker
+
+type verdict =
+  | Node_gray of { node : string; component : string option }
+  | Link_fault of { links : (string * string) list }
+  | Overload
+
+type event = { ev_at : int64; ev_verdict : verdict }
+
+type t = {
+  sched : Wd_sim.Sched.t;
+  nodes : Node.t list;
+  agents : Membership.t list; (* index-aligned with nodes *)
+  tick : int64;
+  mimic_window : int64; (* mimic evidence is fresh within this *)
+  signal_window : int64; (* signal evidence fades slower: the driver
+                            dedups repeats for 30s, so persistent overload
+                            re-reports at that cadence; the window must
+                            outlast the gap or overload would "blink" and
+                            let rules 2-3 misfire in between *)
+  quorum : int;
+  confirm : int;
+  inboxes : (string, Report.t list ref) Hashtbl.t;
+  mutable membership_events : Membership.event list; (* newest first *)
+  mutable streaks : (string * int) list;
+  recorded : (string, unit) Hashtbl.t;
+  mutable events : event list; (* newest first *)
+}
+
+let create ?(tick = Wd_sim.Time.ms 500) ?(mimic_window = Wd_sim.Time.sec 10)
+    ?(signal_window = Wd_sim.Time.sec 45) ?(quorum = 2) ?(confirm = 2) ~sched
+    ~nodes ~agents () =
+  let t =
+    {
+      sched;
+      nodes;
+      agents;
+      tick;
+      mimic_window;
+      signal_window;
+      quorum;
+      confirm;
+      inboxes = Hashtbl.create 8;
+      membership_events = [];
+      streaks = [];
+      recorded = Hashtbl.create 8;
+      events = [];
+    }
+  in
+  List.iter
+    (fun (n : Node.t) ->
+      let inbox = ref [] in
+      Hashtbl.replace t.inboxes n.Node.id inbox;
+      Wd_watchdog.Driver.on_report n.Node.driver (fun r -> inbox := r :: !inbox))
+    nodes;
+  List.iter
+    (fun a ->
+      Membership.on_event a (fun e ->
+          t.membership_events <- e :: t.membership_events))
+    agents;
+  t
+
+let reports_of t node_id =
+  match Hashtbl.find_opt t.inboxes node_id with Some r -> !r | None -> []
+
+let fresh_reports t node_id ~now ~window ~kind =
+  List.filter
+    (fun (r : Report.t) ->
+      Node.kind_of_checker_id r.Report.checker_id = kind
+      && Int64.sub now r.Report.at <= window)
+    (reports_of t node_id)
+
+let agent_of t node_id =
+  List.find (fun a -> Membership.me a = node_id) t.agents
+
+(* peers currently accusing [node_id]: deep probe failing, or suspected for
+   gossip silence *)
+let accusers t node_id =
+  List.filter
+    (fun a ->
+      Membership.me a <> node_id
+      && (Membership.probe_failing a node_id
+         || List.mem node_id (Membership.suspects a)))
+    t.agents
+  |> List.map Membership.me
+
+let canonical_pair a b = if a <= b then (a, b) else (b, a)
+
+(* one correlation tick: compute candidate verdicts *)
+let candidates t ~now =
+  let n = List.length t.nodes in
+  let mimic_nodes =
+    List.filter
+      (fun (nd : Node.t) ->
+        fresh_reports t nd.Node.id ~now ~window:t.mimic_window
+          ~kind:Checker.Mimic
+        <> [])
+      t.nodes
+  in
+  let signal_count =
+    List.length
+      (List.filter
+         (fun (nd : Node.t) ->
+           fresh_reports t nd.Node.id ~now ~window:t.signal_window
+             ~kind:Checker.Signal
+           <> [])
+         t.nodes)
+  in
+  (* rule 1: overload *)
+  if 2 * signal_count > n && mimic_nodes = [] then [ ("overload", Overload) ]
+  else
+    (* rule 2: node-local gray failure *)
+    let gray =
+      List.filter_map
+        (fun (nd : Node.t) ->
+          let acc = accusers t nd.Node.id in
+          if List.length acc >= t.quorum then
+            let component =
+              List.fold_left
+                (fun best (r : Report.t) ->
+                  match (best, r.Report.loc) with
+                  | None, Some l -> Some l
+                  | best, _ -> best)
+                None
+                (List.rev
+                   (fresh_reports t nd.Node.id ~now ~window:t.mimic_window
+                      ~kind:Checker.Mimic))
+            in
+            Some
+              ( "node:" ^ nd.Node.id,
+                Node_gray
+                  {
+                    node = nd.Node.id;
+                    component = Option.map Wd_ir.Loc.func component;
+                  } )
+          else None)
+        mimic_nodes
+    in
+    if gray <> [] then gray
+    else if mimic_nodes <> [] then []
+    else
+      (* rule 3: fabric-level failure; only with every mimic quiet *)
+      let ids = List.map (fun (nd : Node.t) -> nd.Node.id) t.nodes in
+      let pairs =
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b ->
+                if a < b then
+                  let ab = Membership.probe_failing (agent_of t a) b in
+                  let ba = Membership.probe_failing (agent_of t b) a in
+                  if ab || ba then Some (canonical_pair a b) else None
+                else None)
+              ids)
+          ids
+      in
+      if pairs = [] then []
+      else
+        let involved =
+          List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) pairs)
+        in
+        let has_healthy_link x =
+          List.exists
+            (fun y ->
+              y <> x
+              && (not (Membership.probe_failing (agent_of t x) y))
+              && not (Membership.probe_failing (agent_of t y) x))
+            ids
+        in
+        if List.for_all has_healthy_link involved then
+          let key =
+            "links:"
+            ^ String.concat ","
+                (List.map (fun (a, b) -> a ^ "-" ^ b) pairs)
+          in
+          [ (key, Link_fault { links = pairs }) ]
+        else []
+
+let step t ~now =
+  let cands = candidates t ~now in
+  let streaks =
+    List.map
+      (fun (key, v) ->
+        let prev =
+          match List.assoc_opt key t.streaks with Some s -> s | None -> 0
+        in
+        (key, prev + 1, v))
+      cands
+  in
+  t.streaks <- List.map (fun (k, s, _) -> (k, s)) streaks;
+  List.iter
+    (fun (key, streak, v) ->
+      if streak >= t.confirm && not (Hashtbl.mem t.recorded key) then begin
+        Hashtbl.replace t.recorded key ();
+        t.events <- { ev_at = now; ev_verdict = v } :: t.events
+      end)
+    streaks
+
+let start t =
+  ignore
+    (Wd_sim.Sched.spawn ~name:"fleet-plane" ~daemon:true t.sched (fun () ->
+         while true do
+           Wd_sim.Sched.sleep t.tick;
+           step t ~now:(Wd_sim.Sched.now t.sched)
+         done))
+
+(* --- results ----------------------------------------------------------- *)
+
+let events t = List.rev t.events (* chronological *)
+
+let indicted_nodes t =
+  List.filter_map
+    (fun e ->
+      match e.ev_verdict with Node_gray { node; _ } -> Some node | _ -> None)
+    (events t)
+  |> List.sort_uniq compare
+
+let indicted_links t =
+  List.concat_map
+    (fun e ->
+      match e.ev_verdict with Link_fault { links } -> links | _ -> [])
+    (events t)
+  |> List.sort_uniq compare
+
+let overloaded t =
+  List.exists (fun e -> e.ev_verdict = Overload) (events t)
+
+let first_component t =
+  List.find_map
+    (fun e ->
+      match e.ev_verdict with
+      | Node_gray { component; _ } -> component
+      | _ -> None)
+    (events t)
+
+let membership_event_count t = List.length t.membership_events
+
+let pp_verdict ppf = function
+  | Node_gray { node; component } ->
+      Fmt.pf ppf "node-gray %s (component %s)" node
+        (Option.value component ~default:"?")
+  | Link_fault { links } ->
+      Fmt.pf ppf "link-fault %s"
+        (String.concat "," (List.map (fun (a, b) -> a ^ "-" ^ b) links))
+  | Overload -> Fmt.pf ppf "overload (no indictment)"

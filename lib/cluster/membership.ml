@@ -1,0 +1,199 @@
+(* Per-node membership agent: heartbeat gossip plus end-to-end probing of
+   every peer, the fleet plane's two extrinsic evidence channels.
+
+   Gossip is deliberately shallow — a periodic fabric broadcast touching no
+   disk or queue — so it keeps flowing from a limping node (the gray-failure
+   signature: "the heartbeat protocol keeps answering"). Probes are deep: the
+   responder runs a bounded client operation through its local service
+   before acking, so a node whose request pipeline has stalled acks
+   [healthy = false] (or never acks at all once its responder tasks pile up
+   behind the stall).
+
+   The agent keeps per-peer state — last gossip heard, consecutive probe
+   failures — that [Fleet] reads each correlation tick. State transitions
+   also fire an [on_event] hook so the fleet can log membership churn. *)
+
+type event =
+  | Suspected of { who : string; by : string; at : int64 }
+      (* gossip silence past the suspicion timeout *)
+  | Probe_failing of { who : string; by : string; at : int64 }
+  | Probe_recovered of { who : string; by : string; at : int64 }
+
+type peer_state = {
+  peer : string;
+  mutable last_gossip : int64; (* last heartbeat heard from this peer *)
+  mutable suspected : bool;
+  mutable probe_fails : int; (* consecutive probe failures *)
+  mutable probe_oks : int; (* lifetime acked-healthy count *)
+  mutable outstanding : (int * int64) option; (* in-flight probe: seq, sent *)
+}
+
+type t = {
+  node : Node.t;
+  fabric : Fabric.t;
+  sched : Wd_sim.Sched.t;
+  gossip_period : int64;
+  probe_period : int64;
+  probe_timeout : int64; (* unacked past this = one failure *)
+  suspicion_timeout : int64; (* gossip silence past this = suspected *)
+  fail_threshold : int; (* consecutive failures before probe_failing *)
+  peers : (string, peer_state) Hashtbl.t;
+  mutable gossip_seq : int;
+  mutable probe_seq : int;
+  mutable handlers : (event -> unit) list;
+}
+
+let create ?(gossip_period = Wd_sim.Time.ms 250)
+    ?(probe_period = Wd_sim.Time.ms 500) ?(probe_timeout = Wd_sim.Time.ms 1500)
+    ?(suspicion_timeout = Wd_sim.Time.sec 3) ?(fail_threshold = 2) ~sched
+    ~fabric ~node () =
+  let peers = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace peers p
+        {
+          peer = p;
+          last_gossip = Wd_sim.Sched.now sched;
+          suspected = false;
+          probe_fails = 0;
+          probe_oks = 0;
+          outstanding = None;
+        })
+    (Fabric.peers fabric node.Node.id);
+  {
+    node;
+    fabric;
+    sched;
+    gossip_period;
+    probe_period;
+    probe_timeout;
+    suspicion_timeout;
+    fail_threshold;
+    peers;
+    gossip_seq = 0;
+    probe_seq = 0;
+    handlers = [];
+  }
+
+let on_event t f = t.handlers <- f :: t.handlers
+let emit t e = List.iter (fun f -> f e) t.handlers
+let me t = t.node.Node.id
+
+let record_probe_fail t st =
+  st.probe_fails <- st.probe_fails + 1;
+  if st.probe_fails = t.fail_threshold then
+    emit t
+      (Probe_failing
+         { who = st.peer; by = me t; at = Wd_sim.Sched.now t.sched })
+
+let record_probe_ok t st ~healthy =
+  if healthy then begin
+    if st.probe_fails >= t.fail_threshold then
+      emit t
+        (Probe_recovered
+           { who = st.peer; by = me t; at = Wd_sim.Sched.now t.sched });
+    st.probe_fails <- 0;
+    st.probe_oks <- st.probe_oks + 1
+  end
+  else record_probe_fail t st
+
+let start t =
+  let sched = t.sched and id = me t in
+  (* heartbeat gossip broadcast *)
+  ignore
+    (Wd_sim.Sched.spawn ~name:(id ^ "-gossip") ~daemon:true sched (fun () ->
+         while true do
+           Wd_sim.Sched.sleep t.gossip_period;
+           t.gossip_seq <- t.gossip_seq + 1;
+           List.iter
+             (fun dst ->
+               Fabric.send t.fabric ~src:id ~dst
+                 (Fabric.Gossip { from_ = id; seq = t.gossip_seq }))
+             (Fabric.peers t.fabric id)
+         done));
+  (* prober: time out the in-flight probe, then launch the next round *)
+  ignore
+    (Wd_sim.Sched.spawn ~name:(id ^ "-prober") ~daemon:true sched (fun () ->
+         while true do
+           Wd_sim.Sched.sleep t.probe_period;
+           let now = Wd_sim.Sched.now sched in
+           Hashtbl.iter
+             (fun _ st ->
+               (match st.outstanding with
+               | Some (_, sent) when Int64.sub now sent > t.probe_timeout ->
+                   st.outstanding <- None;
+                   record_probe_fail t st
+               | Some _ | None -> ());
+               if st.outstanding = None then begin
+                 t.probe_seq <- t.probe_seq + 1;
+                 st.outstanding <- Some (t.probe_seq, now);
+                 Fabric.send t.fabric ~src:id ~dst:st.peer
+                   (Fabric.Probe_req { from_ = id; seq = t.probe_seq })
+               end)
+             t.peers
+         done));
+  (* inbox: dispatch gossip / probe traffic; answer probes off-thread so a
+     stalled local service never blocks gossip processing *)
+  ignore
+    (Wd_sim.Sched.spawn ~name:(id ^ "-inbox") ~daemon:true sched (fun () ->
+         while true do
+           match
+             Fabric.recv_timeout t.fabric id ~timeout:(Wd_sim.Time.ms 250)
+           with
+           | None -> ()
+           | Some env -> (
+               match env.Wd_env.Net.payload with
+               | Fabric.Gossip { from_; _ } -> (
+                   match Hashtbl.find_opt t.peers from_ with
+                   | None -> ()
+                   | Some st ->
+                       st.last_gossip <- Wd_sim.Sched.now sched;
+                       st.suspected <- false)
+               | Fabric.Probe_req { from_; seq } ->
+                   ignore
+                     (Wd_sim.Sched.spawn ~name:(id ^ "-responder") ~daemon:true
+                        sched (fun () ->
+                          let healthy = Node.local_probe t.node in
+                          Fabric.send t.fabric ~src:id ~dst:from_
+                            (Fabric.Probe_ack { from_ = id; seq; healthy })))
+               | Fabric.Probe_ack { from_; seq; healthy } -> (
+                   match Hashtbl.find_opt t.peers from_ with
+                   | None -> ()
+                   | Some st -> (
+                       match st.outstanding with
+                       | Some (s, _) when s = seq ->
+                           st.outstanding <- None;
+                           record_probe_ok t st ~healthy
+                       | Some _ | None -> ())))
+         done));
+  (* suspicion sweep: gossip silence past the timeout *)
+  ignore
+    (Wd_sim.Sched.spawn ~name:(id ^ "-suspect") ~daemon:true sched (fun () ->
+         while true do
+           Wd_sim.Sched.sleep (Wd_sim.Time.ms 500);
+           let now = Wd_sim.Sched.now sched in
+           Hashtbl.iter
+             (fun _ st ->
+               if
+                 (not st.suspected)
+                 && Int64.sub now st.last_gossip > t.suspicion_timeout
+               then begin
+                 st.suspected <- true;
+                 emit t (Suspected { who = st.peer; by = id; at = now })
+               end)
+             t.peers
+         done))
+
+(* --- fleet-facing views ----------------------------------------------- *)
+
+let probe_failing t peer =
+  match Hashtbl.find_opt t.peers peer with
+  | Some st -> st.probe_fails >= t.fail_threshold
+  | None -> false
+
+let suspects t =
+  Hashtbl.fold (fun p st acc -> if st.suspected then p :: acc else acc) t.peers []
+  |> List.sort compare
+
+let probe_ok_count t peer =
+  match Hashtbl.find_opt t.peers peer with Some st -> st.probe_oks | None -> 0

@@ -1,0 +1,126 @@
+(* Cluster campaign cell: boot an N-node fleet of one target system inside
+   a single deterministic scheduler world, inject one cluster-scoped
+   scenario, and grade the fleet plane's verdicts against the scenario's
+   expectation. A cell is a pure function of (seed, system, scenario), so
+   campaigns fan cells out over domains exactly like single-node ones. *)
+
+type config = {
+  seed : int;
+  nodes : int;
+  system : string; (* "zkmini" | "cstore" *)
+  warmup : int64; (* let checkers learn latency baselines first *)
+  observe : int64; (* post-injection observation window *)
+}
+
+let default_config =
+  {
+    seed = 42;
+    nodes = 5;
+    system = "zkmini";
+    warmup = Wd_sim.Time.sec 8;
+    observe = Wd_sim.Time.sec 15;
+  }
+
+type result = {
+  cr_csid : string;
+  cr_system : string;
+  cr_seed : int;
+  cr_nodes : int;
+  cr_events : Fleet.event list; (* chronological *)
+  cr_first_latency : int64 option; (* first verdict - injection time *)
+  cr_indicted_nodes : string list;
+  cr_indicted_links : (string * string) list;
+  cr_component : string option;
+  cr_overloaded : bool;
+  cr_as_expected : bool; (* verdicts match the scenario's expectation *)
+  cr_component_ok : bool; (* named component is in the truth set *)
+  cr_membership_events : int;
+  cr_checker_count : int; (* per fleet, all nodes *)
+  cr_workload_ok : float; (* min per-node success ratio *)
+}
+
+(* Grade the fleet's verdicts against the scenario's expectation. A node
+   indictment is correct only if it names exactly the victim; a link
+   verdict is correct only if it covers the cut pair and indicts no node;
+   overload and fault-free demand zero indictments of either kind. *)
+let grade (s : Wd_faults.Cluster_catalog.cscenario) ~system ~fleet =
+  let inodes = Fleet.indicted_nodes fleet in
+  let ilinks = Fleet.indicted_links fleet in
+  let component = Fleet.first_component fleet in
+  match s.Wd_faults.Cluster_catalog.cexpected with
+  | Wd_faults.Cluster_catalog.Expect_node v ->
+      let victim = Fabric.node_name v in
+      let right_node = inodes = [ victim ] && ilinks = [] in
+      let truth =
+        Wd_faults.Cluster_catalog.truth_components s ~system
+      in
+      let component_ok =
+        match component with
+        | Some c -> truth = [] || List.mem c truth
+        | None -> false
+      in
+      (right_node, right_node && component_ok)
+  | Wd_faults.Cluster_catalog.Expect_links -> (
+      match s.Wd_faults.Cluster_catalog.ckind with
+      | Wd_faults.Cluster_catalog.Asym_partition { src; dst } ->
+          let cut =
+            let a = Fabric.node_name src and b = Fabric.node_name dst in
+            if a <= b then (a, b) else (b, a)
+          in
+          (inodes = [] && List.mem cut ilinks, true)
+      | _ -> (inodes = [] && ilinks <> [], true))
+  | Wd_faults.Cluster_catalog.Expect_no_indictment ->
+      (inodes = [] && ilinks = [], true)
+
+let run ?(cfg = default_config) csid =
+  let s = Wd_faults.Cluster_catalog.find csid in
+  let sched = Wd_sim.Sched.create ~seed:cfg.seed () in
+  let ids = List.init cfg.nodes Fabric.node_name in
+  let fabric = Fabric.create ~sched ~nodes:ids () in
+  let nodes =
+    List.init cfg.nodes (fun i -> Node.boot ~sched ~system:cfg.system ~index:i ())
+  in
+  let agents =
+    List.map (fun n -> Membership.create ~sched ~fabric ~node:n ()) nodes
+  in
+  let fleet = Fleet.create ~sched ~nodes ~agents () in
+  List.iter Membership.start agents;
+  Fleet.start fleet;
+  ignore (Wd_sim.Sched.run ~until:cfg.warmup sched);
+  let inject_at = Wd_sim.Sched.now sched in
+  Wd_faults.Cluster_catalog.inject
+    ~node_reg:(fun i -> (List.nth nodes i).Node.reg)
+    ~fabric_reg:fabric.Fabric.reg ~node_name:Fabric.node_name ~at:inject_at s;
+  (match s.Wd_faults.Cluster_catalog.ckind with
+  | Wd_faults.Cluster_catalog.Fleet_overload -> List.iter Node.start_burst nodes
+  | _ -> ());
+  ignore (Wd_sim.Sched.run ~until:(Int64.add inject_at cfg.observe) sched);
+  let events = Fleet.events fleet in
+  let first_latency =
+    match events with
+    | [] -> None
+    | e :: _ -> Some (Int64.sub e.Fleet.ev_at inject_at)
+  in
+  let as_expected, component_ok = grade s ~system:cfg.system ~fleet in
+  {
+    cr_csid = csid;
+    cr_system = cfg.system;
+    cr_seed = cfg.seed;
+    cr_nodes = cfg.nodes;
+    cr_events = events;
+    cr_first_latency = first_latency;
+    cr_indicted_nodes = Fleet.indicted_nodes fleet;
+    cr_indicted_links = Fleet.indicted_links fleet;
+    cr_component = Fleet.first_component fleet;
+    cr_overloaded = Fleet.overloaded fleet;
+    cr_as_expected = as_expected;
+    cr_component_ok = component_ok;
+    cr_membership_events = Fleet.membership_event_count fleet;
+    cr_checker_count =
+      List.fold_left (fun acc n -> acc + Node.checker_count n) 0 nodes;
+    cr_workload_ok =
+      List.fold_left
+        (fun acc (n : Node.t) ->
+          min acc (Wd_targets.Workload.success_ratio n.Node.workload))
+        1.0 nodes;
+  }

@@ -11,6 +11,13 @@ val set_jobs : int -> unit
 val jobs : unit -> int
 (** The effective width. *)
 
+val set_seed : int -> unit
+(** Override the base seed experiments derive their seed lists from (the
+    repro [--seed] flag). Defaults to 42. *)
+
+val base_seed : unit -> int
+(** The effective base seed. *)
+
 (* E1 — Table 1 *)
 type e1_row = {
   e1_scenario : string;
@@ -146,6 +153,10 @@ val e14_text : unit -> string
 (* E16 — multi-seed robustness *)
 val e16_run : unit -> (string * Metrics.latency_stats * int) list
 val e16_text : unit -> string
+
+(* E17 — fleet-level watchdogs over multi-node clusters *)
+val e17_run : unit -> Wd_cluster.Sim.result list
+val e17_text : unit -> string
 
 val all_texts : unit -> (string * (unit -> string)) list
 (** (experiment name, renderer) pairs, in presentation order. *)

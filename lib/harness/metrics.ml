@@ -54,3 +54,60 @@ let scenario_across_seeds ?(cfg = Campaign.default_config) ~seeds ~detector sid 
       (List.filter (fun o -> o.Campaign.o_pinpoint = Some Campaign.Exact) outcomes)
   in
   (latency_stats_of latencies ~total:(List.length seeds), exact)
+
+(* --- fleet-level aggregation (E17) ------------------------------------ *)
+
+type fleet_summary = {
+  fs_faulty : int; (* cells whose scenario expects an indictment *)
+  fs_right : int; (* ... that indicted exactly the right target *)
+  fs_node_cells : int; (* cells expecting a node indictment *)
+  fs_component_right : int; (* ... that also named a true component *)
+  fs_quiet : int; (* cells expecting no indictment *)
+  fs_false_indict : int; (* ... that indicted a node or link anyway *)
+  fs_latency : latency_stats; (* first-verdict latency over faulty cells *)
+}
+
+let fleet_summary (rs : Wd_cluster.Sim.result list) =
+  let expects_indictment (r : Wd_cluster.Sim.result) =
+    match
+      (Wd_faults.Cluster_catalog.find r.Wd_cluster.Sim.cr_csid)
+        .Wd_faults.Cluster_catalog.cexpected
+    with
+    | Wd_faults.Cluster_catalog.Expect_no_indictment -> false
+    | Wd_faults.Cluster_catalog.Expect_node _
+    | Wd_faults.Cluster_catalog.Expect_links ->
+        true
+  in
+  let expects_node (r : Wd_cluster.Sim.result) =
+    match
+      (Wd_faults.Cluster_catalog.find r.Wd_cluster.Sim.cr_csid)
+        .Wd_faults.Cluster_catalog.cexpected
+    with
+    | Wd_faults.Cluster_catalog.Expect_node _ -> true
+    | _ -> false
+  in
+  let faulty = List.filter expects_indictment rs in
+  let quiet = List.filter (fun r -> not (expects_indictment r)) rs in
+  let node_cells = List.filter expects_node rs in
+  {
+    fs_faulty = List.length faulty;
+    fs_right =
+      List.length
+        (List.filter (fun r -> r.Wd_cluster.Sim.cr_as_expected) faulty);
+    fs_node_cells = List.length node_cells;
+    fs_component_right =
+      List.length
+        (List.filter (fun r -> r.Wd_cluster.Sim.cr_component_ok) node_cells);
+    fs_quiet = List.length quiet;
+    fs_false_indict =
+      List.length
+        (List.filter
+           (fun (r : Wd_cluster.Sim.result) ->
+             r.Wd_cluster.Sim.cr_indicted_nodes <> []
+             || r.Wd_cluster.Sim.cr_indicted_links <> [])
+           quiet);
+    fs_latency =
+      latency_stats_of
+        (List.filter_map (fun r -> r.Wd_cluster.Sim.cr_first_latency) faulty)
+        ~total:(List.length faulty);
+  }

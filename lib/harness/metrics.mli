@@ -23,3 +23,17 @@ val scenario_across_seeds :
   latency_stats * int
 (** Run the scenario once per seed; returns the detector's latency stats and
     how many runs pinpointed exactly. *)
+
+type fleet_summary = {
+  fs_faulty : int;  (** cells whose scenario expects an indictment *)
+  fs_right : int;  (** ... that indicted exactly the right target *)
+  fs_node_cells : int;  (** cells expecting a node indictment *)
+  fs_component_right : int;  (** ... that also named a true component *)
+  fs_quiet : int;  (** cells expecting no indictment *)
+  fs_false_indict : int;  (** ... that indicted a node or link anyway *)
+  fs_latency : latency_stats;  (** first-verdict latency over faulty cells *)
+}
+
+val fleet_summary : Wd_cluster.Sim.result list -> fleet_summary
+(** Grade a batch of cluster cells (E17): indictment accuracy over faulty
+    scenarios, false-indictment rate over quiet ones, detection latency. *)

@@ -281,6 +281,36 @@ let test_net_site_dst_override () =
       | _ -> Alcotest.fail "expected fate-shared error"
       | exception Net.Net_error _ -> ())
 
+(* An asymmetric cut — the fabric case wd_cluster leans on: dropping a->b
+   must not disturb the reverse link's delivery or its FIFO order, and the
+   counters must attribute every a->b send to the drop column. *)
+let test_net_asymmetric_partition () =
+  in_sim (fun _s reg ->
+      let n = mknet reg in
+      Net.register n "a";
+      Net.register n "b";
+      Faultreg.inject reg (fault "net:n:send:a:b" Faultreg.Drop);
+      for i = 1 to 4 do
+        Net.send n ~src:"a" ~dst:"b" i
+      done;
+      for i = 10 to 13 do
+        Net.send n ~src:"b" ~dst:"a" i
+      done;
+      check "a->b fully cut" true
+        (Net.recv_timeout n "b" ~timeout:(Time.ms 200) = None);
+      let got = ref [] in
+      for _ = 1 to 4 do
+        match Net.recv_timeout n "a" ~timeout:(Time.sec 1) with
+        | Some env -> got := env.Net.payload :: !got
+        | None -> Alcotest.fail "b->a delivery lost"
+      done;
+      Alcotest.(check (list int))
+        "b->a alive, in order" [ 10; 11; 12; 13 ] (List.rev !got);
+      let sent, delivered, dropped = Net.stats n in
+      check_int "sent counts both directions" 8 sent;
+      check_int "delivered only b->a" 4 delivered;
+      check_int "dropped only a->b" 4 dropped)
+
 let test_net_inbox_length_and_try_recv () =
   in_sim (fun _s reg ->
       let n = mknet reg in
@@ -413,6 +443,8 @@ let () =
           Alcotest.test_case "error fault" `Quick test_net_error_fault;
           Alcotest.test_case "hang blocks sender" `Quick test_net_hang_blocks_sender;
           Alcotest.test_case "site_dst fate sharing" `Quick test_net_site_dst_override;
+          Alcotest.test_case "asymmetric partition" `Quick
+            test_net_asymmetric_partition;
           Alcotest.test_case "inbox length / try_recv" `Quick
             test_net_inbox_length_and_try_recv;
           QCheck_alcotest.to_alcotest prop_net_link_fifo;
