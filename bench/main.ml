@@ -196,21 +196,34 @@ let interp_call_prog =
       ]
     ~entries:[]
 
-(* Host seconds to interpret [fname nv] in a fresh one-task simulation;
-   returns (statements executed, wall seconds). *)
-let interp_bench prog fname nv =
+(* Host seconds to interpret [fname nv] in a fresh one-task simulation on
+   the given engine; returns (statements executed, wall seconds). The
+   compiled form is built at [create] time, outside the measured window —
+   compile cost is a one-time charge already covered by the analysis-cache
+   section. *)
+let interp_bench ~engine prog fname nv =
   let s = Sched.create ~seed:1 () in
   let reg = Wd_env.Faultreg.create () in
   let res = Wd_ir.Runtime.create ~reg ~rng:(Wd_sim.Rng.create ~seed:2) in
-  let main = Wd_ir.Interp.create ~node:"n" ~res prog in
+  let main = Wd_ir.Interp.create ~engine ~node:"n" ~res prog in
   ignore
     (Sched.spawn s (fun () ->
          ignore (Wd_ir.Interp.call main fname [ Wd_ir.Ast.VInt nv ])));
   let (), secs = wall (fun () -> ignore (Sched.run s)) in
   (Wd_ir.Interp.stmts_executed main, secs)
 
+(* (stmt_loop stmts, stmt secs, call_loop calls, call secs) for one engine. *)
+let interp_bench_engine engine =
+  let stmts, stmt_s = interp_bench ~engine interp_prog "sum_to" 100_000 in
+  let calls = 30_000 in
+  let _, call_s = interp_bench ~engine interp_call_prog "call_loop" calls in
+  (stmts, stmt_s, calls, call_s)
+
+let per_s n secs = float_of_int n /. Float.max 1e-9 secs
+
 let run_json_bench ~jobs_n () =
   let module Campaign = Wd_harness.Campaign in
+  let module Interp = Wd_ir.Interp in
   let scenarios =
     List.filter
       (fun s -> s.Wd_faults.Catalog.special <> Some "crash")
@@ -219,25 +232,36 @@ let run_json_bench ~jobs_n () =
   let cells =
     List.map (fun s -> Campaign.cell s.Wd_faults.Catalog.sid) scenarios
   in
-  (* Both widths start from a cold analysis cache so the comparison
-     isolates domain parallelism, not cache warmth. *)
-  Generate.clear_cache ();
-  let runs1, secs1 = wall (fun () -> Campaign.run_batch ~jobs:1 cells) in
-  Generate.clear_cache ();
-  let runs_n, secs_n = wall (fun () -> Campaign.run_batch ~jobs:jobs_n cells) in
+  (* Every batch starts from cold analysis + compile caches so each
+     comparison isolates one variable: domain parallelism between the first
+     two, the execution engine between the last two. *)
+  let cold_batch ~jobs () =
+    Generate.clear_cache ();
+    Interp.clear_compile_cache ();
+    wall (fun () -> Campaign.run_batch ~jobs cells)
+  in
+  Interp.set_default_engine `Compiled;
+  let runs1, secs1 = cold_batch ~jobs:1 () in
+  let runs_n, secs_n = cold_batch ~jobs:jobs_n () in
+  Interp.set_default_engine `Treewalk;
+  let runs_tw, secs_tw = cold_batch ~jobs:jobs_n () in
+  Interp.set_default_engine `Compiled;
   let deterministic = runs1 = runs_n in
+  let engines_identical = runs1 = runs_tw in
   (* analysis cache: cold analysis vs memoised hit *)
   Generate.clear_cache ();
   let _, cold_s = wall (fun () -> ignore (Generate.analyze_cached zk_prog)) in
   let _, hit_s = wall (fun () -> ignore (Generate.analyze_cached zk_prog)) in
-  (* interpreter micro-benches: straight-line statements and call-heavy *)
-  let stmts, stmt_s = interp_bench interp_prog "sum_to" 100_000 in
-  let calls = 30_000 in
-  let _, call_s = wall (fun () -> ignore (interp_bench interp_call_prog "call_loop" calls)) in
+  (* interpreter micro-benches, one row per engine: straight-line
+     statements and call-heavy *)
+  let c_stmts, c_stmt_s, c_calls, c_call_s = interp_bench_engine `Compiled in
+  let t_stmts, t_stmt_s, t_calls, t_call_s = interp_bench_engine `Treewalk in
+  let stmt_speedup = per_s c_stmts c_stmt_s /. per_s t_stmts t_stmt_s in
+  let call_speedup = per_s c_calls c_call_s /. per_s t_calls t_call_s in
   let buf = Buffer.create 1024 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   bpf "{\n";
-  bpf "  \"schema\": \"wd-bench-harness/v1\",\n";
+  bpf "  \"schema\": \"wd-bench-harness/v2\",\n";
   bpf "  \"host\": { \"recommended_domains\": %d },\n"
     (Domain.recommended_domain_count ());
   bpf "  \"campaign_e2\": {\n";
@@ -246,15 +270,30 @@ let run_json_bench ~jobs_n () =
   bpf "    \"jobs\": %d,\n" jobs_n;
   bpf "    \"jobsN_wall_s\": %.3f,\n" secs_n;
   bpf "    \"speedup\": %.2f,\n" (secs1 /. Float.max 1e-9 secs_n);
-  bpf "    \"deterministic\": %b\n" deterministic;
+  bpf "    \"deterministic\": %b,\n" deterministic;
+  bpf "    \"treewalk_jobsN_wall_s\": %.3f,\n" secs_tw;
+  bpf "    \"engine_speedup\": %.2f,\n" (secs_tw /. Float.max 1e-9 secs_n);
+  bpf "    \"engines_identical\": %b\n" engines_identical;
   bpf "  },\n";
   bpf "  \"analysis_cache\": { \"cold_ms\": %.3f, \"hit_ms\": %.4f },\n"
     (1e3 *. cold_s) (1e3 *. hit_s);
   bpf "  \"interp\": {\n";
-  bpf "    \"stmt_loop\": { \"stmts\": %d, \"wall_s\": %.3f, \"stmts_per_s\": %.0f },\n"
-    stmts stmt_s (float_of_int stmts /. Float.max 1e-9 stmt_s);
-  bpf "    \"call_loop\": { \"calls\": %d, \"wall_s\": %.3f, \"calls_per_s\": %.0f }\n"
-    calls call_s (float_of_int calls /. Float.max 1e-9 call_s);
+  let engine_rows label stmts stmt_s calls call_s comma =
+    bpf "    \"%s\": {\n" label;
+    bpf
+      "      \"stmt_loop\": { \"stmts\": %d, \"wall_s\": %.3f, \
+       \"stmts_per_s\": %.0f },\n"
+      stmts stmt_s (per_s stmts stmt_s);
+    bpf
+      "      \"call_loop\": { \"calls\": %d, \"wall_s\": %.3f, \
+       \"calls_per_s\": %.0f }\n"
+      calls call_s (per_s calls call_s);
+    bpf "    }%s\n" comma
+  in
+  engine_rows "compiled" c_stmts c_stmt_s c_calls c_call_s ",";
+  engine_rows "treewalk" t_stmts t_stmt_s t_calls t_call_s ",";
+  bpf "    \"engine_speedup\": { \"stmt_loop\": %.2f, \"call_loop\": %.2f }\n"
+    stmt_speedup call_speedup;
   bpf "  }\n";
   bpf "}\n";
   let json = Buffer.contents buf in
@@ -266,6 +305,10 @@ let run_json_bench ~jobs_n () =
   if not deterministic then begin
     prerr_endline "ERROR: jobs=1 and jobs=N campaign results differ";
     exit 1
+  end;
+  if not engines_identical then begin
+    prerr_endline "ERROR: compiled and treewalk campaign results differ";
+    exit 1
   end
 
 let () =
@@ -275,6 +318,19 @@ let () =
     | _ :: rest -> jobs_of rest
     | [] -> None
   in
+  let rec engine_of = function
+    | "--engine" :: e :: _ -> Some e
+    | _ :: rest -> engine_of rest
+    | [] -> None
+  in
+  (match engine_of argv with
+  | None -> ()
+  | Some e -> (
+      match Wd_ir.Interp.engine_of_string e with
+      | Some e -> Wd_ir.Interp.set_default_engine e
+      | None ->
+          Printf.eprintf "unknown engine %s (compiled|treewalk)\n" e;
+          exit 2));
   if List.mem "--json" argv then
     let jobs_n =
       match jobs_of argv with

@@ -30,9 +30,35 @@ let apply_seed = function
   | Some s -> Wd_harness.Experiments.set_seed s
   | None -> ()
 
-let run_experiment name jobs seed =
+(* IR execution engine: the closure compiler (default) or the tree-walking
+   reference interpreter. Results are byte-identical on either engine. *)
+let engine_conv =
+  let parse s =
+    match Wd_ir.Interp.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg ("unknown engine " ^ s ^ " (compiled|treewalk)"))
+  in
+  Arg.conv (parse, fun ppf e -> Fmt.string ppf (Wd_ir.Interp.engine_name e))
+
+let engine_arg =
+  let doc =
+    "IR execution engine: $(b,compiled) (closure-compiled, default) or \
+     $(b,treewalk) (reference tree-walker). Results are byte-identical on \
+     either engine; only wall-clock changes."
+  in
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let apply_engine = function
+  | Some e -> Wd_harness.Experiments.set_engine e
+  | None -> ()
+
+let run_experiment name jobs seed engine =
   apply_jobs jobs;
   apply_seed seed;
+  apply_engine engine;
   match List.assoc_opt name (Wd_harness.Experiments.all_texts ()) with
   | Some f ->
       print_string (f ());
@@ -61,24 +87,26 @@ let experiment_cmds =
     (fun (ename, _) ->
       let doc = Printf.sprintf "Run experiment %s." ename in
       let term =
-        Term.(const run_experiment $ const ename $ jobs_arg $ seed_arg)
+        Term.(
+          const run_experiment $ const ename $ jobs_arg $ seed_arg $ engine_arg)
       in
       Cmd.v (Cmd.info ename ~doc) term)
     (Wd_harness.Experiments.all_texts ())
 
 let all_cmd =
   let doc = "Run every experiment." in
-  let run jobs seed =
+  let run jobs seed engine =
     apply_jobs jobs;
     apply_seed seed;
+    apply_engine engine;
     List.fold_left
       (fun acc (name, _) ->
         Printf.printf "\n================ repro %s ================\n\n" name;
-        max acc (run_experiment name None None))
+        max acc (run_experiment name None None None))
       0
       (Wd_harness.Experiments.all_texts ())
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg $ seed_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg $ seed_arg $ engine_arg)
 
 let checkers_cmd =
   let doc =

@@ -97,7 +97,15 @@ let run ?fault ?(timeout = Wd_sim.Time.sec 10) (g : Generate.generated)
             Runtime.add_mem res
               (Wd_env.Memory.create ~reg ~capacity:(64 * 1024 * 1024) m))
           mems;
-        let ci = Interp.create ~mode:Interp.Checker ~node ~res g.Generate.watchdog_prog in
+        let ci =
+          match (Interp.default_engine (), g.Generate.watchdog_compiled) with
+          | `Compiled, Some compiled ->
+              Interp.create ~compiled ~mode:Interp.Checker ~node ~res
+                g.Generate.watchdog_prog
+          | _ ->
+              Interp.create ~mode:Interp.Checker ~node ~res
+                g.Generate.watchdog_prog
+        in
         let outcome = ref Not_reproduced in
         ignore
           (Wd_sim.Sched.spawn ~name:"repro" sched (fun () ->

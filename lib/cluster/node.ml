@@ -40,7 +40,7 @@ let kind_of_checker_id id : Checker.kind =
   else if has_prefix "signal:" then Checker.Signal
   else Checker.Mimic
 
-let boot ~sched ~system ~index () =
+let boot ?engine ~sched ~system ~index () =
   let id = Fabric.node_name index in
   let reg = Wd_env.Faultreg.create () in
   let driver = Driver.create sched in
@@ -50,11 +50,11 @@ let boot ~sched ~system ~index () =
       let prog = Wd_targets.Zkmini.program () in
       let g = Generate.analyze_cached prog in
       let t =
-        Wd_targets.Zkmini.boot ~sched ~reg
+        Wd_targets.Zkmini.boot ?engine ~sched ~reg
           ~prog:g.Generate.red.Wd_analysis.Reduction.instrumented ()
       in
       ignore
-        (Generate.attach ~progress:(Wd_sim.Time.sec 20) g ~sched
+        (Generate.attach ?engine ~progress:(Wd_sim.Time.sec 20) g ~sched
            ~main:t.Wd_targets.Zkmini.leader ~driver);
       Driver.add_checker driver
         (Wd_detectors.Signalmon.queue_depth ~id:"signal:reqq"
@@ -88,11 +88,11 @@ let boot ~sched ~system ~index () =
       let prog = Wd_targets.Cstore.program () in
       let g = Generate.analyze_cached prog in
       let t =
-        Wd_targets.Cstore.boot ~sched ~reg
+        Wd_targets.Cstore.boot ?engine ~sched ~reg
           ~prog:g.Generate.red.Wd_analysis.Reduction.instrumented ()
       in
       ignore
-        (Generate.attach ~progress:(Wd_sim.Time.sec 20) g ~sched
+        (Generate.attach ?engine ~progress:(Wd_sim.Time.sec 20) g ~sched
            ~main:t.Wd_targets.Cstore.main ~driver);
       Driver.add_checker driver
         (Wd_detectors.Signalmon.queue_depth ~id:"signal:reqq"

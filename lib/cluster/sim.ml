@@ -10,6 +10,9 @@ type config = {
   system : string; (* "zkmini" | "cstore" *)
   warmup : int64; (* let checkers learn latency baselines first *)
   observe : int64; (* post-injection observation window *)
+  engine : Wd_ir.Interp.engine option;
+      (* IR engine for every node's target + checkers; None follows the
+         process default *)
 }
 
 let default_config =
@@ -19,6 +22,7 @@ let default_config =
     system = "zkmini";
     warmup = Wd_sim.Time.sec 8;
     observe = Wd_sim.Time.sec 15;
+    engine = None;
   }
 
 type result = {
@@ -78,7 +82,8 @@ let run ?(cfg = default_config) csid =
   let ids = List.init cfg.nodes Fabric.node_name in
   let fabric = Fabric.create ~sched ~nodes:ids () in
   let nodes =
-    List.init cfg.nodes (fun i -> Node.boot ~sched ~system:cfg.system ~index:i ())
+    List.init cfg.nodes (fun i ->
+        Node.boot ?engine:cfg.engine ~sched ~system:cfg.system ~index:i ())
   in
   let agents =
     List.map (fun n -> Membership.create ~sched ~fabric ~node:n ()) nodes

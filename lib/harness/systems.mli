@@ -23,6 +23,7 @@ type booted = {
 }
 
 val boot :
+  ?engine:Wd_ir.Interp.engine ->
   sched:Wd_sim.Sched.t ->
   reg:Wd_env.Faultreg.t ->
   mode:watchdog_mode ->
@@ -30,6 +31,8 @@ val boot :
   string ->
   booted
 (** Boot "kvs", "zkmini", "dfsmini" or "cstore". [special] selects boot
-    variants: "leak_bug", "in_memory", "burst" (kvs only). *)
+    variants: "leak_bug", "in_memory", "burst" (kvs only). [engine] selects
+    the IR execution engine for the target and its checkers (default:
+    {!Wd_ir.Interp.default_engine}). *)
 
 val all_systems : string list

@@ -1,0 +1,613 @@
+(* Closure compiler: lowers each IR function, once, into a tree of OCaml
+   closures. See compile.mli for the lowering strategy and the parity
+   contract with the tree-walking reference engine in [Interp].
+
+   The compiler owns nothing effectful: charging, op execution, sync
+   protocols and hooks are reached through the ['i rt] record supplied by
+   the interpreter, so one compiled program serves Main and Checker
+   instances alike and the semantics live in exactly one place. *)
+
+open Ast
+
+exception Violation of { loc : Loc.t; vkind : string; msg : string }
+exception Return_exn of value
+
+type 'i rt = {
+  charge_stmt : 'i -> unit;
+  charge : 'i -> int64 -> unit;
+  exec_op :
+    'i ->
+    Loc.t ->
+    desc:string ->
+    kind:op_kind ->
+    target:string ->
+    value list ->
+    value;
+  exec_sync : 'i -> Loc.t -> lock:string -> desc:string -> (unit -> unit) -> unit;
+  exec_hook : 'i -> int -> (string -> value option) -> unit;
+  max_depth : 'i -> int;
+}
+
+(* Frame slots are always "bound" to something; reads of a name the program
+   never assigned must still raise the tree-walker's unbound violation. A
+   single private block, tested by physical equality, marks empty slots —
+   program values can never be physically equal to it. It must never leak
+   into program-visible state: [Var] reads and hook captures check it. *)
+let unbound : value = VStr "\x00wd:unbound\x00"
+
+let vtrue = VBool true
+let vfalse = VBool false
+
+(* Raise helpers shared by both engines: the single source of truth for
+   violation payloads, and never inlined so no error string is formatted
+   before the raise decision. *)
+let[@inline never] verr loc vkind msg = raise (Violation { loc; vkind; msg })
+
+let[@inline never] err_unbound loc x =
+  verr loc "unbound" (Fmt.str "unbound variable %s" x)
+
+let[@inline never] err_cond loc v =
+  verr loc "type" (Fmt.str "condition not bool: %a" pp_value v)
+
+let[@inline never] err_logic loc v =
+  verr loc "type" (Fmt.str "logic op on %a" pp_value v)
+
+let[@inline never] err_int_op loc va vb =
+  verr loc "type" (Fmt.str "int op on %a, %a" pp_value va pp_value vb)
+
+let[@inline never] err_cmp loc va vb =
+  verr loc "type" (Fmt.str "comparison on %a, %a" pp_value va pp_value vb)
+
+let[@inline never] err_concat loc va vb =
+  verr loc "type" (Fmt.str "concat on %a, %a" pp_value va pp_value vb)
+
+let[@inline never] err_not loc v = verr loc "type" (Fmt.str "not: %a" pp_value v)
+let[@inline never] err_neg loc v = verr loc "type" (Fmt.str "neg: %a" pp_value v)
+let[@inline never] err_len loc v = verr loc "type" (Fmt.str "len: %a" pp_value v)
+let[@inline never] err_fst loc v = verr loc "type" (Fmt.str "fst: %a" pp_value v)
+let[@inline never] err_snd loc v = verr loc "type" (Fmt.str "snd: %a" pp_value v)
+
+let[@inline never] err_foreach loc v =
+  verr loc "type" (Fmt.str "foreach over %a" pp_value v)
+
+let[@inline never] err_prim loc m = verr loc "prim" m
+
+let[@inline never] err_depth n =
+  verr Loc.dummy "depth" (Fmt.str "call depth > %d" n)
+
+let[@inline never] err_call_arity fname =
+  verr Loc.dummy "arity" (Fmt.str "call %s arity" fname)
+
+let op_desc kind target = op_kind_name kind ^ "(" ^ target ^ ")"
+
+(* --- slot resolution --- *)
+
+type fenv = { slots : (string, int) Hashtbl.t; mutable next : int }
+
+let slot fenv x =
+  match Hashtbl.find_opt fenv.slots x with
+  | Some i -> i
+  | None ->
+      let i = fenv.next in
+      fenv.next <- i + 1;
+      Hashtbl.add fenv.slots x i;
+      i
+
+(* --- compiled form --- *)
+
+type 'i cfunc = {
+  cf_src : func; (* identity of the first binding; pass 2 compiles only it *)
+  cf_arity : int;
+  mutable cf_param_slots : int array;
+  mutable cf_nslots : int;
+  mutable cf_body : 'i -> value array -> int -> unit; (* raises Return_exn *)
+}
+
+type 'i t = { cp_prog : program; cp_funcs : (string, 'i cfunc) Hashtbl.t }
+
+(* --- expression compilation (pure: closures take only the frame) --- *)
+
+let rec cexpr fenv loc e : value array -> value =
+  match e with
+  | Const v -> fun _ -> v
+  | Var x ->
+      let i = slot fenv x in
+      fun f ->
+        let v = Array.unsafe_get f i in
+        if v == unbound then err_unbound loc x else v
+  | Binop (op, a, b) -> cbinop fenv loc op a b
+  | Unop (Not, e1) -> (
+      let c = cexpr fenv loc e1 in
+      fun f -> match c f with VBool b -> VBool (not b) | v -> err_not loc v)
+  | Unop (Neg, e1) -> (
+      let c = cexpr fenv loc e1 in
+      fun f -> match c f with VInt i -> VInt (-i) | v -> err_neg loc v)
+  | Unop (Len, e1) -> (
+      let c = cexpr fenv loc e1 in
+      fun f ->
+        match c f with
+        | VStr s -> VInt (String.length s)
+        | VBytes b -> VInt (Bytes.length b)
+        | VList l -> VInt (List.length l)
+        | VMap m -> VInt (List.length m)
+        | v -> err_len loc v)
+  | Pair (a, b) ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f ->
+        let va = ca f in
+        let vb = cb f in
+        VPair (va, vb)
+  | Fst e1 -> (
+      let c = cexpr fenv loc e1 in
+      fun f -> match c f with VPair (a, _) -> a | v -> err_fst loc v)
+  | Snd e1 -> (
+      let c = cexpr fenv loc e1 in
+      fun f -> match c f with VPair (_, b) -> b | v -> err_snd loc v)
+  | Prim (name, args) ->
+      let k = clist fenv loc args in
+      fun f ->
+        let vs = k f in
+        (try Prims.apply name vs with Prims.Prim_error m -> err_prim loc m)
+
+and cbinop fenv loc op a b : value array -> value =
+  match op with
+  | And ->
+      (* Short-circuit; a non-bool left side is a type violation before the
+         right side is touched, in both engines. The right side's raw value
+         is the result, unchecked — exactly the tree-walker. *)
+      let ca = cbool fenv loc (fun v -> err_logic loc v) a in
+      let cb = cexpr fenv loc b in
+      fun f -> if ca f then cb f else vfalse
+  | Or ->
+      let ca = cbool fenv loc (fun v -> err_logic loc v) a in
+      let cb = cexpr fenv loc b in
+      fun f -> if ca f then vtrue else cb f
+  | Add ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VInt x, VInt y -> VInt (x + y)
+        | _ -> err_int_op loc va vb)
+  | Sub ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VInt x, VInt y -> VInt (x - y)
+        | _ -> err_int_op loc va vb)
+  | Mul ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VInt x, VInt y -> VInt (x * y)
+        | _ -> err_int_op loc va vb)
+  | Div ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VInt x, VInt y ->
+            if y = 0 then verr loc "arith" "division by zero" else VInt (x / y)
+        | _ -> err_int_op loc va vb)
+  | Mod ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VInt x, VInt y ->
+            if y = 0 then verr loc "arith" "mod by zero" else VInt (x mod y)
+        | _ -> err_int_op loc va vb)
+  | Eq ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f ->
+        let va = ca f in
+        let vb = cb f in
+        if value_equal va vb then vtrue else vfalse
+  | Ne ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f ->
+        let va = ca f in
+        let vb = cb f in
+        if value_equal va vb then vfalse else vtrue
+  | (Lt | Le | Gt | Ge) as op ->
+      let c = ccmp fenv loc op a b in
+      fun f -> if c f then vtrue else vfalse
+  | Concat ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VStr x, VStr y -> VStr (x ^ y)
+        | _ -> err_concat loc va vb)
+
+and ccmp fenv loc op a b : value array -> bool =
+  let ca = cexpr fenv loc a in
+  let cb = cexpr fenv loc b in
+  match op with
+  | Lt ->
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VInt x, VInt y -> x < y
+        | VStr x, VStr y -> String.compare x y < 0
+        | _ -> err_cmp loc va vb)
+  | Le ->
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VInt x, VInt y -> x <= y
+        | VStr x, VStr y -> String.compare x y <= 0
+        | _ -> err_cmp loc va vb)
+  | Gt ->
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VInt x, VInt y -> x > y
+        | VStr x, VStr y -> String.compare x y > 0
+        | _ -> err_cmp loc va vb)
+  | Ge ->
+      fun f -> (
+        let va = ca f in
+        let vb = cb f in
+        match (va, vb) with
+        | VInt x, VInt y -> x >= y
+        | VStr x, VStr y -> String.compare x y >= 0
+        | _ -> err_cmp loc va vb)
+  | Add | Sub | Mul | Div | Mod | Eq | Ne | And | Or | Concat -> assert false
+
+(* Compile an expression used as a condition, producing a bare [bool].
+   [bad] is the violation to raise when the expression's *value* turns out
+   non-bool; it differs by context ("condition not bool" under
+   If/While/Assert, "logic op" under And/Or), matching the tree-walker's
+   [truthy]-vs-[eval_binop] split. Comparison/equality shapes skip the
+   check entirely — they cannot produce non-bools. *)
+and cbool fenv loc (bad : value -> bool) e : value array -> bool =
+  match e with
+  | Const (VBool true) -> fun _ -> true
+  | Const (VBool false) -> fun _ -> false
+  | Binop (Eq, a, b) ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f ->
+        let va = ca f in
+        let vb = cb f in
+        value_equal va vb
+  | Binop (Ne, a, b) ->
+      let ca = cexpr fenv loc a in
+      let cb = cexpr fenv loc b in
+      fun f ->
+        let va = ca f in
+        let vb = cb f in
+        not (value_equal va vb)
+  | Binop (((Lt | Le | Gt | Ge) as op), a, b) -> ccmp fenv loc op a b
+  | Binop (And, a, b) ->
+      let ca = cbool fenv loc (fun v -> err_logic loc v) a in
+      let cb = cbool fenv loc bad b in
+      fun f -> if ca f then cb f else false
+  | Binop (Or, a, b) ->
+      let ca = cbool fenv loc (fun v -> err_logic loc v) a in
+      let cb = cbool fenv loc bad b in
+      fun f -> if ca f then true else cb f
+  | Unop (Not, e1) ->
+      let c = cbool fenv loc (fun v -> err_not loc v) e1 in
+      fun f -> not (c f)
+  | e -> (
+      let c = cexpr fenv loc e in
+      fun f -> match c f with VBool b -> b | v -> bad v)
+
+(* Flattened left-to-right argument evaluation: no [List.map] closure per
+   execution for the common small arities. *)
+and clist fenv loc args : value array -> value list =
+  match List.map (cexpr fenv loc) args with
+  | [] -> fun _ -> []
+  | [ a ] -> fun f -> [ a f ]
+  | [ a; b ] ->
+      fun f ->
+        let va = a f in
+        let vb = b f in
+        [ va; vb ]
+  | [ a; b; c ] ->
+      fun f ->
+        let va = a f in
+        let vb = b f in
+        let vc = c f in
+        [ va; vb; vc ]
+  | [ a; b; c; d ] ->
+      fun f ->
+        let va = a f in
+        let vb = b f in
+        let vc = c f in
+        let vd = d f in
+        [ va; vb; vc; vd ]
+  | cs -> fun f -> List.map (fun c -> c f) cs
+
+(* --- statement and program compilation --- *)
+
+let compile ~rt prog =
+  let funcs = Hashtbl.create (2 * List.length prog.funcs) in
+  (* Pass 1: one handle per name (first binding wins, like [find_func]), so
+     call sites — including forward and mutual references — resolve to the
+     handle now and read the body through it at run time. *)
+  List.iter
+    (fun f ->
+      if not (Hashtbl.mem funcs f.fname) then
+        Hashtbl.add funcs f.fname
+          {
+            cf_src = f;
+            cf_arity = List.length f.params;
+            cf_param_slots = [||];
+            cf_nslots = 0;
+            cf_body = (fun _ _ _ -> assert false);
+          })
+    prog.funcs;
+  let rec cstmt fenv (st : stmt) =
+    let loc = st.loc in
+    match st.node with
+    | Let (x, e) | Assign (x, e) ->
+        let i = slot fenv x in
+        let ce = cexpr fenv loc e in
+        fun t f _d ->
+          rt.charge_stmt t;
+          Array.unsafe_set f i (ce f)
+    | Op { kind; target; args; bind } -> (
+        let k = clist fenv loc args in
+        let desc = op_desc kind target in
+        match bind with
+        | None ->
+            fun t f _d ->
+              rt.charge_stmt t;
+              let vs = k f in
+              ignore (rt.exec_op t loc ~desc ~kind ~target vs : value)
+        | Some x ->
+            let i = slot fenv x in
+            fun t f _d ->
+              rt.charge_stmt t;
+              let vs = k f in
+              Array.unsafe_set f i (rt.exec_op t loc ~desc ~kind ~target vs))
+    | Call { func; args; bind } -> ccall fenv loc func args bind
+    | If (c, th, el) ->
+        let cc = cbool fenv loc (fun v -> err_cond loc v) c in
+        let cth = cblock fenv th in
+        let cel = cblock fenv el in
+        fun t f d ->
+          rt.charge_stmt t;
+          if cc f then cth t f d else cel t f d
+    | While (c, body) ->
+        let cc = cbool fenv loc (fun v -> err_cond loc v) c in
+        let cb = cblock fenv body in
+        fun t f d ->
+          rt.charge_stmt t;
+          while cc f do
+            cb t f d
+          done
+    | Foreach (x, e, body) ->
+        let ce = cexpr fenv loc e in
+        let i = slot fenv x in
+        let cb = cblock fenv body in
+        fun t f d -> (
+          rt.charge_stmt t;
+          match ce f with
+          | VList items ->
+              List.iter
+                (fun item ->
+                  Array.unsafe_set f i item;
+                  cb t f d)
+                items
+          | v -> err_foreach loc v)
+    | Sync (lockname, body) ->
+        let cb = cblock fenv body in
+        let desc = "lock(" ^ lockname ^ ")" in
+        fun t f d ->
+          rt.charge_stmt t;
+          rt.exec_sync t loc ~lock:lockname ~desc (fun () -> cb t f d)
+    | Try (body, exn, handler) ->
+        let cb = cblock fenv body in
+        let i = slot fenv exn in
+        let ch = cblock fenv handler in
+        fun t f d ->
+          rt.charge_stmt t;
+          (try cb t f d with
+          | Wd_env.Disk.Io_error m
+          | Wd_env.Net.Net_error m
+          | Wd_env.Memory.Out_of_memory m ->
+              Array.unsafe_set f i (VStr m);
+              ch t f d
+          | Wd_sim.Channel.Closed m ->
+              Array.unsafe_set f i (VStr ("channel closed: " ^ m));
+              ch t f d)
+    | Return e ->
+        let ce = cexpr fenv loc e in
+        fun t f _d ->
+          rt.charge_stmt t;
+          raise_notrace (Return_exn (ce f))
+    | Assert (e, msg) ->
+        let cc = cbool fenv loc (fun v -> err_cond loc v) e in
+        fun t f _d ->
+          rt.charge_stmt t;
+          if not (cc f) then verr loc "assert" msg
+    | Compute { cost_ns; note = _ } ->
+        fun t _f _d ->
+          rt.charge_stmt t;
+          rt.charge t cost_ns
+    | Hook id ->
+        let slots = fenv.slots in
+        fun t f _d ->
+          rt.charge_stmt t;
+          rt.exec_hook t id (fun name ->
+              match Hashtbl.find_opt slots name with
+              | Some i ->
+                  let v = Array.unsafe_get f i in
+                  if v == unbound then None else Some v
+              | None -> None)
+  and cblock fenv block =
+    match Array.of_list (List.map (cstmt fenv) block) with
+    | [||] -> fun _ _ _ -> ()
+    | [| s1 |] -> s1
+    | [| s1; s2 |] ->
+        fun t f d ->
+          s1 t f d;
+          s2 t f d
+    | [| s1; s2; s3 |] ->
+        fun t f d ->
+          s1 t f d;
+          s2 t f d;
+          s3 t f d
+    | [| s1; s2; s3; s4 |] ->
+        fun t f d ->
+          s1 t f d;
+          s2 t f d;
+          s3 t f d;
+          s4 t f d
+    | arr ->
+        fun t f d ->
+          for i = 0 to Array.length arr - 1 do
+            (Array.unsafe_get arr i) t f d
+          done
+  and ccall fenv loc func args bind =
+    let store =
+      match bind with
+      | None -> fun _f (_v : value) -> ()
+      | Some x ->
+          let i = slot fenv x in
+          fun f v -> Array.unsafe_set f i v
+    in
+    match Hashtbl.find_opt funcs func with
+    | None ->
+        (* Unknown target: compile the tree-walker's behaviour — arguments
+           still evaluate, the depth guard still applies, then [find_func]
+           raises the canonical [Ir_error]. *)
+        let k = clist fenv loc args in
+        fun t f d ->
+          rt.charge_stmt t;
+          ignore (k f : value list);
+          if d > rt.max_depth t then err_depth (rt.max_depth t);
+          ignore (find_func prog func : func);
+          assert false
+    | Some cf when List.compare_length_with args cf.cf_arity <> 0 ->
+        let k = clist fenv loc args in
+        fun t f d ->
+          rt.charge_stmt t;
+          ignore (k f : value list);
+          if d > rt.max_depth t then err_depth (rt.max_depth t);
+          err_call_arity func
+    | Some cf -> (
+        (* [cf_body]/[cf_nslots]/[cf_param_slots] are read at run time: the
+           callee may not be compiled yet (forward reference). *)
+        let invoke t nf d =
+          match cf.cf_body t nf (d + 1) with
+          | () -> VUnit
+          | exception Return_exn v -> v
+        in
+        match List.map (cexpr fenv loc) args with
+        | [] ->
+            fun t f d ->
+              rt.charge_stmt t;
+              if d > rt.max_depth t then err_depth (rt.max_depth t);
+              let nf = Array.make cf.cf_nslots unbound in
+              store f (invoke t nf d)
+        | [ a0 ] ->
+            fun t f d ->
+              rt.charge_stmt t;
+              let v0 = a0 f in
+              if d > rt.max_depth t then err_depth (rt.max_depth t);
+              let nf = Array.make cf.cf_nslots unbound in
+              let ps = cf.cf_param_slots in
+              Array.unsafe_set nf (Array.unsafe_get ps 0) v0;
+              store f (invoke t nf d)
+        | [ a0; a1 ] ->
+            fun t f d ->
+              rt.charge_stmt t;
+              let v0 = a0 f in
+              let v1 = a1 f in
+              if d > rt.max_depth t then err_depth (rt.max_depth t);
+              let nf = Array.make cf.cf_nslots unbound in
+              let ps = cf.cf_param_slots in
+              Array.unsafe_set nf (Array.unsafe_get ps 0) v0;
+              Array.unsafe_set nf (Array.unsafe_get ps 1) v1;
+              store f (invoke t nf d)
+        | [ a0; a1; a2 ] ->
+            fun t f d ->
+              rt.charge_stmt t;
+              let v0 = a0 f in
+              let v1 = a1 f in
+              let v2 = a2 f in
+              if d > rt.max_depth t then err_depth (rt.max_depth t);
+              let nf = Array.make cf.cf_nslots unbound in
+              let ps = cf.cf_param_slots in
+              Array.unsafe_set nf (Array.unsafe_get ps 0) v0;
+              Array.unsafe_set nf (Array.unsafe_get ps 1) v1;
+              Array.unsafe_set nf (Array.unsafe_get ps 2) v2;
+              store f (invoke t nf d)
+        | cs ->
+            let carr = Array.of_list cs in
+            let n = Array.length carr in
+            fun t f d ->
+              rt.charge_stmt t;
+              let vs = Array.make n VUnit in
+              for k = 0 to n - 1 do
+                Array.unsafe_set vs k ((Array.unsafe_get carr k) f)
+              done;
+              if d > rt.max_depth t then err_depth (rt.max_depth t);
+              let nf = Array.make cf.cf_nslots unbound in
+              let ps = cf.cf_param_slots in
+              for k = 0 to n - 1 do
+                Array.unsafe_set nf (Array.unsafe_get ps k)
+                  (Array.unsafe_get vs k)
+              done;
+              store f (invoke t nf d))
+  in
+  (* Pass 2: compile bodies. Only the registered (first) binding of a name
+     is compiled; later duplicates are unreachable, as in the tree-walker. *)
+  List.iter
+    (fun fdef ->
+      let cf = Hashtbl.find funcs fdef.fname in
+      if cf.cf_src == fdef then begin
+        let fenv = { slots = Hashtbl.create 16; next = 0 } in
+        let ps = Array.of_list (List.map (slot fenv) fdef.params) in
+        let body = cblock fenv fdef.body in
+        cf.cf_param_slots <- ps;
+        cf.cf_nslots <- fenv.next;
+        cf.cf_body <- body
+      end)
+    prog.funcs;
+  { cp_prog = prog; cp_funcs = funcs }
+
+let program cp = cp.cp_prog
+
+let nslots cp fname =
+  Option.map (fun cf -> cf.cf_nslots) (Hashtbl.find_opt cp.cp_funcs fname)
+
+(* Toplevel entry: the tree-walker's [exec_call t 0] with the depth guard
+   elided (0 can never exceed the depth budget). *)
+let call cp t fname vargs =
+  match Hashtbl.find_opt cp.cp_funcs fname with
+  | None ->
+      ignore (find_func cp.cp_prog fname : func);
+      assert false
+  | Some cf -> (
+      if List.compare_length_with vargs cf.cf_arity <> 0 then
+        err_call_arity fname;
+      let nf = Array.make cf.cf_nslots unbound in
+      let ps = cf.cf_param_slots in
+      List.iteri (fun k v -> nf.(ps.(k)) <- v) vargs;
+      match cf.cf_body t nf 1 with () -> VUnit | exception Return_exn v -> v)

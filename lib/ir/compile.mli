@@ -1,0 +1,103 @@
+(** Closure compiler for the IR: a one-time lowering pass that turns each
+    function into a tree of pre-resolved OCaml closures.
+
+    The lowering removes every per-statement interpretation cost that does
+    not correspond to program behaviour:
+
+    - variables are resolved at compile time to integer slots in a per-call
+      [value array] frame — no string hashing on the hot path;
+    - call targets and arities are resolved to function handles up front
+      (including forward references), with the error paths of the
+      tree-walker compiled in where resolution fails;
+    - binops, unops and conditions are specialised per shape, keeping the
+      generic [Violation] path only as the fallback;
+    - [Prim]/[Op]/[Call] argument evaluation is flattened for small arities
+      to avoid per-step [List.map] closure allocation;
+    - op descriptions ("disk_write(d0)", "lock(m)") are precomputed.
+
+    The compiler is generic in the interpreter state ['i]: all effectful
+    semantics (charging, op execution, sync, hooks) are supplied through an
+    {!rt} record, so [Compile] depends only on the AST and [Interp] stays
+    the single owner of Main/Checker behaviour. Parity contract: compiled
+    execution is observably bit-for-bit identical to the tree-walker —
+    same [stmts_executed] counts, same charge quanta (virtual time), same
+    probe records and hook firing order, same [Violation] payloads. *)
+
+open Ast
+
+exception Violation of { loc : Loc.t; vkind : string; msg : string }
+(** The canonical runtime-check failure. Defined here (the layer both
+    engines share) and re-exported by [Interp] unchanged. *)
+
+exception Return_exn of value
+(** Internal control flow; escapes only on a toplevel [Return]. *)
+
+type 'i rt = {
+  charge_stmt : 'i -> unit;
+      (** statement prologue: count it and charge its CPU cost *)
+  charge : 'i -> int64 -> unit;  (** extra CPU work ([Compute]) *)
+  exec_op :
+    'i ->
+    Loc.t ->
+    desc:string ->
+    kind:op_kind ->
+    target:string ->
+    value list ->
+    value;
+      (** effectful op with pre-evaluated arguments (probe + env) *)
+  exec_sync : 'i -> Loc.t -> lock:string -> desc:string -> (unit -> unit) -> unit;
+      (** run the body thunk under the named lock's mode-specific protocol *)
+  exec_hook : 'i -> int -> (string -> value option) -> unit;
+      (** fire hook [id]; the callback reads a frame variable (None when
+          unbound) *)
+  max_depth : 'i -> int;
+}
+(** Everything mode- or state-dependent, supplied by the interpreter. *)
+
+(** {1 Shared raise helpers}
+
+    The single source of truth for violation payloads, used by both engines.
+    Never inlined, so no error string is formatted before the raise
+    decision. *)
+
+val verr : Loc.t -> string -> string -> 'a
+(** [verr loc vkind msg] raises {!Violation}. *)
+
+val err_unbound : Loc.t -> string -> 'a
+val err_cond : Loc.t -> value -> 'a
+val err_logic : Loc.t -> value -> 'a
+val err_int_op : Loc.t -> value -> value -> 'a
+val err_cmp : Loc.t -> value -> value -> 'a
+val err_concat : Loc.t -> value -> value -> 'a
+val err_not : Loc.t -> value -> 'a
+val err_neg : Loc.t -> value -> 'a
+val err_len : Loc.t -> value -> 'a
+val err_fst : Loc.t -> value -> 'a
+val err_snd : Loc.t -> value -> 'a
+val err_foreach : Loc.t -> value -> 'a
+val err_prim : Loc.t -> string -> 'a
+val err_depth : int -> 'a
+val err_call_arity : string -> 'a
+
+val op_desc : op_kind -> string -> string
+(** ["kind(target)"], the probe description of an op site. *)
+
+(** {1 Compiled programs} *)
+
+type 'i t
+(** A compiled program: closures over an ['i rt]. Immutable after
+    {!compile} returns; safe to share across domains and across many
+    interpreter instances (Main and Checker alike). *)
+
+val compile : rt:'i rt -> program -> 'i t
+(** One-shot lowering of every function. Duplicate function names keep the
+    first binding, matching [Ast.find_func]. *)
+
+val program : 'i t -> program
+val nslots : 'i t -> string -> int option
+(** Frame width of a compiled function, for introspection and tests. *)
+
+val call : 'i t -> 'i -> string -> value list -> value
+(** Entry point equivalent to the tree-walker's toplevel call: arity checked
+    at runtime, unknown functions raise the canonical [Ast.Ir_error] via
+    [find_func], body runs at depth 1. *)

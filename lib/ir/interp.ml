@@ -17,14 +17,21 @@
 
    The interpreter also maintains a probe record of the op currently in
    flight — when the watchdog driver times a checker out, that record is the
-   pinpointed location and payload of the failure. *)
+   pinpointed location and payload of the failure.
+
+   Two engines execute the same IR with bit-for-bit identical observable
+   behaviour: the closure compiler ([Compile], the default) and the
+   tree-walker below, kept as the reference semantics. Everything effectful
+   — charging, ops, sync protocols, hooks — funnels through the same
+   [*_v] functions, so the engines can only diverge in *pure* evaluation. *)
 
 open Ast
 
-exception Violation of { loc : Loc.t; vkind : string; msg : string }
-exception Return_exn of value
+exception Violation = Compile.Violation
+exception Return_exn = Compile.Return_exn
 
 type mode = Main | Checker
+type engine = [ `Compiled | `Treewalk ]
 
 type probe_state = {
   mutable current_op : (Loc.t * string * int64) option;
@@ -55,55 +62,55 @@ type t = {
   shadow_globals : (string, value) Hashtbl.t;
   scratch_prefix : string;
   lock_timeout : int64;
-  stmt_cost : int64;
-  cpu_quantum : int64;
-  mutable cpu_acc : int64;
+  (* CPU accounting in immediate ints: an [int64] accumulator field is a
+     boxed write per statement. Quantum and statement cost fit comfortably. *)
+  stmt_cost_i : int;
+  cpu_quantum_i : int;
+  mutable cpu_acc : int;
   mutable stmts_executed : int;
   max_depth : int;
+  (* Op/lock descriptions are part of probe records; memoised per (kind,
+     target) so the non-error path never re-formats them. *)
+  op_descs : (op_kind * string, string) Hashtbl.t;
+  lock_descs : (string, string) Hashtbl.t;
+  mutable impl : impl;
 }
 
-let create ?(mode = Main) ?(scratch_prefix = "__wd/")
-    ?(lock_timeout = Wd_sim.Time.sec 5) ?(stmt_cost = 100L)
-    ?(cpu_quantum = Wd_sim.Time.us 10) ~node ~res prog =
-  let funcs_by_name = Hashtbl.create (2 * List.length prog.funcs) in
-  List.iter
-    (fun f ->
-      (* keep the first binding, matching [Ast.find_func] *)
-      if not (Hashtbl.mem funcs_by_name f.fname) then
-        Hashtbl.add funcs_by_name f.fname (f, List.length f.params))
-    prog.funcs;
-  {
-    prog;
-    funcs_by_name;
-    res;
-    node;
-    mode;
-    hook_sink = None;
-    hooks = Hashtbl.create 16;
-    probe =
-      {
-        current_op = None;
-        last_op = None;
-        slowest_op = None;
-        ops_executed = 0;
-        op_ns = 0L;
-        lock_ns = 0L;
-      };
-    shadow_globals = Hashtbl.create 16;
-    scratch_prefix;
-    lock_timeout;
-    stmt_cost;
-    cpu_quantum;
-    cpu_acc = 0L;
-    stmts_executed = 0;
-    max_depth = 512;
-  }
+and impl = Treewalk_impl | Compiled_impl of t Compile.t
+
+(* --- engine selection --- *)
+
+let engine_name = function `Compiled -> "compiled" | `Treewalk -> "treewalk"
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "compiled" -> Some `Compiled
+  | "treewalk" | "tree-walk" | "treewalker" -> Some `Treewalk
+  | _ -> None
+
+let default_engine_cell : engine Atomic.t =
+  Atomic.make
+    (match Sys.getenv_opt "WD_ENGINE" with
+    | None | Some "" -> `Compiled
+    | Some s -> (
+        match engine_of_string s with
+        | Some e -> e
+        | None -> failwith ("WD_ENGINE: unknown engine " ^ s)))
+
+let set_default_engine e = Atomic.set default_engine_cell e
+let default_engine () = Atomic.get default_engine_cell
+
+(* --- accessors --- *)
 
 let program t = t.prog
 let node t = t.node
 let probe t = t.probe
 let resources t = t.res
 let stmts_executed t = t.stmts_executed
+
+let engine t =
+  match t.impl with Treewalk_impl -> `Treewalk | Compiled_impl _ -> `Compiled
+
 let set_hook_sink t sink = t.hook_sink <- Some sink
 let register_hook t ~id spec = Hashtbl.replace t.hooks id spec
 let hook_spec t ~id = Hashtbl.find_opt t.hooks id
@@ -111,22 +118,39 @@ let hook_spec t ~id = Hashtbl.find_opt t.hooks id
 (* Charge CPU time for interpreted statements, flushed in quanta so that a
    busy loop advances virtual time (an infinite loop must not freeze the
    simulation, and must be observable as non-progress). *)
+
+let charge_stmt t =
+  t.stmts_executed <- t.stmts_executed + 1;
+  let acc = t.cpu_acc + t.stmt_cost_i in
+  if acc >= t.cpu_quantum_i then begin
+    t.cpu_acc <- 0;
+    Wd_sim.Sched.sleep (Int64.of_int acc)
+  end
+  else t.cpu_acc <- acc
+
 let charge t cost =
-  t.cpu_acc <- Int64.add t.cpu_acc cost;
-  if t.cpu_acc >= t.cpu_quantum then begin
-    let acc = t.cpu_acc in
-    t.cpu_acc <- 0L;
+  if Int64.compare cost 0x2000_0000_0000_0000L >= 0 then begin
+    (* degenerate huge cost: flush directly, with int64 precision *)
+    let acc = Int64.add (Int64.of_int t.cpu_acc) cost in
+    t.cpu_acc <- 0;
     Wd_sim.Sched.sleep acc
   end
+  else begin
+    let acc = t.cpu_acc + Int64.to_int cost in
+    if acc >= t.cpu_quantum_i then begin
+      t.cpu_acc <- 0;
+      Wd_sim.Sched.sleep (Int64.of_int acc)
+    end
+    else t.cpu_acc <- acc
+  end
 
-(* --- expression evaluation (pure) --- *)
+(* --- expression evaluation (pure; tree-walking reference engine) ---
 
-let truthy loc = function
-  | VBool b -> b
-  | v ->
-      raise
-        (Violation
-           { loc; vkind = "type"; msg = Fmt.str "condition not bool: %a" pp_value v })
+   Violation payloads come from the raise helpers in [Compile] — the single
+   source of truth shared with the compiled engine — and are formatted only
+   after the raise decision. *)
+
+let truthy loc = function VBool b -> b | v -> Compile.err_cond loc v
 
 let rec eval t frame loc expr =
   match expr with
@@ -134,116 +158,119 @@ let rec eval t frame loc expr =
   | Var x -> (
       match Hashtbl.find_opt frame x with
       | Some v -> v
-      | None ->
-          raise
-            (Violation { loc; vkind = "unbound"; msg = Fmt.str "unbound variable %s" x }))
+      | None -> Compile.err_unbound loc x)
   | Binop (op, a, b) -> eval_binop t frame loc op a b
   | Unop (Not, e) -> (
       match eval t frame loc e with
       | VBool b -> VBool (not b)
-      | v ->
-          raise
-            (Violation { loc; vkind = "type"; msg = Fmt.str "not: %a" pp_value v }))
+      | v -> Compile.err_not loc v)
   | Unop (Neg, e) -> (
       match eval t frame loc e with
       | VInt i -> VInt (-i)
-      | v ->
-          raise
-            (Violation { loc; vkind = "type"; msg = Fmt.str "neg: %a" pp_value v }))
+      | v -> Compile.err_neg loc v)
   | Unop (Len, e) -> (
       match eval t frame loc e with
       | VStr s -> VInt (String.length s)
       | VBytes b -> VInt (Bytes.length b)
       | VList l -> VInt (List.length l)
       | VMap m -> VInt (List.length m)
-      | v ->
-          raise
-            (Violation { loc; vkind = "type"; msg = Fmt.str "len: %a" pp_value v }))
-  | Pair (a, b) -> VPair (eval t frame loc a, eval t frame loc b)
+      | v -> Compile.err_len loc v)
+  | Pair (a, b) ->
+      let va = eval t frame loc a in
+      let vb = eval t frame loc b in
+      VPair (va, vb)
   | Fst e -> (
       match eval t frame loc e with
       | VPair (a, _) -> a
-      | v ->
-          raise
-            (Violation { loc; vkind = "type"; msg = Fmt.str "fst: %a" pp_value v }))
+      | v -> Compile.err_fst loc v)
   | Snd e -> (
       match eval t frame loc e with
       | VPair (_, b) -> b
-      | v ->
-          raise
-            (Violation { loc; vkind = "type"; msg = Fmt.str "snd: %a" pp_value v }))
+      | v -> Compile.err_snd loc v)
   | Prim (name, args) -> (
       let vargs = List.map (eval t frame loc) args in
       try Prims.apply name vargs
-      with Prims.Prim_error m -> raise (Violation { loc; vkind = "prim"; msg = m }))
+      with Prims.Prim_error m -> Compile.err_prim loc m)
 
 and eval_binop t frame loc op a b =
   let va = eval t frame loc a in
-  (* Short-circuit boolean operators. *)
-  match (op, va) with
-  | And, VBool false -> VBool false
-  | And, VBool true -> eval t frame loc b
-  | Or, VBool true -> VBool true
-  | Or, VBool false -> eval t frame loc b
-  | _ -> (
+  match op with
+  (* Short-circuit boolean operators: a non-bool left side is a type
+     violation before the right side is touched. *)
+  | And -> (
+      match va with
+      | VBool false -> VBool false
+      | VBool true -> eval t frame loc b
+      | _ -> Compile.err_logic loc va)
+  | Or -> (
+      match va with
+      | VBool true -> VBool true
+      | VBool false -> eval t frame loc b
+      | _ -> Compile.err_logic loc va)
+  | Add -> (
       let vb = eval t frame loc b in
-      let int_op f =
-        match (va, vb) with
-        | VInt x, VInt y -> VInt (f x y)
-        | _ ->
-            raise
-              (Violation
-                 {
-                   loc;
-                   vkind = "type";
-                   msg = Fmt.str "int op on %a, %a" pp_value va pp_value vb;
-                 })
-      in
-      let cmp_op f =
-        match (va, vb) with
-        | VInt x, VInt y -> VBool (f (compare x y) 0)
-        | VStr x, VStr y -> VBool (f (String.compare x y) 0)
-        | _ ->
-            raise
-              (Violation
-                 {
-                   loc;
-                   vkind = "type";
-                   msg = Fmt.str "comparison on %a, %a" pp_value va pp_value vb;
-                 })
-      in
-      match op with
-      | Add -> int_op ( + )
-      | Sub -> int_op ( - )
-      | Mul -> int_op ( * )
-      | Div ->
-          int_op (fun x y ->
-              if y = 0 then
-                raise (Violation { loc; vkind = "arith"; msg = "division by zero" })
-              else x / y)
-      | Mod ->
-          int_op (fun x y ->
-              if y = 0 then
-                raise (Violation { loc; vkind = "arith"; msg = "mod by zero" })
-              else x mod y)
-      | Eq -> VBool (value_equal va vb)
-      | Ne -> VBool (not (value_equal va vb))
-      | Lt -> cmp_op ( < )
-      | Le -> cmp_op ( <= )
-      | Gt -> cmp_op ( > )
-      | Ge -> cmp_op ( >= )
-      | And | Or -> assert false
-      | Concat -> (
-          match (va, vb) with
-          | VStr x, VStr y -> VStr (x ^ y)
-          | _ ->
-              raise
-                (Violation
-                   {
-                     loc;
-                     vkind = "type";
-                     msg = Fmt.str "concat on %a, %a" pp_value va pp_value vb;
-                   })))
+      match (va, vb) with
+      | VInt x, VInt y -> VInt (x + y)
+      | _ -> Compile.err_int_op loc va vb)
+  | Sub -> (
+      let vb = eval t frame loc b in
+      match (va, vb) with
+      | VInt x, VInt y -> VInt (x - y)
+      | _ -> Compile.err_int_op loc va vb)
+  | Mul -> (
+      let vb = eval t frame loc b in
+      match (va, vb) with
+      | VInt x, VInt y -> VInt (x * y)
+      | _ -> Compile.err_int_op loc va vb)
+  | Div -> (
+      let vb = eval t frame loc b in
+      match (va, vb) with
+      | VInt x, VInt y ->
+          if y = 0 then Compile.verr loc "arith" "division by zero"
+          else VInt (x / y)
+      | _ -> Compile.err_int_op loc va vb)
+  | Mod -> (
+      let vb = eval t frame loc b in
+      match (va, vb) with
+      | VInt x, VInt y ->
+          if y = 0 then Compile.verr loc "arith" "mod by zero"
+          else VInt (x mod y)
+      | _ -> Compile.err_int_op loc va vb)
+  | Eq ->
+      let vb = eval t frame loc b in
+      if value_equal va vb then VBool true else VBool false
+  | Ne ->
+      let vb = eval t frame loc b in
+      if value_equal va vb then VBool false else VBool true
+  | Lt -> (
+      let vb = eval t frame loc b in
+      match (va, vb) with
+      | VInt x, VInt y -> VBool (x < y)
+      | VStr x, VStr y -> VBool (String.compare x y < 0)
+      | _ -> Compile.err_cmp loc va vb)
+  | Le -> (
+      let vb = eval t frame loc b in
+      match (va, vb) with
+      | VInt x, VInt y -> VBool (x <= y)
+      | VStr x, VStr y -> VBool (String.compare x y <= 0)
+      | _ -> Compile.err_cmp loc va vb)
+  | Gt -> (
+      let vb = eval t frame loc b in
+      match (va, vb) with
+      | VInt x, VInt y -> VBool (x > y)
+      | VStr x, VStr y -> VBool (String.compare x y > 0)
+      | _ -> Compile.err_cmp loc va vb)
+  | Ge -> (
+      let vb = eval t frame loc b in
+      match (va, vb) with
+      | VInt x, VInt y -> VBool (x >= y)
+      | VStr x, VStr y -> VBool (String.compare x y >= 0)
+      | _ -> Compile.err_cmp loc va vb)
+  | Concat -> (
+      let vb = eval t frame loc b in
+      match (va, vb) with
+      | VStr x, VStr y -> VStr (x ^ y)
+      | _ -> Compile.err_concat loc va vb)
 
 (* --- operations --- *)
 
@@ -266,7 +293,22 @@ let arg_bytes loc = function
       raise
         (Violation { loc; vkind = "type"; msg = Fmt.str "expected bytes: %a" pp_value v })
 
-let op_desc kind target = Fmt.str "%s(%s)" (op_kind_name kind) target
+let op_desc_memo t kind target =
+  let key = (kind, target) in
+  match Hashtbl.find_opt t.op_descs key with
+  | Some d -> d
+  | None ->
+      let d = Compile.op_desc kind target in
+      Hashtbl.add t.op_descs key d;
+      d
+
+let lock_desc_memo t lockname =
+  match Hashtbl.find_opt t.lock_descs lockname with
+  | Some d -> d
+  | None ->
+      let d = "lock(" ^ lockname ^ ")" in
+      Hashtbl.add t.lock_descs lockname d;
+      d
 
 (* Record op start/end around an effectful action so the watchdog driver can
    pinpoint an in-flight hang and track slow operations. [is_lock] routes
@@ -298,9 +340,8 @@ let with_probe t loc ~is_lock desc f =
 
 let scratch t path = t.scratch_prefix ^ path
 
-let exec_op t frame loc ~kind ~target ~args =
-  let vargs = List.map (eval t frame loc) args in
-  let desc = op_desc kind target in
+(* Effectful op over pre-evaluated arguments; shared by both engines. *)
+let exec_op_v t loc ~desc ~kind ~target vargs =
   with_probe t loc ~is_lock:false desc (fun () ->
       match (kind, vargs) with
       | Disk_write, [ p; data ] ->
@@ -438,68 +479,14 @@ let exec_op t frame loc ~kind ~target ~args =
                  msg = Fmt.str "%s: bad arguments" (op_kind_name kind);
                }))
 
-(* --- statement execution --- *)
-
-let rec exec_block t frame depth block = List.iter (exec_stmt t frame depth) block
-
-and exec_stmt t frame depth st =
-  t.stmts_executed <- t.stmts_executed + 1;
-  charge t t.stmt_cost;
-  let loc = st.loc in
-  match st.node with
-  | Let (x, e) | Assign (x, e) -> Hashtbl.replace frame x (eval t frame loc e)
-  | Op { kind; target; args; bind } -> (
-      let v = exec_op t frame loc ~kind ~target ~args in
-      match bind with Some x -> Hashtbl.replace frame x v | None -> ())
-  | Call { func; args; bind } -> (
-      let vargs = List.map (eval t frame loc) args in
-      let v = exec_call t depth func vargs in
-      match bind with Some x -> Hashtbl.replace frame x v | None -> ())
-  | If (c, th, el) ->
-      if truthy loc (eval t frame loc c) then exec_block t frame depth th
-      else exec_block t frame depth el
-  | While (c, body) ->
-      while truthy loc (eval t frame loc c) do
-        exec_block t frame depth body
-      done
-  | Foreach (x, e, body) -> (
-      match eval t frame loc e with
-      | VList items ->
-          List.iter
-            (fun item ->
-              Hashtbl.replace frame x item;
-              exec_block t frame depth body)
-            items
-      | v ->
-          raise
-            (Violation
-               { loc; vkind = "type"; msg = Fmt.str "foreach over %a" pp_value v }))
-  | Sync (lockname, body) -> exec_sync t frame depth loc lockname body
-  | Try (body, exn, handler) -> (
-      try exec_block t frame depth body with
-      | Wd_env.Disk.Io_error m
-      | Wd_env.Net.Net_error m
-      | Wd_env.Memory.Out_of_memory m ->
-          Hashtbl.replace frame exn (VStr m);
-          exec_block t frame depth handler
-      | Wd_sim.Channel.Closed m ->
-          Hashtbl.replace frame exn (VStr ("channel closed: " ^ m));
-          exec_block t frame depth handler)
-  | Return e -> raise (Return_exn (eval t frame loc e))
-  | Assert (e, msg) ->
-      if not (truthy loc (eval t frame loc e)) then
-        raise (Violation { loc; vkind = "assert"; msg })
-  | Compute { cost_ns; note = _ } -> charge t cost_ns
-  | Hook id -> exec_hook t frame id
-
-and exec_sync t frame depth loc lockname body =
+(* Mode-specific lock protocol around a body thunk; shared by both engines. *)
+let exec_sync_v t loc ~lock:lockname ~desc body =
   let lock = Runtime.lock t.res lockname in
-  let desc = Fmt.str "lock(%s)" lockname in
   match t.mode with
-  | Main ->
+  | Main -> (
       with_probe t loc ~is_lock:true desc (fun () -> Wd_sim.Smutex.lock lock);
       let release () = Wd_sim.Smutex.unlock lock in
-      (match exec_block t frame depth body with
+      match body () with
       | () -> release ()
       | exception e ->
           release ();
@@ -532,12 +519,15 @@ and exec_sync t frame depth loc lockname body =
              {
                loc;
                vkind = "liveness";
-               msg = Fmt.str "lock %s not acquired within %a" lockname Wd_sim.Time.pp t.lock_timeout;
+               msg =
+                 Fmt.str "lock %s not acquired within %a" lockname Wd_sim.Time.pp
+                   t.lock_timeout;
              });
       Wd_sim.Smutex.unlock lock;
-      exec_block t frame depth body
+      body ()
 
-and exec_hook t frame id =
+(* Fire hook [id]; [lookup] reads a frame variable. Shared by both engines. *)
+let exec_hook_v t id lookup =
   match t.mode with
   | Checker -> ()
   | Main -> (
@@ -546,7 +536,7 @@ and exec_hook t frame id =
           let values =
             List.filter_map
               (fun x ->
-                match Hashtbl.find_opt frame x with
+                match lookup x with
                 | Some v -> Some (x, copy_value v) (* replication: never alias *)
                 | None -> None)
               spec.hook_vars
@@ -554,11 +544,63 @@ and exec_hook t frame id =
           sink id values
       | _, _ -> ())
 
+(* --- statement execution (tree-walking reference engine) --- *)
+
+let rec exec_block t frame depth block = List.iter (exec_stmt t frame depth) block
+
+and exec_stmt t frame depth st =
+  charge_stmt t;
+  let loc = st.loc in
+  match st.node with
+  | Let (x, e) | Assign (x, e) -> Hashtbl.replace frame x (eval t frame loc e)
+  | Op { kind; target; args; bind } -> (
+      let vargs = List.map (eval t frame loc) args in
+      let desc = op_desc_memo t kind target in
+      let v = exec_op_v t loc ~desc ~kind ~target vargs in
+      match bind with Some x -> Hashtbl.replace frame x v | None -> ())
+  | Call { func; args; bind } -> (
+      let vargs = List.map (eval t frame loc) args in
+      let v = exec_call t depth func vargs in
+      match bind with Some x -> Hashtbl.replace frame x v | None -> ())
+  | If (c, th, el) ->
+      if truthy loc (eval t frame loc c) then exec_block t frame depth th
+      else exec_block t frame depth el
+  | While (c, body) ->
+      while truthy loc (eval t frame loc c) do
+        exec_block t frame depth body
+      done
+  | Foreach (x, e, body) -> (
+      match eval t frame loc e with
+      | VList items ->
+          List.iter
+            (fun item ->
+              Hashtbl.replace frame x item;
+              exec_block t frame depth body)
+            items
+      | v -> Compile.err_foreach loc v)
+  | Sync (lockname, body) ->
+      let desc = lock_desc_memo t lockname in
+      exec_sync_v t loc ~lock:lockname ~desc (fun () ->
+          exec_block t frame depth body)
+  | Try (body, exn, handler) -> (
+      try exec_block t frame depth body with
+      | Wd_env.Disk.Io_error m
+      | Wd_env.Net.Net_error m
+      | Wd_env.Memory.Out_of_memory m ->
+          Hashtbl.replace frame exn (VStr m);
+          exec_block t frame depth handler
+      | Wd_sim.Channel.Closed m ->
+          Hashtbl.replace frame exn (VStr ("channel closed: " ^ m));
+          exec_block t frame depth handler)
+  | Return e -> raise (Return_exn (eval t frame loc e))
+  | Assert (e, msg) ->
+      if not (truthy loc (eval t frame loc e)) then
+        raise (Violation { loc; vkind = "assert"; msg })
+  | Compute { cost_ns; note = _ } -> charge t cost_ns
+  | Hook id -> exec_hook_v t id (fun x -> Hashtbl.find_opt frame x)
+
 and exec_call t depth fname vargs =
-  if depth > t.max_depth then
-    raise
-      (Violation
-         { loc = Loc.dummy; vkind = "depth"; msg = Fmt.str "call depth > %d" t.max_depth });
+  if depth > t.max_depth then Compile.err_depth t.max_depth;
   let f, arity =
     match Hashtbl.find_opt t.funcs_by_name fname with
     | Some fa -> fa
@@ -568,18 +610,134 @@ and exec_call t depth fname vargs =
         (f, List.length f.params)
   in
   if List.compare_length_with vargs arity <> 0 then
-    raise
-      (Violation
-         { loc = Loc.dummy; vkind = "arity"; msg = Fmt.str "call %s arity" fname });
+    Compile.err_call_arity fname;
   let frame = Hashtbl.create 16 in
   List.iter2 (fun p v -> Hashtbl.replace frame p v) f.params vargs;
   match exec_block t frame (depth + 1) f.body with
   | () -> VUnit
   | exception Return_exn v -> v
 
-(* --- public API --- *)
+(* --- compiled engine: runtime interface and program cache --- *)
 
-let call t fname args = exec_call t 0 fname args
+let rt : t Compile.rt =
+  {
+    Compile.charge_stmt;
+    charge;
+    exec_op = exec_op_v;
+    exec_sync = exec_sync_v;
+    exec_hook = exec_hook_v;
+    max_depth = (fun t -> t.max_depth);
+  }
+
+type compiled = t Compile.t
+
+(* One compiled form per program, shared across every interpreter instance
+   (Main and Checker, all nodes, all domains) — mirrors
+   [Generate.analyze_cached]: compile outside the lock, first insert wins. *)
+let cache_lock = Mutex.create ()
+let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+
+let prog_digest (prog : program) =
+  Digest.to_hex (Digest.string (Marshal.to_string prog []))
+
+let precompile prog =
+  let key = prog_digest prog in
+  let cached =
+    Mutex.lock cache_lock;
+    let r = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_lock;
+    r
+  in
+  match cached with
+  | Some cp ->
+      Atomic.incr cache_hits;
+      cp
+  | None ->
+      Atomic.incr cache_misses;
+      let cp = Compile.compile ~rt prog in
+      Mutex.lock cache_lock;
+      let cp =
+        match Hashtbl.find_opt cache key with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.add cache key cp;
+            cp
+      in
+      Mutex.unlock cache_lock;
+      cp
+
+let compile_cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
+
+let clear_compile_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_lock;
+  Atomic.set cache_hits 0;
+  Atomic.set cache_misses 0
+
+(* --- construction and public API --- *)
+
+let create ?engine ?compiled ?(mode = Main) ?(scratch_prefix = "__wd/")
+    ?(lock_timeout = Wd_sim.Time.sec 5) ?(stmt_cost = 100L)
+    ?(cpu_quantum = Wd_sim.Time.us 10) ~node ~res prog =
+  let funcs_by_name = Hashtbl.create (2 * List.length prog.funcs) in
+  List.iter
+    (fun f ->
+      (* keep the first binding, matching [Ast.find_func] *)
+      if not (Hashtbl.mem funcs_by_name f.fname) then
+        Hashtbl.add funcs_by_name f.fname (f, List.length f.params))
+    prog.funcs;
+  let t =
+    {
+      prog;
+      funcs_by_name;
+      res;
+      node;
+      mode;
+      hook_sink = None;
+      hooks = Hashtbl.create 16;
+      probe =
+        {
+          current_op = None;
+          last_op = None;
+          slowest_op = None;
+          ops_executed = 0;
+          op_ns = 0L;
+          lock_ns = 0L;
+        };
+      shadow_globals = Hashtbl.create 16;
+      scratch_prefix;
+      lock_timeout;
+      stmt_cost_i = Int64.to_int stmt_cost;
+      cpu_quantum_i = Int64.to_int cpu_quantum;
+      cpu_acc = 0;
+      stmts_executed = 0;
+      max_depth = 512;
+      op_descs = Hashtbl.create 16;
+      lock_descs = Hashtbl.create 8;
+      impl = Treewalk_impl;
+    }
+  in
+  (match (compiled, engine) with
+  | Some cp, _ ->
+      let cprog = Compile.program cp in
+      if not (cprog == prog || cprog = prog) then
+        invalid_arg "Interp.create: compiled form is for a different program";
+      t.impl <- Compiled_impl cp
+  | None, Some `Treewalk -> ()
+  | None, Some `Compiled -> t.impl <- Compiled_impl (precompile prog)
+  | None, None -> (
+      match default_engine () with
+      | `Treewalk -> ()
+      | `Compiled -> t.impl <- Compiled_impl (precompile prog)));
+  t
+
+let call t fname args =
+  match t.impl with
+  | Treewalk_impl -> exec_call t 0 fname args
+  | Compiled_impl cp -> Compile.call cp t fname args
 
 let start ?entries t sched =
   let wanted = entries in

@@ -10,7 +10,17 @@
     fate sharing), network sends deliver to shadow inboxes with the real
     site, lock acquisition becomes try-lock-with-timeout that releases
     immediately, allocations are returned, and global-state writes land in a
-    private overlay. *)
+    private overlay.
+
+    Two engines execute the same IR with bit-for-bit identical observable
+    behaviour — same [stmts_executed] counts, charge quanta (virtual-time
+    progression), probe records, hook firing order and [Violation] payloads:
+
+    - [`Compiled] (the default): the one-time closure-compilation pass of
+      {!Compile}, with slot-indexed frames. Compiled forms are cached
+      per-program digest and shared across instances and domains.
+    - [`Treewalk]: the direct AST walker below, kept as the reference
+      semantics ([WD_ENGINE=treewalk] forces it process-wide). *)
 
 open Ast
 
@@ -22,6 +32,33 @@ exception Return_exn of value
 (** Internal control flow; escapes only on a toplevel [Return]. *)
 
 type mode = Main | Checker
+
+type engine = [ `Compiled | `Treewalk ]
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+val set_default_engine : engine -> unit
+(** Process-wide default for interpreters created without [?engine] /
+    [?compiled]. Initialised from [WD_ENGINE] ("compiled" / "treewalk");
+    [`Compiled] otherwise. *)
+
+val default_engine : unit -> engine
+
+type compiled
+(** A closure-compiled program (see {!Compile}), shareable across any number
+    of interpreter instances — Main and Checker alike — and across
+    domains. *)
+
+val precompile : program -> compiled
+(** Fetch or build the compiled form of [prog]. Results are cached by
+    program digest under a lock, so concurrent campaign workers compile each
+    target once. *)
+
+val compile_cache_stats : unit -> int * int
+(** [(hits, misses)] of {!precompile} since start or {!clear_compile_cache}. *)
+
+val clear_compile_cache : unit -> unit
 
 type probe_state = {
   mutable current_op : (Loc.t * string * int64) option;
@@ -40,6 +77,8 @@ type hook_spec = { hook_checker : string; hook_vars : string list }
 type t
 
 val create :
+  ?engine:engine ->
+  ?compiled:compiled ->
   ?mode:mode ->
   ?scratch_prefix:string ->
   ?lock_timeout:int64 ->
@@ -51,6 +90,7 @@ val create :
   t
 
 val program : t -> program
+val engine : t -> engine
 val node : t -> string
 val probe : t -> probe_state
 val resources : t -> Runtime.resources

@@ -40,6 +40,7 @@ type t = {
 }
 
 val boot :
+  ?engine:Wd_ir.Interp.engine ->
   ?in_memory:bool ->
   ?mem_capacity:int ->
   sched:Wd_sim.Sched.t ->

@@ -1,0 +1,99 @@
+(* Random well-formed IR system programs, shared by the property tests
+   (test_randprog) and the engine differential test (test_engine_diff).
+
+   The generator emits programs built from safe operation templates (writes
+   followed by reads of the same path, alloc/free pairs, guarded reads...) so
+   that a fault-free run never raises — making "no false alarms" a testable
+   property of the generated watchdog, and cross-engine runs deterministic
+   to the last statement. *)
+
+module B = Wd_ir.Builder
+module Rng = Wd_sim.Rng
+
+let gen_ident rng prefix = Fmt.str "%s%d" prefix (Rng.int rng 1000)
+
+(* A safe statement template; [depth] bounds nesting, [k] is a unique id for
+   fresh variable names. *)
+let rec gen_template rng ~depth k =
+  let fresh s = Fmt.str "%s_%d" s k in
+  let choice = Rng.int rng (if depth > 0 then 10 else 8) in
+  match choice with
+  | 0 ->
+      (* write then read back the same path *)
+      let p = fresh "p" and d = fresh "d" in
+      [
+        B.let_ p (B.prim "concat" [ B.s (gen_ident rng "dir/"); B.s "/f" ]);
+        B.let_ d (B.prim "bytes_of_str" [ B.s (gen_ident rng "content") ]);
+        B.disk_write ~disk:"d0" ~path:(B.v p) ~data:(B.v d);
+        B.disk_read ~bind:(fresh "back") ~disk:"d0" ~path:(B.v p) ();
+      ]
+  | 1 ->
+      let d = fresh "d" in
+      [
+        B.let_ d (B.prim "bytes_of_str" [ B.s "entry;" ]);
+        B.disk_append ~disk:"d0" ~path:(B.s (gen_ident rng "log/")) ~data:(B.v d);
+      ]
+  | 2 -> [ B.net_send ~net:"net0" ~dst:(B.s "peer") ~payload:(B.s "msg") ]
+  | 3 ->
+      let n = 64 + Rng.int rng 256 in
+      [ B.mem_alloc ~pool:"m0" ~size:(B.i n); B.mem_free ~pool:"m0" ~size:(B.i n) ]
+  | 4 ->
+      let g = gen_ident rng "g" in
+      let x = fresh "x" in
+      [
+        B.state_set ~global:g ~value:(B.i (Rng.int rng 100));
+        B.state_get ~bind:x ~global:g;
+      ]
+  | 5 -> [ B.sleep_ms (1 + Rng.int rng 20) ]
+  | 6 -> [ B.compute_us (1 + Rng.int rng 10) ]
+  | 7 -> [ B.disk_sync ~disk:"d0" ]
+  | 8 ->
+      (* synchronized block around a nested template *)
+      [ B.sync (gen_ident rng "lock") (gen_block rng ~depth:(depth - 1) (k * 31 + 1)) ]
+  | _ ->
+      [
+        B.if_
+          B.(i (Rng.int rng 10) <: i 5)
+          (gen_block rng ~depth:(depth - 1) (k * 31 + 2))
+          (gen_block rng ~depth:(depth - 1) (k * 31 + 3));
+      ]
+
+and gen_block rng ~depth k =
+  let n = 1 + Rng.int rng 3 in
+  List.concat (List.init n (fun i -> gen_template rng ~depth (k * 17 + i)))
+
+let gen_program seed =
+  let rng = Rng.create ~seed in
+  (* helper functions, callable from the loop *)
+  let n_helpers = 1 + Rng.int rng 3 in
+  let helpers =
+    List.init n_helpers (fun i ->
+        B.func
+          (Fmt.str "helper%d" i)
+          ~params:[]
+          (gen_block rng ~depth:2 (100 + i) @ [ B.return_unit ]))
+  in
+  let loop_body =
+    gen_block rng ~depth:2 7
+    @ List.concat
+        (List.init n_helpers (fun i ->
+             if Rng.bool rng then [ B.call (Fmt.str "helper%d" i) [] ] else []))
+    @ [ B.sleep_ms (50 + Rng.int rng 100) ]
+  in
+  B.program
+    (Fmt.str "rand%d" seed)
+    ~funcs:(B.func "main_loop" ~params:[] [ B.while_true loop_body ] :: helpers)
+    ~entries:[ B.entry "main" "main_loop" ]
+
+(* The standard clean environment these programs run against: disk "d0",
+   net "net0" with nodes "n1"/"peer", memory pool "m0". *)
+let make_env ~reg ~seed =
+  let rng = Rng.create ~seed:(seed + 1) in
+  let res = Wd_ir.Runtime.create ~reg ~rng in
+  Wd_ir.Runtime.add_disk res (Wd_env.Disk.create ~reg ~rng:(Rng.split rng) "d0");
+  let net = Wd_env.Net.create ~reg ~rng:(Rng.split rng) "net0" in
+  Wd_env.Net.register net "n1";
+  Wd_env.Net.register net "peer";
+  Wd_ir.Runtime.add_net res net;
+  Wd_ir.Runtime.add_mem res (Wd_env.Memory.create ~reg ~capacity:(1 lsl 24) "m0");
+  res

@@ -1,0 +1,161 @@
+(* Differential tests between the two IR execution engines: the closure
+   compiler (Wd_ir.Compile, the default) and the tree-walking reference
+   interpreter. The engines must be observationally identical — statement
+   counts, virtual-time progression, final global state and Violation
+   payloads — on arbitrary programs and on every error path. *)
+
+open Wd_ir
+open Ast
+module B = Builder
+module Sched = Wd_sim.Sched
+module Time = Wd_sim.Time
+module Randgen = Wd_testgen.Randgen
+
+(* --- random programs: identical traces over >= 50 seeds --- *)
+
+type trace = {
+  tr_stmts : int;
+  tr_end : int64;  (* virtual time when the run went quiescent *)
+  tr_globals : (string * value) list;
+}
+
+let run_trace ~engine seed =
+  let prog = Randgen.gen_program seed in
+  let sched = Sched.create ~seed () in
+  let reg = Wd_env.Faultreg.create () in
+  let res = Randgen.make_env ~reg ~seed in
+  let main = Interp.create ~engine ~node:"n1" ~res prog in
+  ignore (Interp.start main sched);
+  ignore (Sched.run ~until:(Time.sec 12) sched);
+  {
+    tr_stmts = Interp.stmts_executed main;
+    tr_end = Sched.now sched;
+    tr_globals =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) res.Runtime.globals []
+      |> List.sort compare;
+  }
+
+let n_seeds = 60
+
+let test_randprog_traces () =
+  for seed = 0 to n_seeds - 1 do
+    let c = run_trace ~engine:`Compiled seed in
+    let t = run_trace ~engine:`Treewalk seed in
+    Alcotest.(check int) (Fmt.str "stmts_executed (seed %d)" seed) t.tr_stmts
+      c.tr_stmts;
+    Alcotest.(check int64) (Fmt.str "virtual end time (seed %d)" seed)
+      t.tr_end c.tr_end;
+    if c.tr_globals <> t.tr_globals then
+      Alcotest.failf "final globals differ at seed %d:@.compiled %a@.treewalk %a"
+        seed
+        Fmt.(list ~sep:sp (pair string pp_value))
+        c.tr_globals
+        Fmt.(list ~sep:sp (pair string pp_value))
+        t.tr_globals
+  done
+
+(* --- error paths: byte-identical Violation / Ir_error payloads --- *)
+
+(* Run [fname] on a fresh node and render whatever it raises. *)
+let outcome_of ~engine prog fname =
+  let sched = Sched.create ~seed:7 () in
+  let reg = Wd_env.Faultreg.create () in
+  let res = Randgen.make_env ~reg ~seed:7 in
+  let it = Interp.create ~engine ~node:"n1" ~res prog in
+  let out = ref "no outcome" in
+  ignore
+    (Sched.spawn ~name:"diff" sched (fun () ->
+         match Interp.call it fname [] with
+         | v -> out := Fmt.str "value %a" pp_value v
+         | exception Interp.Violation { loc; vkind; msg } ->
+             out := Fmt.str "violation %a %s: %s" Loc.pp loc vkind msg
+         | exception Ir_error m -> out := "ir_error: " ^ m));
+  ignore (Sched.run ~until:(Time.sec 5) sched);
+  !out
+
+let ret e = [ B.return e ]
+let prog_of body = B.program "bad" ~funcs:[ B.func "f" ~params:[] body ] ~entries:[]
+
+let bad_cases =
+  [
+    ("unbound variable", prog_of (ret (B.v "nope")));
+    ("int op on bool", prog_of (ret B.(bconst true +: i 1)));
+    ("int op on str rhs", prog_of (ret B.(i 1 *: s "x")));
+    ("comparison on mixed", prog_of (ret B.(s "a" <: i 1)));
+    ("concat on non-str", prog_of (ret B.(i 1 ^: s "x")));
+    ("division by zero", prog_of (ret B.(i 1 /: i 0)));
+    ("mod by zero", prog_of (ret B.(i 7 %: i 0)));
+    ("not on int", prog_of (ret (B.not_ (B.i 3))));
+    ("neg on str", prog_of (ret (B.neg (B.s "x"))));
+    ("len on int", prog_of (ret (B.len (B.i 3))));
+    ("len on list ok", prog_of (ret (B.len (B.prim "range" [ B.i 4 ]))));
+    ("len on map ok", prog_of (ret (B.len (B.prim "map_empty" []))));
+    ("fst on non-pair", prog_of (ret (B.fst_ (B.i 1))));
+    ("snd on non-pair", prog_of (ret (B.snd_ (B.s "p"))));
+    ( "condition not bool",
+      prog_of [ B.if_ (B.i 1) [ B.return_unit ] [ B.return_unit ] ] );
+    ("logic op on non-bool lhs", prog_of (ret B.(i 1 &&: bconst true)));
+    ("logic short-circuits bad rhs", prog_of (ret B.(bconst false &&: i 3)));
+    ( "foreach over non-list",
+      prog_of [ B.foreach "x" (B.i 3) [ B.return_unit ]; B.return_unit ] );
+    ("unknown prim", prog_of [ B.let_ "x" (B.prim "no_such_prim" []); B.return_unit ]);
+    ("prim arg error", prog_of (ret (B.prim "list_head" [ B.prim "list_empty" [] ])));
+    ("assert failure", prog_of [ B.assert_ (B.bconst false) "boom" ]);
+    ( "call arity",
+      B.program "bad"
+        ~funcs:
+          [
+            B.func "f" ~params:[] [ B.call "g" []; B.return_unit ];
+            B.func "g" ~params:[ "a" ] [ B.return (B.v "a") ];
+          ]
+        ~entries:[] );
+    ( "unknown function",
+      prog_of [ B.call "missing" [ B.i 1 ]; B.return_unit ] );
+    ( "call depth exceeded",
+      B.program "bad"
+        ~funcs:[ B.func "f" ~params:[] [ B.call "f" []; B.return_unit ] ]
+        ~entries:[] );
+  ]
+
+let test_error_payloads () =
+  List.iter
+    (fun (name, prog) ->
+      let c = outcome_of ~engine:`Compiled prog "f" in
+      let t = outcome_of ~engine:`Treewalk prog "f" in
+      Alcotest.(check string) name t c;
+      Alcotest.(check bool)
+        (name ^ " produced an outcome")
+        false (c = "no outcome"))
+    bad_cases
+
+(* --- E17 fleet summaries: byte-identical across engines and widths --- *)
+
+let test_e17_engine_identity () =
+  let module E = Wd_harness.Experiments in
+  let finish () = E.set_engine `Compiled in
+  Fun.protect ~finally:finish (fun () ->
+      E.set_jobs 4;
+      E.set_engine `Compiled;
+      let compiled = E.e17_text () in
+      E.set_jobs 1;
+      E.set_engine `Treewalk;
+      let treewalk = E.e17_text () in
+      Alcotest.(check string)
+        "E17 fleet summary byte-identical across engines and --jobs widths"
+        compiled treewalk)
+
+let () =
+  Alcotest.run "engine_diff"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case
+            (Fmt.str "%d random programs trace-identical on both engines"
+               n_seeds)
+            `Slow test_randprog_traces;
+          Alcotest.test_case "violation payloads byte-identical" `Quick
+            test_error_payloads;
+          Alcotest.test_case "E17 byte-identical across engines" `Slow
+            test_e17_engine_identity;
+        ] );
+    ]

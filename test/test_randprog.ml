@@ -2,12 +2,9 @@
    generated watchdog must uphold their invariants on arbitrary (well-formed,
    fault-free-safe) system programs, not just the four hand-written targets.
 
-   The generator emits programs built from safe operation templates (writes
-   followed by reads of the same path, alloc/free pairs, guarded reads...) so
-   that a fault-free run never raises — making "no false alarms" a testable
-   property of the generated watchdog itself. *)
+   The generator lives in test/support (Wd_testgen.Randgen) so the engine
+   differential test drives the same program family. *)
 
-module B = Wd_ir.Builder
 module Rng = Wd_sim.Rng
 module Sched = Wd_sim.Sched
 module Time = Wd_sim.Time
@@ -15,82 +12,7 @@ module Reduction = Wd_analysis.Reduction
 module Generate = Wd_autowatchdog.Generate
 open Wd_ir.Ast
 
-(* --- program generator --- *)
-
-let gen_ident rng prefix = Fmt.str "%s%d" prefix (Rng.int rng 1000)
-
-(* A safe statement template; [depth] bounds nesting, [k] is a unique id for
-   fresh variable names. *)
-let rec gen_template rng ~depth k =
-  let fresh s = Fmt.str "%s_%d" s k in
-  let choice = Rng.int rng (if depth > 0 then 10 else 8) in
-  match choice with
-  | 0 ->
-      (* write then read back the same path *)
-      let p = fresh "p" and d = fresh "d" in
-      [
-        B.let_ p (B.prim "concat" [ B.s (gen_ident rng "dir/"); B.s "/f" ]);
-        B.let_ d (B.prim "bytes_of_str" [ B.s (gen_ident rng "content") ]);
-        B.disk_write ~disk:"d0" ~path:(B.v p) ~data:(B.v d);
-        B.disk_read ~bind:(fresh "back") ~disk:"d0" ~path:(B.v p) ();
-      ]
-  | 1 ->
-      let d = fresh "d" in
-      [
-        B.let_ d (B.prim "bytes_of_str" [ B.s "entry;" ]);
-        B.disk_append ~disk:"d0" ~path:(B.s (gen_ident rng "log/")) ~data:(B.v d);
-      ]
-  | 2 -> [ B.net_send ~net:"net0" ~dst:(B.s "peer") ~payload:(B.s "msg") ]
-  | 3 ->
-      let n = 64 + Rng.int rng 256 in
-      [ B.mem_alloc ~pool:"m0" ~size:(B.i n); B.mem_free ~pool:"m0" ~size:(B.i n) ]
-  | 4 ->
-      let g = gen_ident rng "g" in
-      let x = fresh "x" in
-      [
-        B.state_set ~global:g ~value:(B.i (Rng.int rng 100));
-        B.state_get ~bind:x ~global:g;
-      ]
-  | 5 -> [ B.sleep_ms (1 + Rng.int rng 20) ]
-  | 6 -> [ B.compute_us (1 + Rng.int rng 10) ]
-  | 7 -> [ B.disk_sync ~disk:"d0" ]
-  | 8 ->
-      (* synchronized block around a nested template *)
-      [ B.sync (gen_ident rng "lock") (gen_block rng ~depth:(depth - 1) (k * 31 + 1)) ]
-  | _ ->
-      [
-        B.if_
-          B.(i (Rng.int rng 10) <: i 5)
-          (gen_block rng ~depth:(depth - 1) (k * 31 + 2))
-          (gen_block rng ~depth:(depth - 1) (k * 31 + 3));
-      ]
-
-and gen_block rng ~depth k =
-  let n = 1 + Rng.int rng 3 in
-  List.concat (List.init n (fun i -> gen_template rng ~depth (k * 17 + i)))
-
-let gen_program seed =
-  let rng = Rng.create ~seed in
-  (* helper functions, callable from the loop *)
-  let n_helpers = 1 + Rng.int rng 3 in
-  let helpers =
-    List.init n_helpers (fun i ->
-        B.func
-          (Fmt.str "helper%d" i)
-          ~params:[]
-          (gen_block rng ~depth:2 (100 + i) @ [ B.return_unit ]))
-  in
-  let loop_body =
-    gen_block rng ~depth:2 7
-    @ List.concat
-        (List.init n_helpers (fun i ->
-             if Rng.bool rng then [ B.call (Fmt.str "helper%d" i) [] ] else []))
-    @ [ B.sleep_ms (50 + Rng.int rng 100) ]
-  in
-  B.program
-    (Fmt.str "rand%d" seed)
-    ~funcs:(B.func "main_loop" ~params:[] [ B.while_true loop_body ] :: helpers)
-    ~entries:[ B.entry "main" "main_loop" ]
+let gen_program = Wd_testgen.Randgen.gen_program
 
 (* --- properties --- *)
 
