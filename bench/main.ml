@@ -116,22 +116,10 @@ let bench_checker_execution =
 let bench_cluster_fleet =
   Test.make ~name:"cluster/5-node zkmini fleet, 2 sim-seconds"
     (Staged.stage (fun () ->
-         let s = Sched.create ~seed:1 () in
-         let ids = List.init 5 Wd_cluster.Fabric.node_name in
-         let fabric = Wd_cluster.Fabric.create ~sched:s ~nodes:ids () in
-         let nodes =
-           List.init 5 (fun i ->
-               Wd_cluster.Node.boot ~sched:s ~system:"zkmini" ~index:i ())
+         let w =
+           Wd_cluster.Sim.boot ~seed:1 ~nodes:5 ~system:"zkmini" ()
          in
-         let agents =
-           List.map
-             (fun n -> Wd_cluster.Membership.create ~sched:s ~fabric ~node:n ())
-             nodes
-         in
-         let fleet = Wd_cluster.Fleet.create ~sched:s ~nodes ~agents () in
-         List.iter Wd_cluster.Membership.start agents;
-         Wd_cluster.Fleet.start fleet;
-         ignore (Sched.run ~until:(Vtime.sec 2) s)))
+         ignore (Sched.run ~until:(Vtime.sec 2) w.Wd_cluster.Sim.w_sched)))
 
 let microbenches =
   [
@@ -274,6 +262,34 @@ let run_json_bench ~jobs_n () =
   bpf "    \"treewalk_jobsN_wall_s\": %.3f,\n" secs_tw;
   bpf "    \"engine_speedup\": %.2f,\n" (secs_tw /. Float.max 1e-9 secs_n);
   bpf "    \"engines_identical\": %b\n" engines_identical;
+  bpf "  },\n";
+  (* fleet plane: one limplock cell and one leader-failover cell; the
+     latencies are sim-time (deterministic), the wall clocks are host *)
+  let module Csim = Wd_cluster.Sim in
+  let fleet_cell csid = wall (fun () -> Csim.run csid) in
+  let limp, limp_s = fleet_cell "fleet-limplock" in
+  let fail, fail_s = fleet_cell "fleet-leader-limplock" in
+  let ms = function Some v -> Int64.to_float v /. 1e6 | None -> -1. in
+  let converge (r : Csim.result) =
+    match r.Csim.cr_converged_at with
+    | Some at when at > r.Csim.cr_inject_at ->
+        Some (Int64.sub at r.Csim.cr_inject_at)
+    | Some _ | None -> None
+  in
+  bpf "  \"fleet\": {\n";
+  bpf
+    "    \"limplock\": { \"wall_s\": %.3f, \"detect_ms\": %.1f, \
+     \"mttr_ms\": %.1f },\n"
+    limp_s
+    (ms limp.Csim.cr_first_latency)
+    (ms limp.Csim.cr_first_recovery_latency);
+  bpf
+    "    \"leader_failover\": { \"wall_s\": %.3f, \"detect_ms\": %.1f, \
+     \"mttr_ms\": %.1f, \"election_converge_ms\": %.1f, \"elections\": %d }\n"
+    fail_s
+    (ms fail.Csim.cr_first_latency)
+    (ms fail.Csim.cr_first_recovery_latency)
+    (ms (converge fail)) fail.Csim.cr_elections;
   bpf "  },\n";
   bpf "  \"analysis_cache\": { \"cold_ms\": %.3f, \"hit_ms\": %.4f },\n"
     (1e3 *. cold_s) (1e3 *. hit_s);

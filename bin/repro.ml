@@ -2,6 +2,7 @@
 
      repro list                    list experiments and failure scenarios
      repro table1 | table2 | ...   run one experiment and print its table
+     repro cluster | failover      fleet plane (E17) / leader failover (E18)
      repro all                     run every experiment
      repro scenario <sid>          run one catalog scenario in detail *)
 

@@ -19,6 +19,7 @@ type outcome =
   | Not_reproduced   (* the unit passes in a clean environment *)
   | Unknown_checker
   | Context_incomplete
+  | Wire_error of string (* evidence bytes did not decode *)
 
 (* Resource names referenced by the unit's body, grouped by resource class. *)
 let resources_of_unit (u : Reduction.unit_) =
@@ -135,9 +136,19 @@ let run ?fault ?(timeout = Wd_sim.Time.sec 10) (g : Generate.generated)
         !outcome
       end
 
+(* Cross-node entry point: the evidence a fleet leader ships in a [Recover]
+   command is the report's wire bytes; decode them and replay. The wire
+   codec makes the repro possible on a machine that never saw the failure —
+   the captured mimic payload travels inside the bytes. *)
+let run_wire ?fault ?timeout g ~wire =
+  match Wd_watchdog.Report.of_wire wire with
+  | Error e -> Wire_error e
+  | Ok report -> run ?fault ?timeout g ~report
+
 let pp_outcome ppf = function
   | Reproduced k ->
       Fmt.pf ppf "reproduced (%s)" (Wd_watchdog.Report.fkind_name k)
   | Not_reproduced -> Fmt.string ppf "not reproduced (clean environment passes)"
   | Unknown_checker -> Fmt.string ppf "unknown checker"
   | Context_incomplete -> Fmt.string ppf "context incomplete"
+  | Wire_error e -> Fmt.pf ppf "wire error (%s)" e

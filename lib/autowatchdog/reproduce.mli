@@ -10,6 +10,7 @@ type outcome =
   | Not_reproduced       (** the unit passes in a clean environment *)
   | Unknown_checker
   | Context_incomplete
+  | Wire_error of string (** evidence bytes did not decode *)
 
 val run :
   ?fault:Wd_env.Faultreg.fault ->
@@ -17,5 +18,15 @@ val run :
   Generate.generated ->
   report:Wd_watchdog.Report.t ->
   outcome
+
+val run_wire :
+  ?fault:Wd_env.Faultreg.fault ->
+  ?timeout:int64 ->
+  Generate.generated ->
+  wire:string ->
+  outcome
+(** Decode a {!Wd_watchdog.Report.to_wire}-encoded report (e.g. the
+    evidence a fleet leader ships with a [Recover] command) and replay it —
+    cross-node reproduction from bytes alone. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

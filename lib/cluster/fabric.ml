@@ -9,15 +9,45 @@
    private environment registry: a fabric fault degrades links without
    touching any node's disks or queues, and vice versa. *)
 
+(* Compact summary of a locally-surfaced report, piggybacked on heartbeat
+   gossip so peers can corroborate leader evidence without a second
+   channel: enough to classify (checker id carries the kind prefix) and to
+   window by freshness, without the full payload. *)
+type digest = { d_checker : string; d_fkind : string; d_at : int64 }
+
 type msg =
-  | Gossip of { from_ : string; seq : int }
+  | Gossip of {
+      from_ : string;
+      seq : int;
+      accuse_probe : string list;
+          (* peers whose deep probes I currently see failing *)
+      accuse_suspect : string list;
+          (* peers I suspect for gossip silence *)
+      digests : digest list;
+          (* my recent report digests, for corroboration *)
+    }
       (* liveness heartbeat: "I am scheduling and my network path to you
          works" — deliberately cheap, touching no disk or queue, so a
-         limping node keeps gossiping (the gray-failure signature) *)
+         limping node keeps gossiping (the gray-failure signature). The
+         piggybacked accusations and digests are how extrinsic evidence
+         reaches the elected leader without an extra channel. *)
   | Probe_req of { from_ : string; seq : int }
       (* end-to-end health probe: the receiver runs a bounded client
          operation against its local service before acking *)
   | Probe_ack of { from_ : string; seq : int; healthy : bool }
+  | Report_ship of { from_ : string; wire : string }
+      (* a locally-surfaced watchdog report, wire-encoded
+         ([Wd_watchdog.Report.to_wire]) and shipped to the current leader *)
+  | Elect of { from_ : string; round : int }
+      (* bully election: challenge to every higher-priority peer *)
+  | Elect_ok of { from_ : string; round : int }
+      (* a higher-priority peer is alive and takes over the election *)
+  | Coordinator of { from_ : string; round : int }
+      (* leadership announcement; receivers adopt and re-ship retained
+         reports so the new leader's inboxes rebuild *)
+  | Recover of { from_ : string; func : string; wire : string }
+      (* leader -> indicted node: microreboot the component owning [func];
+         [wire] is the evidence report that localised it *)
 
 type t = {
   net : msg Wd_env.Net.t;

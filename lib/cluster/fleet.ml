@@ -1,30 +1,41 @@
-(* The fleet plane: one aggregator correlating every node's local watchdog
-   report stream with the membership service's probe/gossip evidence, and
-   turning N streams of local findings into one fleet-level verdict.
+(* The fleet correlation engine: turns N streams of local findings into one
+   fleet-level verdict — decentralized edition.
 
-   It stays off the nodes' hot paths: reports arrive through the drivers'
-   [on_report] subscription (an O(1) append on the reporting path — reports
-   are rare by construction) and membership state is read, never written,
-   once per correlation tick.
+   Every node carries one of these engines, but only the elected leader's
+   runs ([Election] drives [step] leader-only). Nothing here reaches across
+   node boundaries: evidence arrives as *messages* —
 
-   Rule set, evaluated in priority order each tick:
+   - [ingest_wire]: a wire-encoded watchdog report shipped over the fabric
+     ([Fabric.Report_ship]), decoded and filed into the origin node's inbox.
+     Duplicates (re-sends after a leader change) dedupe on the wire bytes.
+   - [note_gossip_evidence]: the accusation lists and report digests each
+     node piggybacks on its heartbeat gossip. Accusations are kept per
+     accuser and fade if the accuser's gossip stops; digests corroborate
+     shipped reports (and stand in for them if a ship was lost).
 
-   1. Global overload — signal checkers alarm on a majority of nodes while
-      every mimic checker is quiet. Queue pressure without any failed or
-      slow mimicked operation means legitimate load, not a fault: record
+   Because gossip reaches every node, every engine's accusation matrices and
+   digest sets stay warm even while it is a follower — a freshly elected
+   leader only needs the full reports re-shipped to resume correlating.
+
+   Rule set, evaluated in priority order each tick (unchanged from the
+   centralized plane):
+
+   1. Global overload — signal evidence on a majority of nodes while every
+      mimic checker is quiet. Queue pressure without any failed or slow
+      mimicked operation means legitimate load, not a fault: record
       [Overload], indict nobody (the paper's §4.2 false-alarm case).
-      Evaluated first because overload also makes probes time out.
 
    2. Node-local gray failure — some node's mimic checkers alarm AND at
-      least [quorum] distinct peers independently accuse it (their deep
-      probes of it fail, or they suspect it for gossip silence). Indict the
-      node and name the component from its mimic report's localisation.
+      least [quorum] distinct peers independently accuse it (deep probes
+      failing, or suspected for gossip silence). Indict the node, name the
+      component from its mimic report's localisation, and keep that
+      report's wire bytes as the verdict's evidence — the leader sends them
+      back in its [Recover] command, and they seed cross-node reproduction.
 
    3. Fabric-level failure — no mimic alarms anywhere, yet probes fail on
       specific (a,b) pairs while every involved node still has a healthy
-      link to some other peer. A node that answers one peer's deep probe
-      but not another's is not sick — the link is. Indict the link pairs,
-      never a node.
+      link to some other peer. Indict the link pairs, never a node.
+      Probe accusations only: gossip-silence suspicion names no direction.
 
    A candidate verdict must survive [confirm] consecutive ticks before it
    is recorded (debounce), and each distinct verdict is recorded once. *)
@@ -37,12 +48,30 @@ type verdict =
   | Link_fault of { links : (string * string) list }
   | Overload
 
-type event = { ev_at : int64; ev_verdict : verdict }
+type event = {
+  ev_at : int64;
+  ev_verdict : verdict;
+  ev_evidence : string option;
+      (* wire bytes of the report that localised a Node_gray verdict *)
+}
+
+(* the per-origin-node report inbox; [seen] dedupes re-shipped wires *)
+type inbox = {
+  mutable reps : (Report.t * string) list; (* newest first; report + wire *)
+  seen : (string, unit) Hashtbl.t;
+}
+
+(* one accuser's latest piggybacked view; replaced on each of its gossips *)
+type accusation = {
+  acc_at : int64;
+  acc_probe : string list; (* peers whose deep probes the accuser sees failing *)
+  acc_suspect : string list; (* peers the accuser suspects for gossip silence *)
+}
 
 type t = {
   sched : Wd_sim.Sched.t;
-  nodes : Node.t list;
-  agents : Membership.t list; (* index-aligned with nodes *)
+  me : string;
+  node_ids : string list;
   tick : int64;
   mimic_window : int64; (* mimic evidence is fresh within this *)
   signal_window : int64; (* signal evidence fades slower: the driver
@@ -50,121 +79,192 @@ type t = {
                             re-reports at that cadence; the window must
                             outlast the gap or overload would "blink" and
                             let rules 2-3 misfire in between *)
+  accuse_window : int64; (* an accuser's gossip view is live within this;
+                            a dead accuser's stale accusations fade *)
   quorum : int;
   confirm : int;
-  inboxes : (string, Report.t list ref) Hashtbl.t;
-  mutable membership_events : Membership.event list; (* newest first *)
-  mutable streaks : (string * int) list;
+  inboxes : (string, inbox) Hashtbl.t;
+  digests : (string, (Fabric.digest, unit) Hashtbl.t) Hashtbl.t;
+  accusations : (string, accusation) Hashtbl.t; (* keyed by accuser *)
+  streaks : (string, int) Hashtbl.t; (* verdict key -> consecutive ticks *)
   recorded : (string, unit) Hashtbl.t;
   mutable events : event list; (* newest first *)
+  mutable ingested : int; (* wires decoded and filed *)
+  mutable rejected : int; (* wires that failed to decode *)
 }
 
 let create ?(tick = Wd_sim.Time.ms 500) ?(mimic_window = Wd_sim.Time.sec 10)
-    ?(signal_window = Wd_sim.Time.sec 45) ?(quorum = 2) ?(confirm = 2) ~sched
-    ~nodes ~agents () =
+    ?(signal_window = Wd_sim.Time.sec 45) ?(accuse_window = Wd_sim.Time.sec 2)
+    ?(quorum = 2) ?(confirm = 2) ~sched ~me ~node_ids () =
   let t =
     {
       sched;
-      nodes;
-      agents;
+      me;
+      node_ids;
       tick;
       mimic_window;
       signal_window;
+      accuse_window;
       quorum;
       confirm;
       inboxes = Hashtbl.create 8;
-      membership_events = [];
-      streaks = [];
+      digests = Hashtbl.create 8;
+      accusations = Hashtbl.create 8;
+      streaks = Hashtbl.create 8;
       recorded = Hashtbl.create 8;
       events = [];
+      ingested = 0;
+      rejected = 0;
     }
   in
   List.iter
-    (fun (n : Node.t) ->
-      let inbox = ref [] in
-      Hashtbl.replace t.inboxes n.Node.id inbox;
-      Wd_watchdog.Driver.on_report n.Node.driver (fun r -> inbox := r :: !inbox))
-    nodes;
-  List.iter
-    (fun a ->
-      Membership.on_event a (fun e ->
-          t.membership_events <- e :: t.membership_events))
-    agents;
+    (fun id ->
+      Hashtbl.replace t.inboxes id { reps = []; seen = Hashtbl.create 32 };
+      Hashtbl.replace t.digests id (Hashtbl.create 32))
+    node_ids;
   t
 
-let reports_of t node_id =
-  match Hashtbl.find_opt t.inboxes node_id with Some r -> !r | None -> []
+let tick_period t = t.tick
+
+(* --- evidence intake ---------------------------------------------------- *)
+
+let ingest_wire t ~from_ ~wire =
+  match Hashtbl.find_opt t.inboxes from_ with
+  | None -> ()
+  | Some ib ->
+      if not (Hashtbl.mem ib.seen wire) then begin
+        match Report.of_wire wire with
+        | Ok r ->
+            Hashtbl.replace ib.seen wire ();
+            ib.reps <- (r, wire) :: ib.reps;
+            t.ingested <- t.ingested + 1
+        | Error _ -> t.rejected <- t.rejected + 1
+      end
+
+let note_gossip_evidence t ~from_ ~accuse_probe ~accuse_suspect ~digests =
+  Hashtbl.replace t.accusations from_
+    {
+      acc_at = Wd_sim.Sched.now t.sched;
+      acc_probe = accuse_probe;
+      acc_suspect = accuse_suspect;
+    };
+  match Hashtbl.find_opt t.digests from_ with
+  | None -> ()
+  | Some set -> List.iter (fun d -> Hashtbl.replace set d ()) digests
+
+let ingested t = t.ingested
+let rejected t = t.rejected
+
+(* --- evidence views ----------------------------------------------------- *)
 
 let fresh_reports t node_id ~now ~window ~kind =
-  List.filter
-    (fun (r : Report.t) ->
-      Node.kind_of_checker_id r.Report.checker_id = kind
-      && Int64.sub now r.Report.at <= window)
-    (reports_of t node_id)
+  match Hashtbl.find_opt t.inboxes node_id with
+  | None -> []
+  | Some ib ->
+      List.filter
+        (fun ((r : Report.t), _) ->
+          Node.kind_of_checker_id r.Report.checker_id = kind
+          && Int64.sub now r.Report.at <= window)
+        ib.reps
 
-let agent_of t node_id =
-  List.find (fun a -> Membership.me a = node_id) t.agents
+let has_fresh_digest t node_id ~now ~window ~kind =
+  match Hashtbl.find_opt t.digests node_id with
+  | None -> false
+  | Some set ->
+      Hashtbl.fold
+        (fun (d : Fabric.digest) () acc ->
+          acc
+          || (Node.kind_of_checker_id d.Fabric.d_checker = kind
+             && Int64.sub now d.Fabric.d_at <= window))
+        set false
+
+(* a node shows evidence of [kind] if a fresh full report reached us, or a
+   fresh digest was corroborated over gossip *)
+let has_evidence t node_id ~now ~window ~kind =
+  fresh_reports t node_id ~now ~window ~kind <> []
+  || has_fresh_digest t node_id ~now ~window ~kind
+
+let live_accusation t accuser ~now =
+  match Hashtbl.find_opt t.accusations accuser with
+  | Some a when Int64.sub now a.acc_at <= t.accuse_window -> Some a
+  | Some _ | None -> None
 
 (* peers currently accusing [node_id]: deep probe failing, or suspected for
    gossip silence *)
-let accusers t node_id =
+let accusers t node_id ~now =
   List.filter
-    (fun a ->
-      Membership.me a <> node_id
-      && (Membership.probe_failing a node_id
-         || List.mem node_id (Membership.suspects a)))
-    t.agents
-  |> List.map Membership.me
+    (fun accuser ->
+      accuser <> node_id
+      &&
+      match live_accusation t accuser ~now with
+      | None -> false
+      | Some a ->
+          List.mem node_id a.acc_probe || List.mem node_id a.acc_suspect)
+    t.node_ids
+
+(* is [node_id] accused by a quorum of peers right now?  The election agent
+   consults this about *itself*: a leader the fleet is about to indict must
+   demote instead of stepping its own engine — a verdict computed by the
+   gray node it condemns is not trustworthy, and the successor will reach
+   the same one from the same gossip. *)
+let quorum_accused t node_id ~now =
+  List.length (accusers t node_id ~now) >= t.quorum
+
+(* directed probe-failure view: does [a] (freshly) accuse [b]'s deep probes?
+   Rule 3 uses this alone — suspicion names no direction. *)
+let probe_accuses t a b ~now =
+  match live_accusation t a ~now with
+  | None -> false
+  | Some acc -> List.mem b acc.acc_probe
 
 let canonical_pair a b = if a <= b then (a, b) else (b, a)
 
-(* one correlation tick: compute candidate verdicts *)
+let verdict_key = function
+  | Overload -> "overload"
+  | Node_gray { node; _ } -> "node:" ^ node
+  | Link_fault { links } ->
+      "links:" ^ String.concat "," (List.map (fun (a, b) -> a ^ "-" ^ b) links)
+
+(* one correlation tick: compute candidate verdicts (with their evidence) *)
 let candidates t ~now =
-  let n = List.length t.nodes in
+  let n = List.length t.node_ids in
   let mimic_nodes =
     List.filter
-      (fun (nd : Node.t) ->
-        fresh_reports t nd.Node.id ~now ~window:t.mimic_window
-          ~kind:Checker.Mimic
-        <> [])
-      t.nodes
+      (fun id -> has_evidence t id ~now ~window:t.mimic_window ~kind:Checker.Mimic)
+      t.node_ids
   in
   let signal_count =
     List.length
       (List.filter
-         (fun (nd : Node.t) ->
-           fresh_reports t nd.Node.id ~now ~window:t.signal_window
-             ~kind:Checker.Signal
-           <> [])
-         t.nodes)
+         (fun id ->
+           has_evidence t id ~now ~window:t.signal_window ~kind:Checker.Signal)
+         t.node_ids)
   in
   (* rule 1: overload *)
-  if 2 * signal_count > n && mimic_nodes = [] then [ ("overload", Overload) ]
+  if 2 * signal_count > n && mimic_nodes = [] then [ (Overload, None) ]
   else
     (* rule 2: node-local gray failure *)
     let gray =
       List.filter_map
-        (fun (nd : Node.t) ->
-          let acc = accusers t nd.Node.id in
-          if List.length acc >= t.quorum then
-            let component =
-              List.fold_left
-                (fun best (r : Report.t) ->
-                  match (best, r.Report.loc) with
-                  | None, Some l -> Some l
-                  | best, _ -> best)
-                None
+        (fun id ->
+          if List.length (accusers t id ~now) >= t.quorum then
+            (* oldest loc'd fresh mimic report names the component; its wire
+               bytes ride along as the verdict's evidence *)
+            let located =
+              List.find_opt
+                (fun ((r : Report.t), _) -> r.Report.loc <> None)
                 (List.rev
-                   (fresh_reports t nd.Node.id ~now ~window:t.mimic_window
+                   (fresh_reports t id ~now ~window:t.mimic_window
                       ~kind:Checker.Mimic))
             in
+            let component =
+              match located with
+              | Some (r, _) -> Option.map Wd_ir.Loc.func r.Report.loc
+              | None -> None
+            in
             Some
-              ( "node:" ^ nd.Node.id,
-                Node_gray
-                  {
-                    node = nd.Node.id;
-                    component = Option.map Wd_ir.Loc.func component;
-                  } )
+              ( Node_gray { node = id; component },
+                Option.map snd located )
           else None)
         mimic_nodes
     in
@@ -172,16 +272,16 @@ let candidates t ~now =
     else if mimic_nodes <> [] then []
     else
       (* rule 3: fabric-level failure; only with every mimic quiet *)
-      let ids = List.map (fun (nd : Node.t) -> nd.Node.id) t.nodes in
+      let ids = t.node_ids in
       let pairs =
         List.concat_map
           (fun a ->
             List.filter_map
               (fun b ->
                 if a < b then
-                  let ab = Membership.probe_failing (agent_of t a) b in
-                  let ba = Membership.probe_failing (agent_of t b) a in
-                  if ab || ba then Some (canonical_pair a b) else None
+                  if probe_accuses t a b ~now || probe_accuses t b a ~now then
+                    Some (canonical_pair a b)
+                  else None
                 else None)
               ids)
           ids
@@ -195,46 +295,41 @@ let candidates t ~now =
           List.exists
             (fun y ->
               y <> x
-              && (not (Membership.probe_failing (agent_of t x) y))
-              && not (Membership.probe_failing (agent_of t y) x))
+              && (not (probe_accuses t x y ~now))
+              && not (probe_accuses t y x ~now))
             ids
         in
         if List.for_all has_healthy_link involved then
-          let key =
-            "links:"
-            ^ String.concat ","
-                (List.map (fun (a, b) -> a ^ "-" ^ b) pairs)
-          in
-          [ (key, Link_fault { links = pairs }) ]
+          [ (Link_fault { links = pairs }, None) ]
         else []
 
+(* one debounced correlation step; returns the events recorded *this* tick
+   so the caller (the leader's election agent) can act on fresh verdicts *)
 let step t ~now =
   let cands = candidates t ~now in
-  let streaks =
-    List.map
-      (fun (key, v) ->
-        let prev =
-          match List.assoc_opt key t.streaks with Some s -> s | None -> 0
-        in
-        (key, prev + 1, v))
-      cands
+  let keys = List.map (fun (v, _) -> verdict_key v) cands in
+  (* a candidate absent this tick resets its streak (debounce semantics) *)
+  let stale =
+    Hashtbl.fold
+      (fun k _ acc -> if List.mem k keys then acc else k :: acc)
+      t.streaks []
   in
-  t.streaks <- List.map (fun (k, s, _) -> (k, s)) streaks;
-  List.iter
-    (fun (key, streak, v) ->
+  List.iter (Hashtbl.remove t.streaks) stale;
+  List.filter_map
+    (fun (v, evidence) ->
+      let key = verdict_key v in
+      let streak =
+        (match Hashtbl.find_opt t.streaks key with Some s -> s | None -> 0) + 1
+      in
+      Hashtbl.replace t.streaks key streak;
       if streak >= t.confirm && not (Hashtbl.mem t.recorded key) then begin
         Hashtbl.replace t.recorded key ();
-        t.events <- { ev_at = now; ev_verdict = v } :: t.events
-      end)
-    streaks
-
-let start t =
-  ignore
-    (Wd_sim.Sched.spawn ~name:"fleet-plane" ~daemon:true t.sched (fun () ->
-         while true do
-           Wd_sim.Sched.sleep t.tick;
-           step t ~now:(Wd_sim.Sched.now t.sched)
-         done))
+        let ev = { ev_at = now; ev_verdict = v; ev_evidence = evidence } in
+        t.events <- ev :: t.events;
+        Some ev
+      end
+      else None)
+    cands
 
 (* --- results ----------------------------------------------------------- *)
 
@@ -265,7 +360,11 @@ let first_component t =
       | _ -> None)
     (events t)
 
-let membership_event_count t = List.length t.membership_events
+let first_evidence t =
+  List.find_map
+    (fun e ->
+      match e.ev_verdict with Node_gray _ -> e.ev_evidence | _ -> None)
+    (events t)
 
 let pp_verdict ppf = function
   | Node_gray { node; component } ->

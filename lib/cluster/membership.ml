@@ -37,6 +37,8 @@ type t = {
   probe_timeout : int64; (* unacked past this = one failure *)
   suspicion_timeout : int64; (* gossip silence past this = suspected *)
   fail_threshold : int; (* consecutive failures before probe_failing *)
+  digest_source : unit -> Fabric.digest list;
+      (* recent local report digests, piggybacked on each heartbeat *)
   peers : (string, peer_state) Hashtbl.t;
   mutable gossip_seq : int;
   mutable probe_seq : int;
@@ -45,8 +47,8 @@ type t = {
 
 let create ?(gossip_period = Wd_sim.Time.ms 250)
     ?(probe_period = Wd_sim.Time.ms 500) ?(probe_timeout = Wd_sim.Time.ms 1500)
-    ?(suspicion_timeout = Wd_sim.Time.sec 3) ?(fail_threshold = 2) ~sched
-    ~fabric ~node () =
+    ?(suspicion_timeout = Wd_sim.Time.sec 3) ?(fail_threshold = 2)
+    ?(digest_source = fun () -> []) ~sched ~fabric ~node () =
   let peers = Hashtbl.create 8 in
   List.iter
     (fun p ->
@@ -69,6 +71,7 @@ let create ?(gossip_period = Wd_sim.Time.ms 250)
     probe_timeout;
     suspicion_timeout;
     fail_threshold;
+    digest_source;
     peers;
     gossip_seq = 0;
     probe_seq = 0;
@@ -97,18 +100,76 @@ let record_probe_ok t st ~healthy =
   end
   else record_probe_fail t st
 
+(* --- accusation views: what this agent tells the fleet (piggybacked on
+   gossip, and folded in directly when this agent's node is leader) ------ *)
+
+let accused_probe t =
+  Hashtbl.fold
+    (fun p st acc -> if st.probe_fails >= t.fail_threshold then p :: acc else acc)
+    t.peers []
+  |> List.sort compare
+
+let suspects t =
+  Hashtbl.fold (fun p st acc -> if st.suspected then p :: acc else acc) t.peers []
+  |> List.sort compare
+
+(* --- inbox handlers ----------------------------------------------------
+
+   The agent no longer owns the fabric inbox: one receiver per node (the
+   election agent) drains every message class and dispatches membership
+   traffic here, so gossip, probes, election and report shipping share a
+   single ordered stream. *)
+
+let note_gossip t ~from_ =
+  match Hashtbl.find_opt t.peers from_ with
+  | None -> ()
+  | Some st ->
+      st.last_gossip <- Wd_sim.Sched.now t.sched;
+      st.suspected <- false
+
+(* answer probes off-thread so a stalled local service never blocks the
+   receiver loop *)
+let handle_probe_req t ~from_ ~seq =
+  let id = me t in
+  ignore
+    (Wd_sim.Sched.spawn ~name:(id ^ "-responder") ~daemon:true t.sched
+       (fun () ->
+         let healthy = Node.local_probe t.node in
+         Fabric.send t.fabric ~src:id ~dst:from_
+           (Fabric.Probe_ack { from_ = id; seq; healthy })))
+
+let note_probe_ack t ~from_ ~seq ~healthy =
+  match Hashtbl.find_opt t.peers from_ with
+  | None -> ()
+  | Some st -> (
+      match st.outstanding with
+      | Some (s, _) when s = seq ->
+          st.outstanding <- None;
+          record_probe_ok t st ~healthy
+      | Some _ | None -> ())
+
 let start t =
   let sched = t.sched and id = me t in
-  (* heartbeat gossip broadcast *)
+  (* heartbeat gossip broadcast, piggybacking accusations and digests *)
   ignore
     (Wd_sim.Sched.spawn ~name:(id ^ "-gossip") ~daemon:true sched (fun () ->
          while true do
            Wd_sim.Sched.sleep t.gossip_period;
            t.gossip_seq <- t.gossip_seq + 1;
+           let accuse_probe = accused_probe t in
+           let accuse_suspect = suspects t in
+           let digests = t.digest_source () in
            List.iter
              (fun dst ->
                Fabric.send t.fabric ~src:id ~dst
-                 (Fabric.Gossip { from_ = id; seq = t.gossip_seq }))
+                 (Fabric.Gossip
+                    {
+                      from_ = id;
+                      seq = t.gossip_seq;
+                      accuse_probe;
+                      accuse_suspect;
+                      digests;
+                    }))
              (Fabric.peers t.fabric id)
          done));
   (* prober: time out the in-flight probe, then launch the next round *)
@@ -131,40 +192,6 @@ let start t =
                    (Fabric.Probe_req { from_ = id; seq = t.probe_seq })
                end)
              t.peers
-         done));
-  (* inbox: dispatch gossip / probe traffic; answer probes off-thread so a
-     stalled local service never blocks gossip processing *)
-  ignore
-    (Wd_sim.Sched.spawn ~name:(id ^ "-inbox") ~daemon:true sched (fun () ->
-         while true do
-           match
-             Fabric.recv_timeout t.fabric id ~timeout:(Wd_sim.Time.ms 250)
-           with
-           | None -> ()
-           | Some env -> (
-               match env.Wd_env.Net.payload with
-               | Fabric.Gossip { from_; _ } -> (
-                   match Hashtbl.find_opt t.peers from_ with
-                   | None -> ()
-                   | Some st ->
-                       st.last_gossip <- Wd_sim.Sched.now sched;
-                       st.suspected <- false)
-               | Fabric.Probe_req { from_; seq } ->
-                   ignore
-                     (Wd_sim.Sched.spawn ~name:(id ^ "-responder") ~daemon:true
-                        sched (fun () ->
-                          let healthy = Node.local_probe t.node in
-                          Fabric.send t.fabric ~src:id ~dst:from_
-                            (Fabric.Probe_ack { from_ = id; seq; healthy })))
-               | Fabric.Probe_ack { from_; seq; healthy } -> (
-                   match Hashtbl.find_opt t.peers from_ with
-                   | None -> ()
-                   | Some st -> (
-                       match st.outstanding with
-                       | Some (s, _) when s = seq ->
-                           st.outstanding <- None;
-                           record_probe_ok t st ~healthy
-                       | Some _ | None -> ())))
          done));
   (* suspicion sweep: gossip silence past the timeout *)
   ignore
@@ -190,10 +217,6 @@ let probe_failing t peer =
   match Hashtbl.find_opt t.peers peer with
   | Some st -> st.probe_fails >= t.fail_threshold
   | None -> false
-
-let suspects t =
-  Hashtbl.fold (fun p st acc -> if st.suspected then p :: acc else acc) t.peers []
-  |> List.sort compare
 
 let probe_ok_count t peer =
   match Hashtbl.find_opt t.peers peer with Some st -> st.probe_oks | None -> 0

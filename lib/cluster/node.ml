@@ -28,7 +28,24 @@ type t = {
   target : target;
   res : Wd_ir.Runtime.resources;
   tasks : Wd_sim.Sched.task list;
+  recovery : Wd_watchdog.Recovery.t;
+      (* microreboot plane, driven by fleet [Recover] commands — the node
+         never self-heals on local reports alone *)
+  digests : Fabric.digest list ref;
+      (* newest-first bounded buffer of local report digests, piggybacked
+         on heartbeat gossip for leader-side corroboration *)
 }
+
+let digest_cap = 16
+
+let digest_of (r : Wd_watchdog.Report.t) =
+  {
+    Fabric.d_checker = r.Wd_watchdog.Report.checker_id;
+    d_fkind = Wd_watchdog.Report.fkind_name r.Wd_watchdog.Report.fkind;
+    d_at = r.Wd_watchdog.Report.at;
+  }
+
+let take n l = List.filteri (fun i _ -> i < n) l
 
 (* Same id-prefix convention as Campaign.classify_checker, local to avoid a
    wd_harness dependency (wd_harness depends on wd_cluster, not vice versa). *)
@@ -45,6 +62,10 @@ let boot ?engine ~sched ~system ~index () =
   let reg = Wd_env.Faultreg.create () in
   let driver = Driver.create sched in
   let wstats = Wd_targets.Workload.create_stats () in
+  let recovery = Wd_watchdog.Recovery.create sched in
+  let digests = ref [] in
+  Driver.on_report driver (fun r ->
+      digests := take digest_cap (digest_of r :: !digests));
   match system with
   | "zkmini" ->
       let prog = Wd_targets.Zkmini.program () in
@@ -71,6 +92,11 @@ let boot ?engine ~sched ~system ~index () =
           wstats
       in
       let tasks = Wd_targets.Zkmini.start t in
+      (* leader entries come first in [start]'s task list *)
+      Generate.register_components recovery ~sched
+        ~main:t.Wd_targets.Zkmini.leader
+        ~entries:Wd_targets.Zkmini.leader_entries
+        ~tasks:(take (List.length Wd_targets.Zkmini.leader_entries) tasks);
       Driver.start driver;
       {
         index;
@@ -83,6 +109,8 @@ let boot ?engine ~sched ~system ~index () =
         target = Zk t;
         res = t.Wd_targets.Zkmini.res;
         tasks = wl :: tasks;
+        recovery;
+        digests;
       }
   | "cstore" ->
       let prog = Wd_targets.Cstore.program () in
@@ -109,6 +137,9 @@ let boot ?engine ~sched ~system ~index () =
           wstats
       in
       let tasks = Wd_targets.Cstore.start t in
+      Generate.register_components recovery ~sched
+        ~main:t.Wd_targets.Cstore.main ~entries:Wd_targets.Cstore.entries
+        ~tasks;
       Driver.start driver;
       {
         index;
@@ -121,6 +152,8 @@ let boot ?engine ~sched ~system ~index () =
         target = Cs t;
         res = t.Wd_targets.Cstore.res;
         tasks = wl :: tasks;
+        recovery;
+        digests;
       }
   | s -> invalid_arg ("Node.boot: unknown system " ^ s)
 
@@ -182,3 +215,15 @@ let start_burst t =
 
 let reports t = Driver.reports t.driver
 let checker_count t = Driver.checker_count t.driver
+
+(* --- fleet-driven recovery and gossip corroboration -------------------- *)
+
+let recent_digests t = !(t.digests)
+
+(* Command entry point for a fleet [Recover] message: microreboot the
+   component owning [func]. The fleet plane localised the failure from this
+   node's own shipped mimic report; the node just executes. *)
+let recover t ~func ~reason =
+  Wd_watchdog.Recovery.recover_function t.recovery ~func ~reason
+
+let recovery_events t = Wd_watchdog.Recovery.events t.recovery

@@ -2,7 +2,13 @@
    a single deterministic scheduler world, inject one cluster-scoped
    scenario, and grade the fleet plane's verdicts against the scenario's
    expectation. A cell is a pure function of (seed, system, scenario), so
-   campaigns fan cells out over domains exactly like single-node ones. *)
+   campaigns fan cells out over domains exactly like single-node ones.
+
+   The plane is decentralized: every node carries a membership agent, an
+   election agent and a (mostly idle) fleet engine; correlation runs only
+   on whichever node currently leads. Grading therefore merges verdicts
+   across every node's engine — under failover the record legitimately
+   moves from the old leader to its successor. *)
 
 type config = {
   seed : int;
@@ -25,12 +31,70 @@ let default_config =
     engine = None;
   }
 
+(* A booted-but-uninjected fleet world; [run] drives one through a scenario
+   and the bench harness reuses it for steady-state measurements. *)
+type world = {
+  w_sched : Wd_sim.Sched.t;
+  w_fabric : Fabric.t;
+  w_nodes : Node.t list;
+  w_agents : Membership.t list; (* index-aligned with nodes *)
+  w_elections : Election.t list; (* index-aligned with nodes *)
+  w_membership_events : int ref;
+  w_suspected_events : int ref;
+}
+
+let boot ?engine ~seed ~nodes ~system () =
+  let sched = Wd_sim.Sched.create ~seed () in
+  let ids = List.init nodes Fabric.node_name in
+  let fabric = Fabric.create ~sched ~nodes:ids () in
+  let ns =
+    List.init nodes (fun i -> Node.boot ?engine ~sched ~system ~index:i ())
+  in
+  let agents =
+    List.map
+      (fun (n : Node.t) ->
+        Membership.create
+          ~digest_source:(fun () -> Node.recent_digests n)
+          ~sched ~fabric ~node:n ())
+      ns
+  in
+  let elections =
+    List.map2
+      (fun (n : Node.t) a ->
+        let fleet = Fleet.create ~sched ~me:n.Node.id ~node_ids:ids () in
+        Election.create ~sched ~fabric ~node:n ~membership:a ~fleet ())
+      ns agents
+  in
+  let membership_events = ref 0 and suspected_events = ref 0 in
+  List.iter
+    (fun a ->
+      Membership.on_event a (fun e ->
+          incr membership_events;
+          match e with
+          | Membership.Suspected _ -> incr suspected_events
+          | Membership.Probe_failing _ | Membership.Probe_recovered _ -> ()))
+    agents;
+  List.iter Membership.start agents;
+  List.iter Election.start elections;
+  {
+    w_sched = sched;
+    w_fabric = fabric;
+    w_nodes = ns;
+    w_agents = agents;
+    w_elections = elections;
+    w_membership_events = membership_events;
+    w_suspected_events = suspected_events;
+  }
+
 type result = {
   cr_csid : string;
   cr_system : string;
   cr_seed : int;
   cr_nodes : int;
-  cr_events : Fleet.event list; (* chronological *)
+  cr_inject_at : int64; (* absolute injection time, for relative metrics *)
+  cr_events : (string * Fleet.event) list;
+      (* (recording engine's node, event); chronological, one per distinct
+         verdict across the whole fleet *)
   cr_first_latency : int64 option; (* first verdict - injection time *)
   cr_indicted_nodes : string list;
   cr_indicted_links : (string * string) list;
@@ -39,25 +103,113 @@ type result = {
   cr_as_expected : bool; (* verdicts match the scenario's expectation *)
   cr_component_ok : bool; (* named component is in the truth set *)
   cr_membership_events : int;
+  cr_suspected_events : int; (* gossip-silence suspicions fleet-wide *)
   cr_checker_count : int; (* per fleet, all nodes *)
   cr_workload_ok : float; (* min per-node success ratio *)
+  cr_leader_history : (string * (int64 * string) list) list;
+      (* per node: its believed-leader adoptions, chronological *)
+  cr_final_leaders : string list; (* distinct believed leaders at end *)
+  cr_elections : int; (* elections started fleet-wide *)
+  cr_converged_at : int64 option;
+      (* when the last node adopted the (single) final leader *)
+  cr_recoveries : (string * Wd_watchdog.Recovery.event) list;
+      (* fleet-commanded microreboots, (node, event), node order *)
+  cr_first_recovery_latency : int64 option; (* first microreboot - injection *)
+  cr_evidence_wire : string option;
+      (* wire bytes behind the first node indictment — the cross-node
+         repro seed *)
 }
+
+(* Merge every engine's record into one fleet-level verdict list: sort by
+   (time, owner, verdict key), keep the first record of each distinct
+   verdict. With a healthy leader exactly one engine records; under
+   failover the union is the plane's actual output. *)
+let merged_events elections =
+  let all =
+    List.concat_map
+      (fun e ->
+        List.map
+          (fun ev -> (Election.me e, ev))
+          (Fleet.events (Election.fleet e)))
+      elections
+  in
+  let all =
+    List.sort
+      (fun (o1, (e1 : Fleet.event)) (o2, (e2 : Fleet.event)) ->
+        match compare e1.Fleet.ev_at e2.Fleet.ev_at with
+        | 0 -> (
+            match compare o1 o2 with
+            | 0 ->
+                compare
+                  (Fleet.verdict_key e1.Fleet.ev_verdict)
+                  (Fleet.verdict_key e2.Fleet.ev_verdict)
+            | c -> c)
+        | c -> c)
+      all
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (_, (ev : Fleet.event)) ->
+      let k = Fleet.verdict_key ev.Fleet.ev_verdict in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    all
+
+let indicted_nodes events =
+  List.filter_map
+    (fun (_, (e : Fleet.event)) ->
+      match e.Fleet.ev_verdict with
+      | Fleet.Node_gray { node; _ } -> Some node
+      | _ -> None)
+    events
+  |> List.sort_uniq compare
+
+let indicted_links events =
+  List.concat_map
+    (fun (_, (e : Fleet.event)) ->
+      match e.Fleet.ev_verdict with
+      | Fleet.Link_fault { links } -> links
+      | _ -> [])
+    events
+  |> List.sort_uniq compare
+
+let first_component events =
+  List.find_map
+    (fun (_, (e : Fleet.event)) ->
+      match e.Fleet.ev_verdict with
+      | Fleet.Node_gray { component; _ } -> component
+      | _ -> None)
+    events
+
+let first_evidence events =
+  List.find_map
+    (fun (_, (e : Fleet.event)) ->
+      match e.Fleet.ev_verdict with
+      | Fleet.Node_gray _ -> e.Fleet.ev_evidence
+      | _ -> None)
+    events
+
+let overloaded events =
+  List.exists
+    (fun (_, (e : Fleet.event)) -> e.Fleet.ev_verdict = Fleet.Overload)
+    events
 
 (* Grade the fleet's verdicts against the scenario's expectation. A node
    indictment is correct only if it names exactly the victim; a link
    verdict is correct only if it covers the cut pair and indicts no node;
-   overload and fault-free demand zero indictments of either kind. *)
-let grade (s : Wd_faults.Cluster_catalog.cscenario) ~system ~fleet =
-  let inodes = Fleet.indicted_nodes fleet in
-  let ilinks = Fleet.indicted_links fleet in
-  let component = Fleet.first_component fleet in
+   overload, flaps and fault-free demand zero indictments of either kind. *)
+let grade (s : Wd_faults.Cluster_catalog.cscenario) ~system ~events =
+  let inodes = indicted_nodes events in
+  let ilinks = indicted_links events in
+  let component = first_component events in
   match s.Wd_faults.Cluster_catalog.cexpected with
   | Wd_faults.Cluster_catalog.Expect_node v ->
       let victim = Fabric.node_name v in
       let right_node = inodes = [ victim ] && ilinks = [] in
-      let truth =
-        Wd_faults.Cluster_catalog.truth_components s ~system
-      in
+      let truth = Wd_faults.Cluster_catalog.truth_components s ~system in
       let component_ok =
         match component with
         | Some c -> truth = [] || List.mem c truth
@@ -76,56 +228,95 @@ let grade (s : Wd_faults.Cluster_catalog.cscenario) ~system ~fleet =
   | Wd_faults.Cluster_catalog.Expect_no_indictment ->
       (inodes = [] && ilinks = [], true)
 
+let converged_at histories =
+  let finals =
+    List.filter_map
+      (fun (_, h) ->
+        match List.rev h with [] -> None | (at, l) :: _ -> Some (at, l))
+      histories
+  in
+  match finals with
+  | [] -> None
+  | (_, l0) :: _ ->
+      if List.for_all (fun (_, l) -> l = l0) finals then
+        Some (List.fold_left (fun acc (at, _) -> max acc at) 0L finals)
+      else None
+
 let run ?(cfg = default_config) csid =
   let s = Wd_faults.Cluster_catalog.find csid in
-  let sched = Wd_sim.Sched.create ~seed:cfg.seed () in
-  let ids = List.init cfg.nodes Fabric.node_name in
-  let fabric = Fabric.create ~sched ~nodes:ids () in
-  let nodes =
-    List.init cfg.nodes (fun i ->
-        Node.boot ?engine:cfg.engine ~sched ~system:cfg.system ~index:i ())
+  let w =
+    boot ?engine:cfg.engine ~seed:cfg.seed ~nodes:cfg.nodes ~system:cfg.system
+      ()
   in
-  let agents =
-    List.map (fun n -> Membership.create ~sched ~fabric ~node:n ()) nodes
-  in
-  let fleet = Fleet.create ~sched ~nodes ~agents () in
-  List.iter Membership.start agents;
-  Fleet.start fleet;
+  let sched = w.w_sched in
   ignore (Wd_sim.Sched.run ~until:cfg.warmup sched);
   let inject_at = Wd_sim.Sched.now sched in
   Wd_faults.Cluster_catalog.inject
-    ~node_reg:(fun i -> (List.nth nodes i).Node.reg)
-    ~fabric_reg:fabric.Fabric.reg ~node_name:Fabric.node_name ~at:inject_at s;
+    ~node_reg:(fun i -> (List.nth w.w_nodes i).Node.reg)
+    ~fabric_reg:w.w_fabric.Fabric.reg ~node_name:Fabric.node_name ~at:inject_at
+    s;
   (match s.Wd_faults.Cluster_catalog.ckind with
-  | Wd_faults.Cluster_catalog.Fleet_overload -> List.iter Node.start_burst nodes
+  | Wd_faults.Cluster_catalog.Fleet_overload ->
+      List.iter Node.start_burst w.w_nodes
   | _ -> ());
   ignore (Wd_sim.Sched.run ~until:(Int64.add inject_at cfg.observe) sched);
-  let events = Fleet.events fleet in
+  let events = merged_events w.w_elections in
   let first_latency =
     match events with
     | [] -> None
-    | e :: _ -> Some (Int64.sub e.Fleet.ev_at inject_at)
+    | (_, e) :: _ -> Some (Int64.sub e.Fleet.ev_at inject_at)
   in
-  let as_expected, component_ok = grade s ~system:cfg.system ~fleet in
+  let as_expected, component_ok = grade s ~system:cfg.system ~events in
+  let leader_history =
+    List.map (fun e -> (Election.me e, Election.leader_history e)) w.w_elections
+  in
+  let recoveries =
+    List.concat_map
+      (fun (n : Node.t) ->
+        List.map (fun ev -> (n.Node.id, ev)) (Node.recovery_events n))
+      w.w_nodes
+  in
+  let first_recovery_latency =
+    List.fold_left
+      (fun acc (_, (ev : Wd_watchdog.Recovery.event)) ->
+        let lat = Int64.sub ev.Wd_watchdog.Recovery.ev_at inject_at in
+        match acc with
+        | None -> Some lat
+        | Some best -> Some (min best lat))
+      None recoveries
+  in
   {
     cr_csid = csid;
     cr_system = cfg.system;
     cr_seed = cfg.seed;
     cr_nodes = cfg.nodes;
+    cr_inject_at = inject_at;
     cr_events = events;
     cr_first_latency = first_latency;
-    cr_indicted_nodes = Fleet.indicted_nodes fleet;
-    cr_indicted_links = Fleet.indicted_links fleet;
-    cr_component = Fleet.first_component fleet;
-    cr_overloaded = Fleet.overloaded fleet;
+    cr_indicted_nodes = indicted_nodes events;
+    cr_indicted_links = indicted_links events;
+    cr_component = first_component events;
+    cr_overloaded = overloaded events;
     cr_as_expected = as_expected;
     cr_component_ok = component_ok;
-    cr_membership_events = Fleet.membership_event_count fleet;
+    cr_membership_events = !(w.w_membership_events);
+    cr_suspected_events = !(w.w_suspected_events);
     cr_checker_count =
-      List.fold_left (fun acc n -> acc + Node.checker_count n) 0 nodes;
+      List.fold_left (fun acc n -> acc + Node.checker_count n) 0 w.w_nodes;
     cr_workload_ok =
       List.fold_left
         (fun acc (n : Node.t) ->
           min acc (Wd_targets.Workload.success_ratio n.Node.workload))
-        1.0 nodes;
+        1.0 w.w_nodes;
+    cr_leader_history = leader_history;
+    cr_final_leaders =
+      List.sort_uniq compare (List.map Election.leader w.w_elections);
+    cr_elections =
+      List.fold_left
+        (fun acc e -> acc + Election.elections_started e)
+        0 w.w_elections;
+    cr_converged_at = converged_at leader_history;
+    cr_recoveries = recoveries;
+    cr_first_recovery_latency = first_recovery_latency;
+    cr_evidence_wire = first_evidence events;
   }

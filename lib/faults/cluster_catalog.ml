@@ -18,6 +18,11 @@ type ckind =
          checkers alarm fleet-wide, mimics stay quiet — the paper's §4.2
          false-alarm case lifted to fleet scope *)
   | Fault_free
+  | Link_flap of { src : int; dst : int; window : int64 }
+      (* transient fabric fault: drop src->dst for a bounded window, then
+         heal. Shorter than the suspicion timeout and the probe timeout's
+         reach, so a correct plane accumulates at most one consecutive
+         probe failure and indicts nothing *)
 
 (* What the fleet plane should conclude. *)
 type expected_verdict =
@@ -80,8 +85,40 @@ let all =
     };
   ]
 
+(* Scenarios beyond the original four-cell grid. Kept out of [all] so the
+   long-standing 8/8-indict / 0/8-false oracle over [all] stays meaningful;
+   campaign and experiment grids opt in explicitly. *)
+let extras =
+  [
+    {
+      csid = "fleet-link-flap";
+      cdescription =
+        "fabric link n1->n3 drops for 1.2s then heals: a transient flap the \
+         plane must ride out without suspicion or indictment";
+      ckind = Link_flap { src = 1; dst = 3; window = Wd_sim.Time.ms 1200 };
+      cexpected = Expect_no_indictment;
+      ctruth = [];
+    };
+    {
+      csid = "fleet-leader-limplock";
+      cdescription =
+        "the elected leader's own disks degrade 2000x: the plane must fail \
+         over to a successor, which indicts and recovers the old leader";
+      ckind = Node_limplock { victim = 0; factor = 2000. };
+      cexpected = Expect_node 0;
+      ctruth =
+        [
+          ( "zkmini",
+            [ "commit_txn"; "serialize_node"; "serialize_snapshot";
+              "follower_loop" ] );
+          ( "cstore",
+            [ "do_write"; "flush_memtable"; "compact_once"; "do_read" ] );
+        ];
+    };
+  ]
+
 let find csid =
-  match List.find_opt (fun s -> s.csid = csid) all with
+  match List.find_opt (fun s -> s.csid = csid) (all @ extras) with
   | Some s -> s
   | None ->
       invalid_arg (Fmt.str "Cluster_catalog.find: unknown scenario %s" csid)
@@ -120,6 +157,17 @@ let inject ~node_reg ~fabric_reg ~node_name ~at s =
           behaviour = Wd_env.Faultreg.Drop;
           start_at = at;
           stop_at = Wd_sim.Time.never;
+          once = false;
+        }
+  | Link_flap { src; dst; window } ->
+      Wd_env.Faultreg.inject fabric_reg
+        {
+          Wd_env.Faultreg.id = s.csid;
+          site_pattern =
+            Fmt.str "net:fabric:send:%s:%s" (node_name src) (node_name dst);
+          behaviour = Wd_env.Faultreg.Drop;
+          start_at = at;
+          stop_at = Int64.add at window;
           once = false;
         }
   | Fleet_overload | Fault_free -> ()

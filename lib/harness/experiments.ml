@@ -1131,6 +1131,13 @@ let e16_text () =
 let e17_systems = [ "zkmini"; "cstore" ]
 let e17_seeds () = [ base_seed (); base_seed () + 101 ]
 
+(* the original four-scenario oracle grid plus the transient link flap —
+   the flap is a quiet cell: suspicion must not indict across one bounded
+   drop window (leader-limplock failover is E18's, not a grid cell here) *)
+let e17_scenarios () =
+  Wd_faults.Cluster_catalog.all
+  @ [ Wd_faults.Cluster_catalog.find "fleet-link-flap" ]
+
 let e17_cells () =
   List.concat_map
     (fun sys ->
@@ -1139,7 +1146,7 @@ let e17_cells () =
           List.map
             (fun seed -> (sys, s.Wd_faults.Cluster_catalog.csid, seed))
             (e17_seeds ()))
-        Wd_faults.Cluster_catalog.all)
+        (e17_scenarios ()))
     e17_systems
 
 let e17_run () =
@@ -1153,7 +1160,7 @@ let e17_run () =
 let e17_verdict_cell (r : Wd_cluster.Sim.result) =
   match r.Wd_cluster.Sim.cr_events with
   | [] -> "-"
-  | e :: _ -> (
+  | (_, e) :: _ -> (
       match e.Wd_cluster.Fleet.ev_verdict with
       | Wd_cluster.Fleet.Node_gray { node; component } ->
           fp "node %s (%s)" node (Option.value component ~default:"?")
@@ -1162,18 +1169,26 @@ let e17_verdict_cell (r : Wd_cluster.Sim.result) =
             (String.concat "," (List.map (fun (a, b) -> a ^ "-" ^ b) links))
       | Wd_cluster.Fleet.Overload -> "overload")
 
+(* which node's engine recorded the first verdict — with a healthy leader
+   always n0; under failover the successor *)
+let e17_leader_cell (r : Wd_cluster.Sim.result) =
+  match r.Wd_cluster.Sim.cr_events with [] -> "-" | (owner, _) :: _ -> owner
+
 let e17_text () =
   let rows = e17_run () in
   let s = Metrics.fleet_summary rows in
   fp
-    "E17 — fleet-level watchdogs: %d-node clusters, each node running its\n\
-     own generated watchdog; a fleet plane correlates the per-node report\n\
-     streams with membership gossip/probing to indict a node, a link, or\n\
-     nothing (seeds %s; identical tables at any --jobs width)\n"
+    "E17 — fleet-level watchdogs, decentralized: %d-node clusters, each\n\
+     node running its own generated watchdog plus a leader-elected fleet\n\
+     engine; reports travel as wire-encoded fabric messages, accusations\n\
+     and report digests piggyback on heartbeat gossip, and correlation\n\
+     runs only on the elected leader (seeds %s; identical tables at any\n\
+     --jobs width)\n"
     Wd_cluster.Sim.default_config.Wd_cluster.Sim.nodes
     (String.concat "," (List.map string_of_int (e17_seeds ())))
   ^ Tables.render
-      ~header:[ "system"; "scenario"; "seed"; "fleet verdict"; "latency"; "ok" ]
+      ~header:
+        [ "system"; "scenario"; "seed"; "fleet verdict"; "by"; "latency"; "ok" ]
       (List.map
          (fun (r : Wd_cluster.Sim.result) ->
            [
@@ -1181,6 +1196,7 @@ let e17_text () =
              r.Wd_cluster.Sim.cr_csid;
              string_of_int r.Wd_cluster.Sim.cr_seed;
              e17_verdict_cell r;
+             e17_leader_cell r;
              Tables.latency_cell r.Wd_cluster.Sim.cr_first_latency;
              Tables.mark_cell r.Wd_cluster.Sim.cr_as_expected;
            ])
@@ -1189,15 +1205,146 @@ let e17_text () =
       "\n\
        indictment accuracy:  %d/%d faulty cells indict the right target\n\
        component accuracy:   %d/%d node indictments name a true component\n\
-       false indictments:    %d/%d quiet cells (overload + fault-free)\n\
-       detection latency:    %a\n"
+       false indictments:    %d/%d quiet cells (overload, fault-free, flap)\n\
+       detection latency:    %a\n\
+       fleet MTTR:           %a\n"
       s.Metrics.fs_right s.Metrics.fs_faulty s.Metrics.fs_component_right
       s.Metrics.fs_node_cells s.Metrics.fs_false_indict s.Metrics.fs_quiet
-      Metrics.pp_latency_stats s.Metrics.fs_latency
+      Metrics.pp_latency_stats s.Metrics.fs_latency Metrics.pp_latency_stats
+      s.Metrics.fs_mttr
   ^ "\n\
-     Limplock indicts the limping node and its component; the asymmetric\n\
-     cut indicts the link with no node falsely accused; fleet-wide\n\
-     overload and fault-free runs indict nothing.\n"
+     Limplock indicts the limping node and its component, and the leader's\n\
+     Recover command microreboots it (MTTR above); the asymmetric cut\n\
+     indicts the link with no node falsely accused; fleet-wide overload,\n\
+     fault-free runs and a bounded link flap indict nothing.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E18 — leader failover: the verdict plane survives its own aggregator \
+   going gray, and the verdict drives recovery plus cross-node repro.  *)
+(* ------------------------------------------------------------------ *)
+
+type e18_cell = {
+  e18_system : string;
+  e18_seed : int;
+  e18_res : Wd_cluster.Sim.result;
+  e18_successor : string option; (* which engine recorded the indictment *)
+  e18_failover : int64 option; (* injection -> fleet agrees on successor *)
+  e18_victim_recovered : bool; (* microreboot landed on the old leader *)
+  e18_repro : Wd_autowatchdog.Reproduce.outcome option;
+      (* shipped evidence bytes replayed under the re-injected fault *)
+}
+
+let e18_victim = Wd_cluster.Fabric.node_name 0
+
+(* replay environment for the shipped evidence: the same slow-disk fault
+   the scenario injected, against a tight latency budget, so the captured
+   mimic payload reproduces the liveness violation *)
+let e18_repro_fault =
+  {
+    Wd_env.Faultreg.id = "repro-limplock";
+    site_pattern = "disk:*";
+    behaviour = Wd_env.Faultreg.Slow_factor 2000.;
+    start_at = 0L;
+    stop_at = Wd_sim.Time.never;
+    once = false;
+  }
+
+(* the replay's latency budget: a slow-class violation reproduces as a
+   liveness failure when the degraded op (100-500ms under the 2000x fault)
+   blows a budget the clean op (<1ms) meets comfortably *)
+let e18_repro_timeout = Wd_sim.Time.ms 100
+
+let e18_repro ~system wire =
+  let prog =
+    match system with
+    | "zkmini" -> Wd_targets.Zkmini.program ()
+    | _ -> Wd_targets.Cstore.program ()
+  in
+  let g = Generate.analyze_cached prog in
+  Wd_autowatchdog.Reproduce.run_wire ~fault:e18_repro_fault
+    ~timeout:e18_repro_timeout g ~wire
+
+let e18_run () =
+  let cells =
+    List.concat_map
+      (fun sys -> List.map (fun seed -> (sys, seed)) (e17_seeds ()))
+      e17_systems
+  in
+  par_map
+    (fun (sys, seed) ->
+      let r =
+        Wd_cluster.Sim.run
+          ~cfg:{ Wd_cluster.Sim.default_config with seed; system = sys }
+          "fleet-leader-limplock"
+      in
+      let successor =
+        List.find_map
+          (fun (owner, (e : Wd_cluster.Fleet.event)) ->
+            match e.Wd_cluster.Fleet.ev_verdict with
+            | Wd_cluster.Fleet.Node_gray _ -> Some owner
+            | _ -> None)
+          r.Wd_cluster.Sim.cr_events
+      in
+      let failover =
+        match r.Wd_cluster.Sim.cr_converged_at with
+        | Some at when at > r.Wd_cluster.Sim.cr_inject_at ->
+            Some (Int64.sub at r.Wd_cluster.Sim.cr_inject_at)
+        | Some _ | None -> None
+      in
+      {
+        e18_system = sys;
+        e18_seed = seed;
+        e18_res = r;
+        e18_successor = successor;
+        e18_failover = failover;
+        e18_victim_recovered =
+          List.exists
+            (fun (node, _) -> node = e18_victim)
+            r.Wd_cluster.Sim.cr_recoveries;
+        e18_repro =
+          Option.map (e18_repro ~system:sys) r.Wd_cluster.Sim.cr_evidence_wire;
+      })
+    cells
+
+let e18_text () =
+  let rows = e18_run () in
+  let opt_lat = Tables.latency_cell in
+  fp
+    "E18 — leader failover: the elected leader (n0) itself goes gray\n\
+     (disks 2000x slower, gossip still flowing). Peers' deep probes\n\
+     disqualify it, a successor wins the bully election, rebuilds its\n\
+     inboxes from re-shipped wire reports, indicts the old leader, and\n\
+     sends a Recover command whose evidence bytes seed a cross-node repro\n\
+     (seeds %s; deterministic per seed)\n"
+    (String.concat "," (List.map string_of_int (e17_seeds ())))
+  ^ Tables.render
+      ~header:
+        [
+          "system"; "seed"; "successor"; "failover"; "indicted"; "detect";
+          "MTTR"; "repro";
+        ]
+      (List.map
+         (fun c ->
+           let r = c.e18_res in
+           [
+             c.e18_system;
+             string_of_int c.e18_seed;
+             Option.value c.e18_successor ~default:"-";
+             opt_lat c.e18_failover;
+             String.concat "," r.Wd_cluster.Sim.cr_indicted_nodes;
+             opt_lat r.Wd_cluster.Sim.cr_first_latency;
+             opt_lat r.Wd_cluster.Sim.cr_first_recovery_latency;
+             (match c.e18_repro with
+             | Some o -> fp "%a" Wd_autowatchdog.Reproduce.pp_outcome o
+             | None -> "-");
+           ])
+         rows)
+  ^ "\n\
+     The verdict survives the death of the component that computes it: a\n\
+     successor (never n0) records the same indictment the centralized\n\
+     plane would have, the victim microreboots on command, and the shipped\n\
+     mimic context replays to the same violation on a node that never saw\n\
+     the failure.\n"
 
 (* ------------------------------------------------------------------ *)
 
@@ -1219,4 +1366,5 @@ let all_texts () =
     ("sweep", e15_text);
     ("multiseed", e16_text);
     ("cluster", e17_text);
+    ("failover", e18_text);
   ]

@@ -159,9 +159,29 @@ val e14_text : unit -> string
 val e16_run : unit -> (string * Metrics.latency_stats * int) list
 val e16_text : unit -> string
 
-(* E17 — fleet-level watchdogs over multi-node clusters *)
+(* E17 — fleet-level watchdogs over multi-node clusters (decentralized:
+   leader-elected aggregation over the fabric) *)
 val e17_run : unit -> Wd_cluster.Sim.result list
 val e17_text : unit -> string
+
+(* E18 — leader failover: successor election, verdict-driven recovery,
+   cross-node reproduction from shipped evidence bytes *)
+type e18_cell = {
+  e18_system : string;
+  e18_seed : int;
+  e18_res : Wd_cluster.Sim.result;
+  e18_successor : string option;
+      (** which node's engine recorded the indictment *)
+  e18_failover : int64 option;
+      (** injection -> every node agrees on the successor *)
+  e18_victim_recovered : bool;
+      (** the old leader microrebooted on the fleet's Recover command *)
+  e18_repro : Wd_autowatchdog.Reproduce.outcome option;
+      (** shipped evidence bytes replayed under the re-injected fault *)
+}
+
+val e18_run : unit -> e18_cell list
+val e18_text : unit -> string
 
 val all_texts : unit -> (string * (unit -> string)) list
 (** (experiment name, renderer) pairs, in presentation order. *)

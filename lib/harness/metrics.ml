@@ -65,6 +65,9 @@ type fleet_summary = {
   fs_quiet : int; (* cells expecting no indictment *)
   fs_false_indict : int; (* ... that indicted a node or link anyway *)
   fs_latency : latency_stats; (* first-verdict latency over faulty cells *)
+  fs_mttr : latency_stats;
+      (* injection -> first fleet-commanded microreboot, over node cells:
+         the decentralized plane's verdict-driven repair loop end to end *)
 }
 
 let fleet_summary (rs : Wd_cluster.Sim.result list) =
@@ -110,4 +113,10 @@ let fleet_summary (rs : Wd_cluster.Sim.result list) =
       latency_stats_of
         (List.filter_map (fun r -> r.Wd_cluster.Sim.cr_first_latency) faulty)
         ~total:(List.length faulty);
+    fs_mttr =
+      latency_stats_of
+        (List.filter_map
+           (fun r -> r.Wd_cluster.Sim.cr_first_recovery_latency)
+           node_cells)
+        ~total:(List.length node_cells);
   }

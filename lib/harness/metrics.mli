@@ -32,6 +32,8 @@ type fleet_summary = {
   fs_quiet : int;  (** cells expecting no indictment *)
   fs_false_indict : int;  (** ... that indicted a node or link anyway *)
   fs_latency : latency_stats;  (** first-verdict latency over faulty cells *)
+  fs_mttr : latency_stats;
+      (** injection -> first fleet-commanded microreboot, over node cells *)
 }
 
 val fleet_summary : Wd_cluster.Sim.result list -> fleet_summary

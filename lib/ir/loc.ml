@@ -10,6 +10,7 @@ let dummy = { func = "?"; path = []; uid = -1 }
 let make ~func ~path ~uid = { func; path; uid }
 
 let func t = t.func
+let path t = t.path
 let uid t = t.uid
 
 let pp ppf t =

@@ -9,6 +9,7 @@ type t
 val dummy : t
 val make : func:string -> path:int list -> uid:int -> t
 val func : t -> string
+val path : t -> int list
 val uid : t -> int
 val equal : t -> t -> bool
 

@@ -96,6 +96,18 @@ let supervise ?(period = Wd_sim.Time.sec 1) t =
           t.components
       done)
 
+(* Command entry point for externally-driven recovery: a fleet plane that
+   indicted this process names the faulty function (from the shipped mimic
+   report's localisation); map it to its owning component and microreboot.
+   Returns whether the function mapped to a registered component — the
+   reboot itself is still subject to backoff and the restart budget. *)
+let recover_function t ~func ~reason =
+  match component_for t func with
+  | None -> false
+  | Some c ->
+      microreboot t c ~reason;
+      true
+
 (* The driver action: reboot the component owning the report's pinpointed
    function. Reports without localisation cannot be mapped and are left to
    coarser recovery (full restart), which this module deliberately does not

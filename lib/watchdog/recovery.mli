@@ -26,6 +26,12 @@ val action : t -> Report.t -> unit
 (** Driver action: map the report's pinpointed function to its component
     and microreboot it. Reports without localisation are ignored. *)
 
+val recover_function : t -> func:string -> reason:string -> bool
+(** Command entry point for externally-driven recovery (fleet [Recover]
+    commands): microreboot the component owning [func]. Returns whether the
+    function mapped to a registered component; the reboot itself remains
+    subject to backoff and the restart budget. *)
+
 val supervise : ?period:int64 -> t -> Wd_sim.Sched.task
 (** Spawn the supervision sweep (reboots components whose task failed). *)
 

@@ -32,6 +32,220 @@ let fkind_name = function
   | Assert_fail _ -> "assert"
   | Checker_crash _ -> "checker-crash"
 
+(* --- wire codec -------------------------------------------------------
+
+   Canonical serialisation for shipping a report across a fabric: fleet
+   evidence must travel as data, not closures, so every field — including
+   the captured mimic payload values — has a byte-stable encoding. The
+   format is a tagged, length-prefixed text form: deterministic (no
+   hashing, no marshalling), so the same report encodes to the same bytes
+   on every run, which the digest/corroboration layer relies on. *)
+
+let wire_magic = "WDR1|"
+
+exception Wire_error of string
+
+let enc_str b s =
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let enc_int b n =
+  Buffer.add_string b (string_of_int n);
+  Buffer.add_char b ';'
+
+let enc_i64 b n =
+  Buffer.add_string b (Int64.to_string n);
+  Buffer.add_char b ';'
+
+let rec enc_value b (v : Wd_ir.Ast.value) =
+  match v with
+  | Wd_ir.Ast.VUnit -> Buffer.add_char b 'u'
+  | Wd_ir.Ast.VBool true -> Buffer.add_char b 'T'
+  | Wd_ir.Ast.VBool false -> Buffer.add_char b 'F'
+  | Wd_ir.Ast.VInt n ->
+      Buffer.add_char b 'i';
+      enc_int b n
+  | Wd_ir.Ast.VStr s ->
+      Buffer.add_char b 's';
+      enc_str b s
+  | Wd_ir.Ast.VBytes by ->
+      Buffer.add_char b 'y';
+      enc_str b (Bytes.to_string by)
+  | Wd_ir.Ast.VList vs ->
+      Buffer.add_char b 'l';
+      enc_int b (List.length vs);
+      List.iter (enc_value b) vs
+  | Wd_ir.Ast.VPair (x, y) ->
+      Buffer.add_char b 'p';
+      enc_value b x;
+      enc_value b y
+  | Wd_ir.Ast.VMap kvs ->
+      Buffer.add_char b 'm';
+      enc_int b (List.length kvs);
+      List.iter
+        (fun (k, v) ->
+          enc_str b k;
+          enc_value b v)
+        kvs
+
+let enc_fkind b = function
+  | Hang -> Buffer.add_char b 'H'
+  | Slow -> Buffer.add_char b 'S'
+  | Error_sig m ->
+      Buffer.add_char b 'E';
+      enc_str b m
+  | Assert_fail m ->
+      Buffer.add_char b 'A';
+      enc_str b m
+  | Checker_crash m ->
+      Buffer.add_char b 'C';
+      enc_str b m
+
+let to_wire r =
+  let b = Buffer.create 128 in
+  Buffer.add_string b wire_magic;
+  enc_i64 b r.at;
+  enc_str b r.checker_id;
+  enc_fkind b r.fkind;
+  (match r.loc with
+  | None -> Buffer.add_char b 'N'
+  | Some l ->
+      Buffer.add_char b 'L';
+      enc_str b (Wd_ir.Loc.func l);
+      let path = Wd_ir.Loc.path l in
+      enc_int b (List.length path);
+      List.iter (enc_int b) path;
+      enc_int b (Wd_ir.Loc.uid l));
+  enc_str b r.op_desc;
+  enc_int b (List.length r.payload);
+  List.iter
+    (fun (k, v) ->
+      enc_str b k;
+      enc_value b v)
+    r.payload;
+  (match r.validated with
+  | None -> Buffer.add_char b 'N'
+  | Some true -> Buffer.add_char b 'T'
+  | Some false -> Buffer.add_char b 'F');
+  Buffer.contents b
+
+(* decoder: a cursor over the string; any shape violation raises
+   [Wire_error], caught at the [of_wire] boundary *)
+
+type cursor = { s : string; mutable pos : int }
+
+let fail msg = raise (Wire_error msg)
+
+let take c =
+  if c.pos >= String.length c.s then fail "truncated";
+  let ch = c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  ch
+
+let dec_num c ~stop ~of_string ~what =
+  let start = c.pos in
+  let len = String.length c.s in
+  while c.pos < len && c.s.[c.pos] <> stop do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos >= len then fail ("truncated " ^ what);
+  let digits = String.sub c.s start (c.pos - start) in
+  c.pos <- c.pos + 1;
+  match of_string digits with
+  | Some n -> n
+  | None -> fail ("bad " ^ what ^ " " ^ digits)
+
+let dec_int c = dec_num c ~stop:';' ~of_string:int_of_string_opt ~what:"int"
+let dec_i64 c = dec_num c ~stop:';' ~of_string:Int64.of_string_opt ~what:"int64"
+
+let dec_str c =
+  let n = dec_num c ~stop:':' ~of_string:int_of_string_opt ~what:"length" in
+  if n < 0 || c.pos + n > String.length c.s then fail "bad string length";
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let rec dec_value c : Wd_ir.Ast.value =
+  match take c with
+  | 'u' -> Wd_ir.Ast.VUnit
+  | 'T' -> Wd_ir.Ast.VBool true
+  | 'F' -> Wd_ir.Ast.VBool false
+  | 'i' -> Wd_ir.Ast.VInt (dec_int c)
+  | 's' -> Wd_ir.Ast.VStr (dec_str c)
+  | 'y' -> Wd_ir.Ast.VBytes (Bytes.of_string (dec_str c))
+  | 'l' ->
+      let n = dec_int c in
+      if n < 0 then fail "bad list length";
+      Wd_ir.Ast.VList (List.init n (fun _ -> dec_value c))
+  | 'p' ->
+      let x = dec_value c in
+      let y = dec_value c in
+      Wd_ir.Ast.VPair (x, y)
+  | 'm' ->
+      let n = dec_int c in
+      if n < 0 then fail "bad map length";
+      Wd_ir.Ast.VMap
+        (List.init n (fun _ ->
+             let k = dec_str c in
+             let v = dec_value c in
+             (k, v)))
+  | ch -> fail (Fmt.str "unknown value tag %c" ch)
+
+let dec_fkind c =
+  match take c with
+  | 'H' -> Hang
+  | 'S' -> Slow
+  | 'E' -> Error_sig (dec_str c)
+  | 'A' -> Assert_fail (dec_str c)
+  | 'C' -> Checker_crash (dec_str c)
+  | ch -> fail (Fmt.str "unknown fkind tag %c" ch)
+
+let of_wire s =
+  try
+    let magic_len = String.length wire_magic in
+    if
+      String.length s < magic_len
+      || String.sub s 0 magic_len <> wire_magic
+    then fail "bad magic";
+    let c = { s; pos = magic_len } in
+    let at = dec_i64 c in
+    let checker_id = dec_str c in
+    let fkind = dec_fkind c in
+    let loc =
+      match take c with
+      | 'N' -> None
+      | 'L' ->
+          let func = dec_str c in
+          let n = dec_int c in
+          if n < 0 then fail "bad path length";
+          let path = List.init n (fun _ -> dec_int c) in
+          let uid = dec_int c in
+          Some (Wd_ir.Loc.make ~func ~path ~uid)
+      | ch -> fail (Fmt.str "unknown loc tag %c" ch)
+    in
+    let op_desc = dec_str c in
+    let n = dec_int c in
+    if n < 0 then fail "bad payload length";
+    let payload =
+      List.init n (fun _ ->
+          let k = dec_str c in
+          let v = dec_value c in
+          (k, v))
+    in
+    let validated =
+      match take c with
+      | 'N' -> None
+      | 'T' -> Some true
+      | 'F' -> Some false
+      | ch -> fail (Fmt.str "unknown validated tag %c" ch)
+    in
+    if c.pos <> String.length s then fail "trailing bytes";
+    let r = make ~at ~checker_id ~fkind ?loc ~op_desc ~payload () in
+    r.validated <- validated;
+    Ok r
+  with Wire_error msg -> Error msg
+
 let pp ppf r =
   let detail =
     match r.fkind with

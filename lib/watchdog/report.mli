@@ -31,4 +31,14 @@ val make :
 
 val is_liveness : t -> bool
 val fkind_name : fkind -> string
+
+val to_wire : t -> string
+(** Canonical wire encoding: every field, including the captured payload
+    values, in a tagged length-prefixed form. Deterministic — the same
+    report encodes to the same bytes on every run. *)
+
+val of_wire : string -> (t, string) result
+(** Decode {!to_wire} output. Round-trips structurally:
+    [of_wire (to_wire r) = Ok r]. *)
+
 val pp : Format.formatter -> t -> unit

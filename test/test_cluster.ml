@@ -63,6 +63,122 @@ let test_cell_determinism () =
   let c = Sim.run ~cfg:{ cstore_cfg with Sim.seed = 7 } "fleet-limplock" in
   check_int "seed recorded" 7 c.Sim.cr_seed
 
+(* --- decentralized plane: flap tolerance, oracle, failover ------------- *)
+
+(* A transient link flap (1.2s drop window, under both the suspicion
+   timeout and the probe-failure threshold's reach) must ride out without
+   suspicion, indictment, or leadership churn. *)
+let test_link_flap_stays_quiet () =
+  let r = run "fleet-link-flap" in
+  check "no node indicted" true (r.Sim.cr_indicted_nodes = []);
+  check "no link indicted" true (r.Sim.cr_indicted_links = []);
+  check "graded as expected" true r.Sim.cr_as_expected;
+  check "no suspicion across a single flap" true (r.Sim.cr_suspected_events = 0);
+  check "leadership undisturbed" true
+    (r.Sim.cr_final_leaders = [ "n0" ] && r.Sim.cr_elections = 0)
+
+(* The refactor's acceptance oracle: the decentralized plane — reports as
+   wire-encoded fabric messages into the elected leader's engine, never a
+   cross-node Driver.on_report subscription — reproduces the pre-refactor
+   verdict grid exactly, and identically at any --jobs width. The engine
+   dimension is covered by CI running this binary under WD_ENGINE=treewalk
+   as well as the default. *)
+let test_e17_oracle_at_jobs_1_and_n () =
+  let module E = Wd_harness.Experiments in
+  let module M = Wd_harness.Metrics in
+  E.set_jobs 1;
+  let r1 = E.e17_run () in
+  E.set_jobs (Wd_parallel.Pool.default_jobs ());
+  let rn = E.e17_run () in
+  check "jobs=1 and jobs=N grids identical" true (r1 = rn);
+  (* pre-refactor oracle over the original four-scenario subset *)
+  let orig = List.map (fun s -> s.Catalog.csid) Catalog.all in
+  let sub = List.filter (fun r -> List.mem r.Sim.cr_csid orig) r1 in
+  let s = M.fleet_summary sub in
+  check_int "faulty cells" 8 s.M.fs_faulty;
+  check_int "8/8 indict the right target" 8 s.M.fs_right;
+  check_int "node cells" 4 s.M.fs_node_cells;
+  check_int "4/4 name a true component" 4 s.M.fs_component_right;
+  check_int "quiet cells" 8 s.M.fs_quiet;
+  check_int "0/8 false indictments" 0 s.M.fs_false_indict;
+  (* every node indictment now carries recoverable evidence: MTTR present *)
+  check "fleet MTTR measured" true (s.M.fs_mttr.M.ls_count = 4);
+  (* the flap cells ride along in the extended grid and stay quiet *)
+  let flap =
+    List.filter (fun r -> r.Sim.cr_csid = "fleet-link-flap") r1
+  in
+  check_int "flap cells present" 4 (List.length flap);
+  check "flap cells all quiet" true
+    (List.for_all (fun r -> r.Sim.cr_as_expected) flap)
+
+let e18_fault =
+  {
+    Wd_env.Faultreg.id = "repro-limplock";
+    site_pattern = "disk:*";
+    behaviour = Wd_env.Faultreg.Slow_factor 2000.;
+    start_at = 0L;
+    stop_at = Wd_sim.Time.never;
+    once = false;
+  }
+
+(* E18: the leader itself goes gray. A successor must win the election,
+   indict the old leader from re-shipped wire evidence, command its
+   recovery, and the shipped mimic context must replay to the same
+   violation class on a node that never saw the failure. *)
+let test_leader_failover_recovery_repro () =
+  let r = run "fleet-leader-limplock" in
+  Alcotest.(check (list string))
+    "old leader indicted" [ "n0" ] r.Sim.cr_indicted_nodes;
+  check "no link indicted" true (r.Sim.cr_indicted_links = []);
+  check "graded as expected" true r.Sim.cr_as_expected;
+  (* the verdict was recorded by a successor engine, never by n0 itself *)
+  (match r.Sim.cr_events with
+  | (owner, _) :: _ -> check "successor recorded the verdict" true (owner <> "n0")
+  | [] -> Alcotest.fail "no verdict recorded");
+  (* failover happened and converged on one non-n0 leader, boundedly *)
+  check "single successor leader" true
+    (match r.Sim.cr_final_leaders with [ l ] -> l <> "n0" | _ -> false);
+  check "elections ran" true (r.Sim.cr_elections > 0);
+  (match r.Sim.cr_converged_at with
+  | Some at ->
+      let lat = Int64.sub at r.Sim.cr_inject_at in
+      check "converged after injection" true (lat > 0L);
+      check "converged within 8s" true (lat <= Wd_sim.Time.sec 8)
+  | None -> Alcotest.fail "leadership did not converge");
+  (match r.Sim.cr_first_latency with
+  | Some l -> check "indicted within 8s" true (l <= Wd_sim.Time.sec 8)
+  | None -> Alcotest.fail "no detection latency");
+  (* the Recover command microrebooted a component on the victim *)
+  check "victim microrebooted" true
+    (List.exists (fun (n, _) -> n = "n0") r.Sim.cr_recoveries);
+  check "recovery latency measured" true
+    (r.Sim.cr_first_recovery_latency <> None);
+  (* cross-node repro: evidence bytes -> same violation class *)
+  (match r.Sim.cr_evidence_wire with
+  | None -> Alcotest.fail "no evidence wire shipped"
+  | Some wire -> (
+      let g =
+        Wd_autowatchdog.Generate.analyze_cached (Wd_targets.Cstore.program ())
+      in
+      let timeout = Wd_sim.Time.ms 100 in
+      (match Wd_autowatchdog.Reproduce.run_wire ~fault:e18_fault ~timeout g ~wire with
+      | Wd_autowatchdog.Reproduce.Reproduced k ->
+          check "liveness violation reproduced" true
+            (k = Wd_watchdog.Report.Hang)
+      | o ->
+          Alcotest.fail
+            (Fmt.str "repro under fault: %a"
+               Wd_autowatchdog.Reproduce.pp_outcome o));
+      (* clean replay passes: the environment, not the payload, is faulty *)
+      match Wd_autowatchdog.Reproduce.run_wire ~timeout g ~wire with
+      | Wd_autowatchdog.Reproduce.Not_reproduced -> ()
+      | o ->
+          Alcotest.fail
+            (Fmt.str "clean replay: %a" Wd_autowatchdog.Reproduce.pp_outcome o)));
+  (* the whole story is a pure function of the seed *)
+  let r2 = run "fleet-leader-limplock" in
+  check "failover cell deterministic" true (r = r2)
+
 let () =
   Alcotest.run "wd_cluster"
     [
@@ -78,5 +194,14 @@ let () =
             test_fault_free_stays_quiet;
           Alcotest.test_case "cells are deterministic" `Quick
             test_cell_determinism;
+          Alcotest.test_case "link flap stays quiet" `Quick
+            test_link_flap_stays_quiet;
+        ] );
+      ( "decentralized",
+        [
+          Alcotest.test_case "E17 oracle at jobs 1 and N" `Slow
+            test_e17_oracle_at_jobs_1_and_n;
+          Alcotest.test_case "leader failover, recovery, repro" `Quick
+            test_leader_failover_recovery_repro;
         ] );
     ]

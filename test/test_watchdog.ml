@@ -270,10 +270,104 @@ let test_driver_add_checker_while_running () =
       ignore (Sched.run ~until:(Time.sec 5) s);
       check "late checker runs" true (!runs >= 3))
 
+(* --- wire codec --- *)
+
+(* structural round-trip, plus byte stability: encoding the decode of an
+   encoding must reproduce the same bytes (the digest layer relies on it) *)
+let roundtrip r =
+  let wire = Report.to_wire r in
+  match Report.of_wire wire with
+  | Error e -> Alcotest.fail ("of_wire failed: " ^ e)
+  | Ok r' ->
+      check "round-trips structurally" true (r = r');
+      Alcotest.(check string) "byte-stable" wire (Report.to_wire r')
+
+let test_wire_every_fkind () =
+  List.iter
+    (fun fkind ->
+      roundtrip (Report.make ~at:(Time.sec 2) ~checker_id:"c" ~fkind ());
+      (* and with a location + op_desc attached *)
+      roundtrip
+        (Report.make ~at:(Time.ms 1) ~checker_id:"ck:x" ~fkind
+           ~loc:(Wd_ir.Loc.make ~func:"f" ~path:[ 0; 3; 1 ] ~uid:7)
+           ~op_desc:"disk_write(d)" ()))
+    [
+      Report.Hang;
+      Report.Slow;
+      Report.Error_sig "io failure: disk";
+      Report.Assert_fail "x <> y";
+      Report.Checker_crash "Division_by_zero";
+    ]
+
+let test_wire_every_value_shape () =
+  let shapes =
+    [
+      VUnit;
+      VBool true;
+      VBool false;
+      VInt 42;
+      VInt (-7);
+      VStr "plain";
+      VStr "with:delims;and|magic";
+      VStr "";
+      VBytes (Bytes.of_string "\x00\xffraw");
+      VList [ VInt 1; VStr "two"; VList [ VUnit ] ];
+      VPair (VInt 1, VPair (VStr "a", VBool false));
+      VMap [ ("k", VInt 9); ("nested", VMap [ ("x", VList [] ) ]) ];
+    ]
+  in
+  (* each shape alone, then all together in one payload *)
+  List.iteri
+    (fun i v ->
+      roundtrip
+        (Report.make ~at:(Int64.of_int i) ~checker_id:"shape" ~fkind:Report.Slow
+           ~payload:[ ("v", v) ] ()))
+    shapes;
+  roundtrip
+    (Report.make ~at:(Time.sec 9) ~checker_id:"all" ~fkind:Report.Hang
+       ~payload:(List.mapi (fun i v -> (Fmt.str "p%d" i, v)) shapes)
+       ())
+
+let test_wire_validated_and_errors () =
+  (* validated survives the trip in all three states *)
+  List.iter
+    (fun validated ->
+      let r = Report.make ~at:1L ~checker_id:"v" ~fkind:Report.Hang () in
+      r.Report.validated <- validated;
+      let wire = Report.to_wire r in
+      match Report.of_wire wire with
+      | Ok r' -> check "validated survives" true (r'.Report.validated = validated)
+      | Error e -> Alcotest.fail e)
+    [ None; Some true; Some false ];
+  (* malformed inputs are rejected, not exceptions *)
+  let bad w =
+    match Report.of_wire w with Ok _ -> false | Error _ -> true
+  in
+  check "empty rejected" true (bad "");
+  check "bad magic rejected" true (bad "NOPE|rest");
+  check "truncated rejected" true
+    (bad
+       (String.sub
+          (Report.to_wire (Report.make ~at:1L ~checker_id:"t" ~fkind:Report.Slow ()))
+          0 12));
+  check "trailing bytes rejected" true
+    (bad
+       (Report.to_wire (Report.make ~at:1L ~checker_id:"t" ~fkind:Report.Slow ())
+       ^ "x"))
+
 let () =
   Alcotest.run "wd_watchdog"
     [
       ("report", [ Alcotest.test_case "pp and kinds" `Quick test_report_pp ]);
+      ( "wire codec",
+        [
+          Alcotest.test_case "every fkind round-trips" `Quick
+            test_wire_every_fkind;
+          Alcotest.test_case "every value shape round-trips" `Quick
+            test_wire_every_value_shape;
+          Alcotest.test_case "validated + malformed input" `Quick
+            test_wire_validated_and_errors;
+        ] );
       ( "wcontext",
         [
           Alcotest.test_case "readiness" `Quick test_wcontext_readiness;
