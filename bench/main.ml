@@ -116,10 +116,12 @@ let bench_checker_execution =
 let bench_cluster_fleet =
   Test.make ~name:"cluster/5-node zkmini fleet, 2 sim-seconds"
     (Staged.stage (fun () ->
-         let w =
-           Wd_cluster.Sim.boot ~seed:1 ~nodes:5 ~system:"zkmini" ()
+         let topology =
+           Wd_cluster.Topology.uniform ~nodes:5 Wd_cluster.Topology.Zkmini
          in
-         ignore (Sched.run ~until:(Vtime.sec 2) w.Wd_cluster.Sim.w_sched)))
+         let w = Wd_cluster.Sim.boot ~seed:1 ~topology () in
+         ignore
+           (Sched.run ~until:(Vtime.sec 2) (Wd_cluster.Sim.world_sched w))))
 
 let microbenches =
   [
@@ -263,12 +265,25 @@ let run_json_bench ~jobs_n () =
   bpf "    \"engine_speedup\": %.2f,\n" (secs_tw /. Float.max 1e-9 secs_n);
   bpf "    \"engines_identical\": %b\n" engines_identical;
   bpf "  },\n";
-  (* fleet plane: one limplock cell and one leader-failover cell; the
+  (* fleet plane: one limplock cell, one leader-failover cell, and the two
+     correlated cells on the asymmetric 9-node heterogeneous fabric; the
      latencies are sim-time (deterministic), the wall clocks are host *)
   let module Csim = Wd_cluster.Sim in
   let fleet_cell csid = wall (fun () -> Csim.run csid) in
+  let hetero_cell csid =
+    wall (fun () ->
+        Csim.run
+          ~cfg:
+            {
+              Csim.default_config with
+              topology = Wd_cluster.Topology.hetero9 ();
+            }
+          csid)
+  in
   let limp, limp_s = fleet_cell "fleet-limplock" in
   let fail, fail_s = fleet_cell "fleet-leader-limplock" in
+  let alp, alp_s = hetero_cell "fleet-limplock-partition" in
+  let asl, asl_s = hetero_cell "fleet-slow-link-gray" in
   let ms = function Some v -> Int64.to_float v /. 1e6 | None -> -1. in
   let converge (r : Csim.result) =
     match r.Csim.cr_converged_at with
@@ -276,20 +291,28 @@ let run_json_bench ~jobs_n () =
         Some (Int64.sub at r.Csim.cr_inject_at)
     | Some _ | None -> None
   in
+  let fleet_row label (r : Csim.result) wall_s comma =
+    bpf
+      "    \"%s\": { \"wall_s\": %.3f, \"detect_ms\": %.1f, \
+       \"mttr_ms\": %.1f, \"ok\": %b }%s\n"
+      label wall_s
+      (ms r.Csim.cr_first_latency)
+      (ms r.Csim.cr_first_recovery_latency)
+      r.Csim.cr_as_expected comma
+  in
   bpf "  \"fleet\": {\n";
-  bpf
-    "    \"limplock\": { \"wall_s\": %.3f, \"detect_ms\": %.1f, \
-     \"mttr_ms\": %.1f },\n"
-    limp_s
-    (ms limp.Csim.cr_first_latency)
-    (ms limp.Csim.cr_first_recovery_latency);
+  fleet_row "limplock" limp limp_s ",";
   bpf
     "    \"leader_failover\": { \"wall_s\": %.3f, \"detect_ms\": %.1f, \
-     \"mttr_ms\": %.1f, \"election_converge_ms\": %.1f, \"elections\": %d }\n"
+     \"mttr_ms\": %.1f, \"election_converge_ms\": %.1f, \"elections\": %d },\n"
     fail_s
     (ms fail.Csim.cr_first_latency)
     (ms fail.Csim.cr_first_recovery_latency)
     (ms (converge fail)) fail.Csim.cr_elections;
+  (* asymmetric-fabric detection latency and MTTR: the tentpole numbers a
+     perf or fabric PR must not regress *)
+  fleet_row "asym9_limplock_partition" alp alp_s ",";
+  fleet_row "asym9_slow_link_gray" asl asl_s "";
   bpf "  },\n";
   bpf "  \"analysis_cache\": { \"cold_ms\": %.3f, \"hit_ms\": %.4f },\n"
     (1e3 *. cold_s) (1e3 *. hit_s);
@@ -329,29 +352,21 @@ let run_json_bench ~jobs_n () =
 
 let () =
   let argv = Array.to_list Sys.argv in
-  let rec jobs_of = function
-    | "--jobs" :: n :: _ -> int_of_string_opt n
-    | _ :: rest -> jobs_of rest
-    | [] -> None
+  (* same --jobs/--seed/--engine flags as repro, via the shared scanner
+     (bechamel owns argv, so no cmdliner here); --json stays bench-local *)
+  let opts =
+    match Wd_harness.Cli.scan argv with
+    | Ok o -> o
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
   in
-  let rec engine_of = function
-    | "--engine" :: e :: _ -> Some e
-    | _ :: rest -> engine_of rest
-    | [] -> None
-  in
-  (match engine_of argv with
-  | None -> ()
-  | Some e -> (
-      match Wd_ir.Interp.engine_of_string e with
-      | Some e -> Wd_ir.Interp.set_default_engine e
-      | None ->
-          Printf.eprintf "unknown engine %s (compiled|treewalk)\n" e;
-          exit 2));
+  Wd_harness.Cli.apply_opts opts;
   if List.mem "--json" argv then
     let jobs_n =
-      match jobs_of argv with
-      | Some n when n > 0 -> n
-      | Some _ | None -> Wd_parallel.Pool.default_jobs ()
+      match opts.Wd_harness.Cli.o_jobs with
+      | Some n -> n
+      | None -> Wd_parallel.Pool.default_jobs ()
     in
     run_json_bench ~jobs_n ()
   else begin

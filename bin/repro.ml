@@ -8,53 +8,14 @@
 
 open Cmdliner
 
-(* Domain-pool width for the parallel campaign engine. Tables are
-   byte-identical at any width; the flag only changes wall-clock. *)
-let jobs_arg =
-  let doc =
-    "Fan simulations out over $(docv) domains (default: \\$WD_JOBS or the \
-     host's recommended domain count). Results are identical at any width."
-  in
-  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
-
-let apply_jobs = function
-  | Some n -> Wd_harness.Experiments.set_jobs n
-  | None -> ()
-
-(* Base seed for experiments that fan out over seed lists (default 42).
-   Results are a pure function of the seed, independent of --jobs. *)
-let seed_arg =
-  let doc = "Base seed for seed-fanned experiments (default 42)." in
-  Arg.(value & opt (some int) None & info [ "seed"; "s" ] ~docv:"S" ~doc)
-
-let apply_seed = function
-  | Some s -> Wd_harness.Experiments.set_seed s
-  | None -> ()
-
-(* IR execution engine: the closure compiler (default) or the tree-walking
-   reference interpreter. Results are byte-identical on either engine. *)
-let engine_conv =
-  let parse s =
-    match Wd_ir.Interp.engine_of_string s with
-    | Some e -> Ok e
-    | None -> Error (`Msg ("unknown engine " ^ s ^ " (compiled|treewalk)"))
-  in
-  Arg.conv (parse, fun ppf e -> Fmt.string ppf (Wd_ir.Interp.engine_name e))
-
-let engine_arg =
-  let doc =
-    "IR execution engine: $(b,compiled) (closure-compiled, default) or \
-     $(b,treewalk) (reference tree-walker). Results are byte-identical on \
-     either engine; only wall-clock changes."
-  in
-  Arg.(
-    value
-    & opt (some engine_conv) None
-    & info [ "engine" ] ~docv:"ENGINE" ~doc)
-
-let apply_engine = function
-  | Some e -> Wd_harness.Experiments.set_engine e
-  | None -> ()
+(* The shared --jobs/--seed/--engine flags live in [Wd_harness.Cli], so
+   repro and bench stay in lockstep. *)
+let jobs_arg = Wd_harness.Cli.jobs_arg
+let seed_arg = Wd_harness.Cli.seed_arg
+let engine_arg = Wd_harness.Cli.engine_arg
+let apply_jobs = Wd_harness.Cli.apply_jobs
+let apply_seed = Wd_harness.Cli.apply_seed
+let apply_engine = Wd_harness.Cli.apply_engine
 
 let run_experiment name jobs seed engine =
   apply_jobs jobs;

@@ -58,13 +58,13 @@ type t = {
 }
 
 let retain_cap = 32
-let me t = t.node.Node.id
+let me t = Node.id t.node
 let rank t id = Option.value ~default:max_int (List.find_index (( = ) id) t.node_ids)
 
 let create ?(check_period = Wd_sim.Time.ms 500)
     ?(answer_timeout = Wd_sim.Time.sec 1) ?(coord_timeout = Wd_sim.Time.sec 2)
     ~sched ~fabric ~node ~membership ~fleet () =
-  let node_ids = (node : Node.t).Node.id :: Fabric.peers fabric node.Node.id in
+  let node_ids = Node.id node :: Fabric.peers fabric (Node.id node) in
   let node_ids = List.sort compare node_ids in
   let leader = List.hd node_ids in
   {
@@ -286,7 +286,7 @@ let start t =
          done));
   (* evidence as data: every locally-surfaced report leaves the node as
      wire bytes — even self-delivery on the leader goes through the codec *)
-  Driver.on_report t.node.Node.driver (fun r ->
+  Driver.on_report (Node.driver t.node) (fun r ->
       let wire = Report.to_wire r in
       t.retained <-
         List.filteri (fun i _ -> i < retain_cap)

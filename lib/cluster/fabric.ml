@@ -58,21 +58,44 @@ type t = {
 let fabric_name = "fabric"
 let node_name i = Fmt.str "n%d" i
 
-let create ~sched ~nodes () =
+let create ?(links = []) ~sched ~nodes () =
   let reg = Wd_env.Faultreg.create () in
   let rng = Wd_sim.Rng.split (Wd_sim.Sched.rng sched) in
   let net =
     Wd_env.Net.create ~base_latency:(Wd_sim.Time.ms 1) ~reg ~rng fabric_name
   in
   List.iter (Wd_env.Net.register net) nodes;
+  List.iter
+    (fun (src, dst, profile) ->
+      Wd_env.Net.set_link_profile net ~src ~dst profile)
+    links;
   { net; reg; nodes }
 
 let peers t me = List.filter (fun n -> n <> me) t.nodes
+let reg t = t.reg
+let node_ids t = t.nodes
+
+(* Approximate wire size of each message class, in bytes. Only
+   bandwidth-bounded links care: a big wire-encoded report ship serialises
+   for size/rate seconds there, while a heartbeat barely registers — the
+   asymmetry behind the slow-link-masked-gray scenario. *)
+let msg_size = function
+  | Gossip { accuse_probe; accuse_suspect; digests; _ } ->
+      48
+      + (8 * (List.length accuse_probe + List.length accuse_suspect))
+      + List.fold_left
+          (fun acc (d : digest) -> acc + 16 + String.length d.d_checker)
+          0 digests
+  | Probe_req _ | Probe_ack _ -> 24
+  | Elect _ | Elect_ok _ | Coordinator _ -> 16
+  | Report_ship { wire; _ } -> 32 + String.length wire
+  | Recover { func; wire; _ } -> 32 + String.length func + String.length wire
 
 (* [Net.send] can raise [Net_error] under an Error fault; fabric callers
    treat an unsendable message like a lost one. *)
 let send t ~src ~dst m =
-  try Wd_env.Net.send t.net ~src ~dst m with Wd_env.Net.Net_error _ -> ()
+  try Wd_env.Net.send ~size:(msg_size m) t.net ~src ~dst m
+  with Wd_env.Net.Net_error _ -> ()
 
 let recv_timeout t endpoint ~timeout =
   Wd_env.Net.recv_timeout t.net endpoint ~timeout

@@ -61,7 +61,7 @@ let create ?(gossip_period = Wd_sim.Time.ms 250)
           probe_oks = 0;
           outstanding = None;
         })
-    (Fabric.peers fabric node.Node.id);
+    (Fabric.peers fabric (Node.id node));
   {
     node;
     fabric;
@@ -80,7 +80,7 @@ let create ?(gossip_period = Wd_sim.Time.ms 250)
 
 let on_event t f = t.handlers <- f :: t.handlers
 let emit t e = List.iter (fun f -> f e) t.handlers
-let me t = t.node.Node.id
+let me t = Node.id t.node
 
 let record_probe_fail t st =
   st.probe_fails <- st.probe_fails + 1;

@@ -66,8 +66,8 @@ let boot ?engine ~sched ~system ~index () =
   let digests = ref [] in
   Driver.on_report driver (fun r ->
       digests := take digest_cap (digest_of r :: !digests));
-  match system with
-  | "zkmini" ->
+  match (system : Topology.system) with
+  | Topology.Zkmini ->
       let prog = Wd_targets.Zkmini.program () in
       let g = Generate.analyze_cached prog in
       let t =
@@ -101,7 +101,7 @@ let boot ?engine ~sched ~system ~index () =
       {
         index;
         id;
-        system;
+        system = Topology.system_name system;
         sched;
         reg;
         driver;
@@ -112,7 +112,7 @@ let boot ?engine ~sched ~system ~index () =
         recovery;
         digests;
       }
-  | "cstore" ->
+  | Topology.Cstore ->
       let prog = Wd_targets.Cstore.program () in
       let g = Generate.analyze_cached prog in
       let t =
@@ -144,7 +144,7 @@ let boot ?engine ~sched ~system ~index () =
       {
         index;
         id;
-        system;
+        system = Topology.system_name system;
         sched;
         reg;
         driver;
@@ -155,7 +155,6 @@ let boot ?engine ~sched ~system ~index () =
         recovery;
         digests;
       }
-  | s -> invalid_arg ("Node.boot: unknown system " ^ s)
 
 (* Bounded end-to-end client operation, run by the membership responder
    before acking a peer's probe: a limping node answers gossip (pure
@@ -215,6 +214,17 @@ let start_burst t =
 
 let reports t = Driver.reports t.driver
 let checker_count t = Driver.checker_count t.driver
+
+(* --- accessors (the record is abstract outside this module) ------------ *)
+
+let id t = t.id
+let index t = t.index
+let system t = t.system
+let reg t = t.reg
+let driver t = t.driver
+let workload t = t.workload
+let res t = t.res
+let tasks t = t.tasks
 
 (* --- fleet-driven recovery and gossip corroboration -------------------- *)
 

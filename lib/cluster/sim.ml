@@ -1,8 +1,14 @@
-(* Cluster campaign cell: boot an N-node fleet of one target system inside
-   a single deterministic scheduler world, inject one cluster-scoped
+(* Cluster campaign cell: boot a fleet described by a [Topology.spec]
+   inside a single deterministic scheduler world, inject one cluster-scoped
    scenario, and grade the fleet plane's verdicts against the scenario's
-   expectation. A cell is a pure function of (seed, system, scenario), so
+   expectation. A cell is a pure function of (seed, topology, scenario), so
    campaigns fan cells out over domains exactly like single-node ones.
+
+   The topology fixes everything boot needs: node count, which target
+   system each node runs (fleets may mix them), and the per-link latency /
+   bandwidth overrides materialised into the fabric. Mis-sized configs —
+   a scenario whose victim index falls outside the topology — fail in
+   [run] before any scheduler exists.
 
    The plane is decentralized: every node carries a membership agent, an
    election agent and a (mostly idle) fleet engine; correlation runs only
@@ -12,8 +18,7 @@
 
 type config = {
   seed : int;
-  nodes : int;
-  system : string; (* "zkmini" | "cstore" *)
+  topology : Topology.spec;
   warmup : int64; (* let checkers learn latency baselines first *)
   observe : int64; (* post-injection observation window *)
   engine : Wd_ir.Interp.engine option;
@@ -24,8 +29,7 @@ type config = {
 let default_config =
   {
     seed = 42;
-    nodes = 5;
-    system = "zkmini";
+    topology = Topology.uniform ~nodes:5 Topology.Zkmini;
     warmup = Wd_sim.Time.sec 8;
     observe = Wd_sim.Time.sec 15;
     engine = None;
@@ -43,16 +47,27 @@ type world = {
   w_suspected_events : int ref;
 }
 
-let boot ?engine ~seed ~nodes ~system () =
+let world_sched w = w.w_sched
+let world_fabric w = w.w_fabric
+let world_nodes w = w.w_nodes
+let world_agents w = w.w_agents
+let world_elections w = w.w_elections
+
+let boot ?engine ~seed ~topology () =
   let sched = Wd_sim.Sched.create ~seed () in
-  let ids = List.init nodes Fabric.node_name in
-  let fabric = Fabric.create ~sched ~nodes:ids () in
+  let n = Topology.nodes topology in
+  let ids = List.init n Fabric.node_name in
+  let links = Topology.link_profiles topology ~node_name:Fabric.node_name in
+  let fabric = Fabric.create ~links ~sched ~nodes:ids () in
   let ns =
-    List.init nodes (fun i -> Node.boot ?engine ~sched ~system ~index:i ())
+    List.init n (fun i ->
+        Node.boot ?engine ~sched
+          ~system:(Topology.system_at topology i)
+          ~index:i ())
   in
   let agents =
     List.map
-      (fun (n : Node.t) ->
+      (fun n ->
         Membership.create
           ~digest_source:(fun () -> Node.recent_digests n)
           ~sched ~fabric ~node:n ())
@@ -60,8 +75,8 @@ let boot ?engine ~seed ~nodes ~system () =
   in
   let elections =
     List.map2
-      (fun (n : Node.t) a ->
-        let fleet = Fleet.create ~sched ~me:n.Node.id ~node_ids:ids () in
+      (fun n a ->
+        let fleet = Fleet.create ~sched ~me:(Node.id n) ~node_ids:ids () in
         Election.create ~sched ~fabric ~node:n ~membership:a ~fleet ())
       ns agents
   in
@@ -89,6 +104,9 @@ let boot ?engine ~seed ~nodes ~system () =
 type result = {
   cr_csid : string;
   cr_system : string;
+      (* [Topology.describe]: the bare system name for uniform fleets, the
+         topology's own name otherwise *)
+  cr_node_systems : string list; (* per node, index order *)
   cr_seed : int;
   cr_nodes : int;
   cr_inject_at : int64; (* absolute injection time, for relative metrics *)
@@ -200,8 +218,10 @@ let overloaded events =
 (* Grade the fleet's verdicts against the scenario's expectation. A node
    indictment is correct only if it names exactly the victim; a link
    verdict is correct only if it covers the cut pair and indicts no node;
-   overload, flaps and fault-free demand zero indictments of either kind. *)
-let grade (s : Wd_faults.Cluster_catalog.cscenario) ~system ~events =
+   overload, flaps and fault-free demand zero indictments of either kind.
+   On a mixed fleet the component-truth set is the *victim's* system's, so
+   node_systems rides in from the topology. *)
+let grade (s : Wd_faults.Cluster_catalog.cscenario) ~node_systems ~events =
   let inodes = indicted_nodes events in
   let ilinks = indicted_links events in
   let component = first_component events in
@@ -209,7 +229,12 @@ let grade (s : Wd_faults.Cluster_catalog.cscenario) ~system ~events =
   | Wd_faults.Cluster_catalog.Expect_node v ->
       let victim = Fabric.node_name v in
       let right_node = inodes = [ victim ] && ilinks = [] in
-      let truth = Wd_faults.Cluster_catalog.truth_components s ~system in
+      let victim_system =
+        match List.nth_opt node_systems v with Some sys -> sys | None -> ""
+      in
+      let truth =
+        Wd_faults.Cluster_catalog.truth_components s ~system:victim_system
+      in
       let component_ok =
         match component with
         | Some c -> truth = [] || List.mem c truth
@@ -242,23 +267,33 @@ let converged_at histories =
         Some (List.fold_left (fun acc (at, _) -> max acc at) 0L finals)
       else None
 
+(* does the scenario (possibly inside a [Correlated]) demand burst load? *)
+let rec wants_burst = function
+  | Wd_faults.Cluster_catalog.Fleet_overload -> true
+  | Wd_faults.Cluster_catalog.Correlated ks -> List.exists wants_burst ks
+  | _ -> false
+
 let run ?(cfg = default_config) csid =
   let s = Wd_faults.Cluster_catalog.find csid in
-  let w =
-    boot ?engine:cfg.engine ~seed:cfg.seed ~nodes:cfg.nodes ~system:cfg.system
-      ()
-  in
+  let topology = cfg.topology in
+  let n = Topology.nodes topology in
+  (* config-build-time check: the scenario must fit the topology *)
+  let need = Wd_faults.Cluster_catalog.max_node_index s in
+  if need >= n then
+    invalid_arg
+      (Fmt.str "Sim.run: scenario %s touches node %d but topology %s has %d \
+                nodes"
+         csid need (Topology.describe topology) n);
+  let w = boot ?engine:cfg.engine ~seed:cfg.seed ~topology () in
   let sched = w.w_sched in
   ignore (Wd_sim.Sched.run ~until:cfg.warmup sched);
   let inject_at = Wd_sim.Sched.now sched in
   Wd_faults.Cluster_catalog.inject
-    ~node_reg:(fun i -> (List.nth w.w_nodes i).Node.reg)
-    ~fabric_reg:w.w_fabric.Fabric.reg ~node_name:Fabric.node_name ~at:inject_at
-    s;
-  (match s.Wd_faults.Cluster_catalog.ckind with
-  | Wd_faults.Cluster_catalog.Fleet_overload ->
-      List.iter Node.start_burst w.w_nodes
-  | _ -> ());
+    ~node_reg:(fun i -> Node.reg (List.nth w.w_nodes i))
+    ~fabric_reg:(Fabric.reg w.w_fabric) ~node_name:Fabric.node_name
+    ~at:inject_at s;
+  if wants_burst s.Wd_faults.Cluster_catalog.ckind then
+    List.iter Node.start_burst w.w_nodes;
   ignore (Wd_sim.Sched.run ~until:(Int64.add inject_at cfg.observe) sched);
   let events = merged_events w.w_elections in
   let first_latency =
@@ -266,14 +301,15 @@ let run ?(cfg = default_config) csid =
     | [] -> None
     | (_, e) :: _ -> Some (Int64.sub e.Fleet.ev_at inject_at)
   in
-  let as_expected, component_ok = grade s ~system:cfg.system ~events in
+  let node_systems = Topology.node_systems topology in
+  let as_expected, component_ok = grade s ~node_systems ~events in
   let leader_history =
     List.map (fun e -> (Election.me e, Election.leader_history e)) w.w_elections
   in
   let recoveries =
     List.concat_map
-      (fun (n : Node.t) ->
-        List.map (fun ev -> (n.Node.id, ev)) (Node.recovery_events n))
+      (fun n ->
+        List.map (fun ev -> (Node.id n, ev)) (Node.recovery_events n))
       w.w_nodes
   in
   let first_recovery_latency =
@@ -287,9 +323,10 @@ let run ?(cfg = default_config) csid =
   in
   {
     cr_csid = csid;
-    cr_system = cfg.system;
+    cr_system = Topology.describe topology;
+    cr_node_systems = node_systems;
     cr_seed = cfg.seed;
-    cr_nodes = cfg.nodes;
+    cr_nodes = n;
     cr_inject_at = inject_at;
     cr_events = events;
     cr_first_latency = first_latency;
@@ -305,8 +342,8 @@ let run ?(cfg = default_config) csid =
       List.fold_left (fun acc n -> acc + Node.checker_count n) 0 w.w_nodes;
     cr_workload_ok =
       List.fold_left
-        (fun acc (n : Node.t) ->
-          min acc (Wd_targets.Workload.success_ratio n.Node.workload))
+        (fun acc n ->
+          min acc (Wd_targets.Workload.success_ratio (Node.workload n)))
         1.0 w.w_nodes;
     cr_leader_history = leader_history;
     cr_final_leaders =

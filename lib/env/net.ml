@@ -4,6 +4,15 @@
    sender, mark payloads corrupted, or hang the sender (the blocked-socket /
    backpressure behaviour behind ZOOKEEPER-2201).
 
+   Links are asymmetric when profiled: a per-(src,dst) [link_profile]
+   overrides the fabric's base latency and optionally bounds bandwidth.
+   Bandwidth is modelled store-and-forward — each profiled link keeps a
+   [busy_until] horizon, a message of [size] bytes occupies the link for
+   size/rate seconds starting no earlier than that horizon, and delivery
+   happens at transmit-done + propagation latency. Everything is driven by
+   the virtual clock and the fabric's own RNG, so a schedule is a pure
+   function of the seed.
+
    Sites have the shape "net:<fabric>:send:<src>:<dst>", so a pattern like
    "net:main:send:leader:*" cuts every message the leader sends. *)
 
@@ -17,6 +26,11 @@ type 'a envelope = {
   corrupted : bool;
 }
 
+type link_profile = {
+  lp_latency : int64 option; (* propagation latency override for this link *)
+  lp_bytes_per_sec : int option; (* None = unbounded bandwidth *)
+}
+
 type 'a t = {
   name : string;
   reg : Faultreg.t;
@@ -26,6 +40,9 @@ type 'a t = {
   (* per-(src,dst) link FIFO: a message never overtakes an earlier one on
      the same link (TCP-like), whatever the jitter says *)
   last_delivery : (string * string, int64) Hashtbl.t;
+  links : (string * string, link_profile) Hashtbl.t;
+  (* serialisation horizon of each bandwidth-bounded link *)
+  busy_until : (string * string, int64) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -39,10 +56,17 @@ let create ?(base_latency = Wd_sim.Time.us 500) ~reg ~rng name =
     base_latency;
     endpoints = Hashtbl.create 16;
     last_delivery = Hashtbl.create 32;
+    links = Hashtbl.create 16;
+    busy_until = Hashtbl.create 16;
     sent = 0;
     delivered = 0;
     dropped = 0;
   }
+
+let set_link_profile n ~src ~dst profile =
+  Hashtbl.replace n.links (src, dst) profile
+
+let link_profile n ~src ~dst = Hashtbl.find_opt n.links (src, dst)
 
 let name n = n.name
 let stats n = (n.sent, n.delivered, n.dropped)
@@ -66,7 +90,7 @@ let inbox n endpoint =
 
 let inbox_length n endpoint = Wd_sim.Channel.length (inbox n endpoint)
 
-let send ?site_dst n ~src ~dst payload =
+let send ?site_dst ?(size = 0) n ~src ~dst payload =
   let s = Wd_sim.Sched.get () in
   let now = Wd_sim.Sched.now s in
   let site =
@@ -109,18 +133,41 @@ let send ?site_dst n ~src ~dst payload =
   if dropped then n.dropped <- n.dropped + 1
   else begin
     let ch = inbox n dst in
+    let profile = Hashtbl.find_opt n.links (src, dst) in
+    let base =
+      match profile with
+      | Some { lp_latency = Some l; _ } -> l
+      | Some { lp_latency = None; _ } | None -> n.base_latency
+    in
     let jitter =
-      Wd_sim.Rng.exponential n.rng
-        ~mean:(Int64.to_float n.base_latency /. 4.0)
+      Wd_sim.Rng.exponential n.rng ~mean:(Int64.to_float base /. 4.0)
     in
     let latency =
       Int64.add
-        (Int64.of_float ((Int64.to_float n.base_latency +. jitter) *. factor))
+        (Int64.of_float ((Int64.to_float base +. jitter) *. factor))
         extra
     in
     let now = Wd_sim.Sched.now s in
+    (* bandwidth: serialise onto the link after any message still
+       transmitting, then propagate — store-and-forward, deterministic *)
+    let tx_done =
+      match profile with
+      | Some { lp_bytes_per_sec = Some rate; _ } when size > 0 && rate > 0 ->
+          let busy =
+            Option.value ~default:0L (Hashtbl.find_opt n.busy_until (src, dst))
+          in
+          let start = if busy > now then busy else now in
+          let tx =
+            Int64.of_float
+              (Float.ceil (float_of_int size *. 1e9 /. float_of_int rate))
+          in
+          let done_ = Int64.add start tx in
+          Hashtbl.replace n.busy_until (src, dst) done_;
+          done_
+      | Some _ | None -> now
+    in
     let at =
-      let natural = Int64.add now latency in
+      let natural = Int64.add tx_done latency in
       match Hashtbl.find_opt n.last_delivery (src, dst) with
       | Some prev when prev >= natural -> Int64.add prev 1L
       | Some _ | None -> natural

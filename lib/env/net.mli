@@ -1,9 +1,17 @@
-(** Simulated message network with asynchronous delivery.
+(** Simulated message network with asynchronous delivery over an
+    (optionally) asymmetric link fabric.
 
     Fault sites are ["net:<fabric>:send:<src>:<dst>"]; behaviours map to
     delivery delay ([Delay], [Slow_factor]), message loss ([Drop]), payload
     corruption flagging ([Corrupt]), sender-side failure ([Error]) and
-    sender blocking ([Hang]). *)
+    sender blocking ([Hang]).
+
+    Each directed (src, dst) pair may carry a {!link_profile} overriding
+    the fabric-wide base latency and bounding bandwidth. Bandwidth is
+    store-and-forward: a message of [size] bytes serialises onto the link
+    for size/rate seconds after any message still transmitting, then
+    propagates. All of it runs off the virtual clock and the fabric RNG, so
+    the delivery schedule is byte-identical for a given seed. *)
 
 exception Net_error of string
 
@@ -13,6 +21,12 @@ type 'a envelope = {
   payload : 'a;
   sent_at : int64;
   corrupted : bool;
+}
+
+type link_profile = {
+  lp_latency : int64 option;
+      (** propagation latency for this direction; [None] = fabric base *)
+  lp_bytes_per_sec : int option;  (** [None] = unbounded bandwidth *)
 }
 
 type 'a t
@@ -32,11 +46,22 @@ val ensure_registered : 'a t -> string -> unit
 val endpoints : 'a t -> string list
 val inbox_length : 'a t -> string -> int
 
-val send : ?site_dst:string -> 'a t -> src:string -> dst:string -> 'a -> unit
+val set_link_profile : 'a t -> src:string -> dst:string -> link_profile -> unit
+(** Profile one direction of one link. Directions are independent, so an
+    asymmetric fabric (fast one way, slow or narrow the other) is two
+    profiles. Unprofiled links keep the fabric-wide base latency and
+    unbounded bandwidth. *)
+
+val link_profile : 'a t -> src:string -> dst:string -> link_profile option
+
+val send :
+  ?site_dst:string -> ?size:int -> 'a t -> src:string -> dst:string -> 'a -> unit
 (** Asynchronous; returns once the message is committed to the fabric.
     Blocks only under a [Hang] fault; raises {!Net_error} under [Error].
     [site_dst] overrides the destination used for fault-site matching, so a
-    redirected (shadow-inbox) send shares the fate of the real link. *)
+    redirected (shadow-inbox) send shares the fate of the real link.
+    [size] (bytes, default 0) only matters on bandwidth-bounded links,
+    where it sets the serialisation delay. *)
 
 val recv : 'a t -> string -> 'a envelope
 (** Blocks until a message arrives at the endpoint. *)

@@ -23,6 +23,12 @@ type ckind =
          heal. Shorter than the suspicion timeout and the probe timeout's
          reach, so a correct plane accumulates at most one consecutive
          probe failure and indicts nothing *)
+  | Slow_fabric_link of { src : int; dst : int; factor : float }
+      (* degrade one fabric direction by [factor] without dropping anything:
+         probes over it limp, every payload still arrives *)
+  | Correlated of ckind list
+      (* inject several kinds at once: the correlated failures that stress
+         the verdict rules' priority order *)
 
 (* What the fleet plane should conclude. *)
 type expected_verdict =
@@ -115,6 +121,48 @@ let extras =
             [ "do_write"; "flush_memtable"; "compact_once"; "do_read" ] );
         ];
     };
+    {
+      csid = "fleet-limplock-partition";
+      cdescription =
+        "one node limps while an unrelated fabric link is cut: the node \
+         verdict must win the priority race, the cut must not shift blame";
+      ckind =
+        Correlated
+          [
+            Node_limplock { victim = 2; factor = 2000. };
+            Asym_partition { src = 1; dst = 3 };
+          ];
+      cexpected = Expect_node 2;
+      ctruth =
+        [
+          ( "zkmini",
+            [ "commit_txn"; "serialize_node"; "serialize_snapshot";
+              "follower_loop" ] );
+          ( "cstore",
+            [ "do_write"; "flush_memtable"; "compact_once"; "do_read" ] );
+        ];
+    };
+    {
+      csid = "fleet-slow-link-gray";
+      cdescription =
+        "a gray node behind a link that also limps: the slow link masks \
+         nothing — mimic evidence must still pin the node, not the fabric";
+      ckind =
+        Correlated
+          [
+            Node_limplock { victim = 1; factor = 2000. };
+            Slow_fabric_link { src = 1; dst = 0; factor = 200. };
+          ];
+      cexpected = Expect_node 1;
+      ctruth =
+        [
+          ( "zkmini",
+            [ "commit_txn"; "serialize_node"; "serialize_snapshot";
+              "follower_loop" ] );
+          ( "cstore",
+            [ "do_write"; "flush_memtable"; "compact_once"; "do_read" ] );
+        ];
+    };
   ]
 
 let find csid =
@@ -128,6 +176,20 @@ let find csid =
 let truth_components s ~system =
   match List.assoc_opt system s.ctruth with Some fs -> fs | None -> []
 
+(* Highest node index the scenario touches (victims and link endpoints), or
+   -1 for fleet-wide kinds. Lets a campaign config reject a topology too
+   small for its scenario before any scheduler exists. *)
+let rec max_index_of_kind = function
+  | Node_limplock { victim; _ } -> victim
+  | Asym_partition { src; dst }
+  | Link_flap { src; dst; _ }
+  | Slow_fabric_link { src; dst; _ } ->
+      max src dst
+  | Fleet_overload | Fault_free -> -1
+  | Correlated ks -> List.fold_left (fun acc k -> max acc (max_index_of_kind k)) (-1) ks
+
+let max_node_index s = max_index_of_kind s.ckind
+
 (* Materialise the scenario into faults at [at].
 
    [node_reg i] is node i's private environment registry — a fault injected
@@ -137,40 +199,56 @@ let truth_components s ~system =
    and fault-free inject nothing; the overload burst is workload, not a
    fault, and is driven by the cluster boot. *)
 let inject ~node_reg ~fabric_reg ~node_name ~at s =
-  match s.ckind with
-  | Node_limplock { victim; factor } ->
-      Wd_env.Faultreg.inject (node_reg victim)
-        {
-          Wd_env.Faultreg.id = s.csid;
-          site_pattern = "disk:*";
-          behaviour = Wd_env.Faultreg.Slow_factor factor;
-          start_at = at;
-          stop_at = Wd_sim.Time.never;
-          once = false;
-        }
-  | Asym_partition { src; dst } ->
-      Wd_env.Faultreg.inject fabric_reg
-        {
-          Wd_env.Faultreg.id = s.csid;
-          site_pattern =
-            Fmt.str "net:fabric:send:%s:%s" (node_name src) (node_name dst);
-          behaviour = Wd_env.Faultreg.Drop;
-          start_at = at;
-          stop_at = Wd_sim.Time.never;
-          once = false;
-        }
-  | Link_flap { src; dst; window } ->
-      Wd_env.Faultreg.inject fabric_reg
-        {
-          Wd_env.Faultreg.id = s.csid;
-          site_pattern =
-            Fmt.str "net:fabric:send:%s:%s" (node_name src) (node_name dst);
-          behaviour = Wd_env.Faultreg.Drop;
-          start_at = at;
-          stop_at = Int64.add at window;
-          once = false;
-        }
-  | Fleet_overload | Fault_free -> ()
+  let rec go tag kind =
+    match kind with
+    | Node_limplock { victim; factor } ->
+        Wd_env.Faultreg.inject (node_reg victim)
+          {
+            Wd_env.Faultreg.id = tag;
+            site_pattern = "disk:*";
+            behaviour = Wd_env.Faultreg.Slow_factor factor;
+            start_at = at;
+            stop_at = Wd_sim.Time.never;
+            once = false;
+          }
+    | Asym_partition { src; dst } ->
+        Wd_env.Faultreg.inject fabric_reg
+          {
+            Wd_env.Faultreg.id = tag;
+            site_pattern =
+              Fmt.str "net:fabric:send:%s:%s" (node_name src) (node_name dst);
+            behaviour = Wd_env.Faultreg.Drop;
+            start_at = at;
+            stop_at = Wd_sim.Time.never;
+            once = false;
+          }
+    | Link_flap { src; dst; window } ->
+        Wd_env.Faultreg.inject fabric_reg
+          {
+            Wd_env.Faultreg.id = tag;
+            site_pattern =
+              Fmt.str "net:fabric:send:%s:%s" (node_name src) (node_name dst);
+            behaviour = Wd_env.Faultreg.Drop;
+            start_at = at;
+            stop_at = Int64.add at window;
+            once = false;
+          }
+    | Slow_fabric_link { src; dst; factor } ->
+        Wd_env.Faultreg.inject fabric_reg
+          {
+            Wd_env.Faultreg.id = tag;
+            site_pattern =
+              Fmt.str "net:fabric:send:%s:%s" (node_name src) (node_name dst);
+            behaviour = Wd_env.Faultreg.Slow_factor factor;
+            start_at = at;
+            stop_at = Wd_sim.Time.never;
+            once = false;
+          }
+    | Fleet_overload | Fault_free -> ()
+    | Correlated ks ->
+        List.iteri (fun i k -> go (Fmt.str "%s#%d" tag i) k) ks
+  in
+  go s.csid s.ckind
 
 let pp_cscenario ppf s =
   Fmt.pf ppf "%-20s %s" s.csid s.cdescription

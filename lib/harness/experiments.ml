@@ -1128,7 +1128,7 @@ let e16_text () =
 (* E17 — fleet plane: multi-node clusters with cross-node correlation. *)
 (* ------------------------------------------------------------------ *)
 
-let e17_systems = [ "zkmini"; "cstore" ]
+let e17_systems = [ Wd_cluster.Topology.Zkmini; Wd_cluster.Topology.Cstore ]
 let e17_seeds () = [ base_seed (); base_seed () + 101 ]
 
 (* the original four-scenario oracle grid plus the transient link flap —
@@ -1153,7 +1153,12 @@ let e17_run () =
   par_map
     (fun (sys, csid, seed) ->
       Wd_cluster.Sim.run
-        ~cfg:{ Wd_cluster.Sim.default_config with seed; system = sys }
+        ~cfg:
+          {
+            Wd_cluster.Sim.default_config with
+            seed;
+            topology = Wd_cluster.Topology.uniform ~nodes:5 sys;
+          }
         csid)
     (e17_cells ())
 
@@ -1184,7 +1189,8 @@ let e17_text () =
      and report digests piggyback on heartbeat gossip, and correlation\n\
      runs only on the elected leader (seeds %s; identical tables at any\n\
      --jobs width)\n"
-    Wd_cluster.Sim.default_config.Wd_cluster.Sim.nodes
+    (Wd_cluster.Topology.nodes
+       Wd_cluster.Sim.default_config.Wd_cluster.Sim.topology)
     (String.concat "," (List.map string_of_int (e17_seeds ())))
   ^ Tables.render
       ~header:
@@ -1274,7 +1280,12 @@ let e18_run () =
     (fun (sys, seed) ->
       let r =
         Wd_cluster.Sim.run
-          ~cfg:{ Wd_cluster.Sim.default_config with seed; system = sys }
+          ~cfg:
+            {
+              Wd_cluster.Sim.default_config with
+              seed;
+              topology = Wd_cluster.Topology.uniform ~nodes:5 sys;
+            }
           "fleet-leader-limplock"
       in
       let successor =
@@ -1291,8 +1302,13 @@ let e18_run () =
             Some (Int64.sub at r.Wd_cluster.Sim.cr_inject_at)
         | Some _ | None -> None
       in
+      (* the victim is node 0: replay its shipped evidence against *its*
+         system's program, read off the per-node system list *)
+      let victim_system =
+        match r.Wd_cluster.Sim.cr_node_systems with s :: _ -> s | [] -> "?"
+      in
       {
-        e18_system = sys;
+        e18_system = Wd_cluster.Topology.system_name sys;
         e18_seed = seed;
         e18_res = r;
         e18_successor = successor;
@@ -1302,7 +1318,9 @@ let e18_run () =
             (fun (node, _) -> node = e18_victim)
             r.Wd_cluster.Sim.cr_recoveries;
         e18_repro =
-          Option.map (e18_repro ~system:sys) r.Wd_cluster.Sim.cr_evidence_wire;
+          Option.map
+            (e18_repro ~system:victim_system)
+            r.Wd_cluster.Sim.cr_evidence_wire;
       })
     cells
 
@@ -1347,6 +1365,106 @@ let e18_text () =
      the failure.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E19 — heterogeneous fleets over an asymmetric fabric: correlated    \
+   failures must respect the verdict rules' priority order.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two racks, mixed zkmini/cstore slots, asymmetric links (slow crossing
+   towards the remote rack, bandwidth-bounded return path). The correlated
+   scenarios each super-impose a fabric fault on a limplocked node; a
+   correct plane still pins the node — the mimic evidence outranks every
+   link signal — and fault-free stays quiet even though the asymmetric
+   links alone make probes limp. *)
+let e19_topologies () =
+  [ Wd_cluster.Topology.hetero9 (); Wd_cluster.Topology.hetero15 () ]
+
+let e19_scenarios =
+  [ "fleet-limplock-partition"; "fleet-slow-link-gray"; "fleet-fault-free" ]
+
+let e19_cells () =
+  List.concat_map
+    (fun topology -> List.map (fun csid -> (topology, csid)) e19_scenarios)
+    (e19_topologies ())
+
+let e19_run () =
+  par_map
+    (fun (topology, csid) ->
+      Wd_cluster.Sim.run
+        ~cfg:
+          {
+            Wd_cluster.Sim.default_config with
+            seed = base_seed ();
+            topology;
+          }
+        csid)
+    (e19_cells ())
+
+let e19_victim_cell (r : Wd_cluster.Sim.result) =
+  match r.Wd_cluster.Sim.cr_indicted_nodes with
+  | [] -> "-"
+  | ns ->
+      String.concat ","
+        (List.map
+           (fun n ->
+             (* name the indicted node's system so mixed-fleet rows show
+                which target the verdict localised into *)
+             let idx =
+               int_of_string
+                 (String.sub n 1 (String.length n - 1))
+             in
+             match List.nth_opt r.Wd_cluster.Sim.cr_node_systems idx with
+             | Some sys -> fp "%s(%s)" n sys
+             | None -> n)
+           ns)
+
+let e19_text () =
+  let rows = e19_run () in
+  let s = Metrics.fleet_summary rows in
+  fp
+    "E19 — heterogeneous fleets over an asymmetric fabric: 9- and 15-node\n\
+     mixed zkmini/cstore topologies, remote rack behind 4 ms crossings and\n\
+     a 256 KiB/s return pipe. Correlated scenarios super-impose fabric\n\
+     faults on a limplocked node; verdict priority must still pin the node\n\
+     (seed %d; identical tables at any --jobs width)\n"
+    (base_seed ())
+  ^ Tables.render
+      ~header:
+        [
+          "topology"; "nodes"; "scenario"; "fleet verdict"; "indicted"; "by";
+          "latency"; "MTTR"; "ok";
+        ]
+      (List.map
+         (fun (r : Wd_cluster.Sim.result) ->
+           [
+             r.Wd_cluster.Sim.cr_system;
+             string_of_int r.Wd_cluster.Sim.cr_nodes;
+             r.Wd_cluster.Sim.cr_csid;
+             e17_verdict_cell r;
+             e19_victim_cell r;
+             e17_leader_cell r;
+             Tables.latency_cell r.Wd_cluster.Sim.cr_first_latency;
+             Tables.latency_cell r.Wd_cluster.Sim.cr_first_recovery_latency;
+             Tables.mark_cell r.Wd_cluster.Sim.cr_as_expected;
+           ])
+         rows)
+  ^ fp
+      "\n\
+       indictment accuracy:  %d/%d correlated cells indict the limping node\n\
+       component accuracy:   %d/%d indictments name a true component\n\
+       false indictments:    %d/%d quiet cells on the asymmetric fabric\n\
+       detection latency:    %a\n\
+       fleet MTTR:           %a\n"
+      s.Metrics.fs_right s.Metrics.fs_faulty s.Metrics.fs_component_right
+      s.Metrics.fs_node_cells s.Metrics.fs_false_indict s.Metrics.fs_quiet
+      Metrics.pp_latency_stats s.Metrics.fs_latency Metrics.pp_latency_stats
+      s.Metrics.fs_mttr
+  ^ "\n\
+     A partial partition or a limping link never shifts blame off the gray\n\
+     node: mimic evidence outranks link signals in the rule order, and the\n\
+     victim's own system (zkmini or cstore, depending on the slot) names\n\
+     the component. The asymmetric fabric alone indicts nothing.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let all_texts () =
   [
@@ -1367,4 +1485,5 @@ let all_texts () =
     ("multiseed", e16_text);
     ("cluster", e17_text);
     ("failover", e18_text);
+    ("hetero", e19_text);
   ]

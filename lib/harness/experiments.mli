@@ -183,5 +183,10 @@ type e18_cell = {
 val e18_run : unit -> e18_cell list
 val e18_text : unit -> string
 
+(* E19 — heterogeneous 9/15-node fleets over an asymmetric link fabric,
+   graded on verdict priority under correlated failures *)
+val e19_run : unit -> Wd_cluster.Sim.result list
+val e19_text : unit -> string
+
 val all_texts : unit -> (string * (unit -> string)) list
 (** (experiment name, renderer) pairs, in presentation order. *)

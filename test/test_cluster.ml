@@ -7,12 +7,20 @@
 
 module Sim = Wd_cluster.Sim
 module Fleet = Wd_cluster.Fleet
+module Topology = Wd_cluster.Topology
+module Membership = Wd_cluster.Membership
+module Election = Wd_cluster.Election
 module Catalog = Wd_faults.Cluster_catalog
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let cstore_cfg = { Sim.default_config with Sim.system = "cstore" }
+let cstore_cfg =
+  {
+    Sim.default_config with
+    Sim.topology = Topology.uniform ~nodes:5 Topology.Cstore;
+  }
+
 let run csid = Sim.run ~cfg:cstore_cfg csid
 
 let test_limplock_indicts_victim () =
@@ -76,6 +84,93 @@ let test_link_flap_stays_quiet () =
   check "no suspicion across a single flap" true (r.Sim.cr_suspected_events = 0);
   check "leadership undisturbed" true
     (r.Sim.cr_final_leaders = [ "n0" ] && r.Sim.cr_elections = 0)
+
+(* --- correlated scenarios: verdict priority under compound faults ------ *)
+
+(* A limplocked node plus an unrelated partial partition, injected
+   together: the node verdict must win the rule-priority race, and the cut
+   must neither shift blame onto a healthy node nor surface as a second
+   (link) indictment — rule 3 is suppressed while the victim has no
+   healthy link. *)
+let test_correlated_limplock_partition () =
+  let r = run "fleet-limplock-partition" in
+  Alcotest.(check (list string))
+    "limping node indicted" [ "n2" ] r.Sim.cr_indicted_nodes;
+  check "no link indicted despite the cut" true (r.Sim.cr_indicted_links = []);
+  check "graded as expected" true r.Sim.cr_as_expected;
+  check "component named" true (r.Sim.cr_component <> None);
+  check "component from the victim's system" true r.Sim.cr_component_ok
+
+(* A gray node whose report path to the leader also limps (200x slower,
+   nothing dropped): shipped evidence arrives late but arrives, and the
+   verdict still pins the node, not the fabric. *)
+let test_correlated_slow_link_gray () =
+  let r = run "fleet-slow-link-gray" in
+  Alcotest.(check (list string))
+    "limping node indicted" [ "n1" ] r.Sim.cr_indicted_nodes;
+  check "slow link not indicted" true (r.Sim.cr_indicted_links = []);
+  check "graded as expected" true r.Sim.cr_as_expected;
+  check "recovery still commanded" true
+    (r.Sim.cr_first_recovery_latency <> None)
+
+(* --- typed topology configs -------------------------------------------- *)
+
+(* Bad configs die when built, not mid-boot: an unknown system name fails
+   in the registry, and a scenario whose victim index falls outside the
+   topology is rejected before any scheduler exists. *)
+let test_config_time_validation () =
+  check "unknown system rejected" true
+    (Result.is_error (Topology.system_of_string "etcd"));
+  check "known systems resolve" true
+    (Topology.system_of_string "zkmini" = Ok Topology.Zkmini
+    && Topology.system_of_string "cstore" = Ok Topology.Cstore);
+  (match
+     Sim.run
+       ~cfg:
+         {
+           cstore_cfg with
+           Sim.topology = Topology.uniform ~nodes:3 Topology.Cstore;
+         }
+       "fleet-limplock-partition"
+   with
+  | _ -> Alcotest.fail "undersized topology accepted"
+  | exception Invalid_argument _ -> ());
+  match Topology.with_link (Topology.uniform ~nodes:3 Topology.Cstore)
+          ~src:0 ~dst:5 ()
+  with
+  | _ -> Alcotest.fail "out-of-range link accepted"
+  | exception Invalid_argument _ -> ()
+
+(* --- 9-node fleets: membership convergence at larger scale ------------- *)
+
+(* A fault-free 9-node fleet must converge: every agent sees every peer
+   answering deep probes, nobody is suspected or accused, and leadership
+   stays with n0 with no election ever started. *)
+let test_membership_convergence_9node () =
+  let topology = Topology.uniform ~nodes:9 Topology.Cstore in
+  let w = Sim.boot ~seed:43 ~topology () in
+  ignore (Wd_sim.Sched.run ~until:(Wd_sim.Time.sec 8) (Sim.world_sched w));
+  let ids = List.init 9 Wd_cluster.Fabric.node_name in
+  List.iter
+    (fun a ->
+      let me = Membership.me a in
+      check (me ^ " suspects nobody") true (Membership.suspects a = []);
+      check (me ^ " accuses nobody") true (Membership.accused_probe a = []);
+      List.iter
+        (fun peer ->
+          if peer <> me then
+            check
+              (Fmt.str "%s saw %s answer deep probes" me peer)
+              true
+              (Membership.probe_ok_count a peer > 0))
+        ids)
+    (Sim.world_agents w);
+  List.iter
+    (fun e ->
+      check (Election.me e ^ " follows n0") true (Election.leader e = "n0");
+      check_int (Election.me e ^ " started no election") 0
+        (Election.elections_started e))
+    (Sim.world_elections w)
 
 (* The refactor's acceptance oracle: the decentralized plane — reports as
    wire-encoded fabric messages into the elected leader's engine, never a
@@ -179,6 +274,27 @@ let test_leader_failover_recovery_repro () =
   let r2 = run "fleet-leader-limplock" in
   check "failover cell deterministic" true (r = r2)
 
+(* E19: the heterogeneous asymmetric-fabric grid is byte-identical at any
+   --jobs width, and every cell grades as expected — correlated faults pin
+   the limping node on 9- and 15-node mixed fleets, and the asymmetric
+   fabric alone indicts nothing. *)
+let test_e19_hetero_grid () =
+  let module E = Wd_harness.Experiments in
+  E.set_jobs 1;
+  let r1 = E.e19_run () in
+  E.set_jobs (Wd_parallel.Pool.default_jobs ());
+  let rn = E.e19_run () in
+  check "jobs=1 and jobs=N grids identical" true (r1 = rn);
+  check_int "six cells (2 topologies x 3 scenarios)" 6 (List.length r1);
+  check "every cell graded as expected" true
+    (List.for_all (fun r -> r.Sim.cr_as_expected) r1);
+  check "both topologies mixed-system" true
+    (List.for_all
+       (fun r ->
+         List.mem "zkmini" r.Sim.cr_node_systems
+         && List.mem "cstore" r.Sim.cr_node_systems)
+       r1)
+
 let () =
   Alcotest.run "wd_cluster"
     [
@@ -197,11 +313,30 @@ let () =
           Alcotest.test_case "link flap stays quiet" `Quick
             test_link_flap_stays_quiet;
         ] );
+      ( "correlated",
+        [
+          Alcotest.test_case "limplock + partition pins the node" `Quick
+            test_correlated_limplock_partition;
+          Alcotest.test_case "slow link never masks a gray node" `Quick
+            test_correlated_slow_link_gray;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "configs validated before boot" `Quick
+            test_config_time_validation;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "9-node fault-free fleet converges" `Quick
+            test_membership_convergence_9node;
+        ] );
       ( "decentralized",
         [
           Alcotest.test_case "E17 oracle at jobs 1 and N" `Slow
             test_e17_oracle_at_jobs_1_and_n;
           Alcotest.test_case "leader failover, recovery, repro" `Quick
             test_leader_failover_recovery_repro;
+          Alcotest.test_case "E19 hetero grid at jobs 1 and N" `Slow
+            test_e19_hetero_grid;
         ] );
     ]

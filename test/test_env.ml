@@ -311,6 +311,59 @@ let test_net_asymmetric_partition () =
       check_int "delivered only b->a" 4 delivered;
       check_int "dropped only a->b" 4 dropped)
 
+(* Profiled links make the fabric asymmetric while staying deterministic:
+   a->b crosses a slow 20 ms link, b->a keeps the 500 us base, and a->c
+   squeezes through a 1 KiB/s pipe that serialises back-to-back sends
+   store-and-forward. The whole delivery schedule must be a pure function
+   of the seed — same seed, byte-identical schedule. *)
+let test_net_asymmetric_link_profiles () =
+  let run () =
+    let log = Buffer.create 256 in
+    let a_last = ref 0L and b_first = ref Int64.max_int
+    and c_first = ref Int64.max_int in
+    in_sim (fun s reg ->
+        let n = mknet reg in
+        Net.register n "a";
+        Net.register n "b";
+        Net.register n "c";
+        Net.set_link_profile n ~src:"a" ~dst:"b"
+          { Net.lp_latency = Some (Time.ms 20); lp_bytes_per_sec = None };
+        Net.set_link_profile n ~src:"a" ~dst:"c"
+          { Net.lp_latency = None; lp_bytes_per_sec = Some 1024 };
+        for i = 1 to 3 do
+          Net.send n ~size:256 ~src:"a" ~dst:"b" i;
+          Net.send n ~src:"b" ~dst:"a" (10 + i);
+          Net.send n ~size:512 ~src:"a" ~dst:"c" (20 + i)
+        done;
+        let drain ep first last =
+          for _ = 1 to 3 do
+            match Net.recv_timeout n ep ~timeout:(Time.sec 10) with
+            | Some env ->
+                let now = Wd_sim.Sched.now s in
+                if !first = Int64.max_int then first := now;
+                last := now;
+                Buffer.add_string log
+                  (Printf.sprintf "%s<-%s:%d@%Ld\n" ep env.Net.src
+                     env.Net.payload now)
+            | None -> Alcotest.fail (ep ^ " delivery lost")
+          done
+        in
+        (* unprofiled b->a lands first; the profiled links follow *)
+        drain "a" (ref Int64.max_int) a_last;
+        drain "b" b_first (ref 0L);
+        drain "c" c_first (ref 0L));
+    (Buffer.contents log, !a_last, !b_first, !c_first)
+  in
+  let log1, a_last, b_first, c_first = run () in
+  let log2, _, _, _ = run () in
+  Alcotest.(check string) "same seed, byte-identical schedule" log1 log2;
+  check "reverse link unaffected by the slow crossing" true
+    (a_last < b_first);
+  check "slow crossing respects its latency floor" true
+    (b_first >= Time.ms 20);
+  check "bandwidth bound dominates the bounded link" true
+    (c_first >= Time.ms 500)
+
 let test_net_inbox_length_and_try_recv () =
   in_sim (fun _s reg ->
       let n = mknet reg in
@@ -445,6 +498,8 @@ let () =
           Alcotest.test_case "site_dst fate sharing" `Quick test_net_site_dst_override;
           Alcotest.test_case "asymmetric partition" `Quick
             test_net_asymmetric_partition;
+          Alcotest.test_case "asymmetric link profiles" `Quick
+            test_net_asymmetric_link_profiles;
           Alcotest.test_case "inbox length / try_recv" `Quick
             test_net_inbox_length_and_try_recv;
           QCheck_alcotest.to_alcotest prop_net_link_fifo;
