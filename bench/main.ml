@@ -157,10 +157,13 @@ let run_microbenches () =
 
 (* --- Part 3: --json mode — the harness performance trajectory ---
 
-   Emits BENCH_harness.json: wall-clock for a fixed campaign batch (the E2
-   scenario sweep) at jobs=1 and jobs=N, a determinism cross-check of the
-   two result sets, analysis-cache cold/hit times, and interpreter
-   micro-bench throughput. Every future perf PR reruns this file. *)
+   Emits BENCH_harness.json: a jobs-scaling curve (1/2/4) for a fixed
+   campaign batch (the E2 scenario sweep) with a determinism cross-check
+   across widths, domain-local cache hit rates over that batch, a
+   1000-world randomized fault-space sweep (worlds/s at each width, with a
+   byte-identity gate), fleet-plane latencies, analysis-cache cold/hit
+   times, and interpreter micro-bench throughput. Every future perf PR
+   reruns this file. *)
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -223,21 +226,73 @@ let run_json_bench ~jobs_n () =
     List.map (fun s -> Campaign.cell s.Wd_faults.Catalog.sid) scenarios
   in
   (* Every batch starts from cold analysis + compile caches so each
-     comparison isolates one variable: domain parallelism between the first
-     two, the execution engine between the last two. *)
+     comparison isolates one variable: domain parallelism along the jobs
+     curve, the execution engine between the last two. *)
   let cold_batch ~jobs () =
     Generate.clear_cache ();
     Interp.clear_compile_cache ();
     wall (fun () -> Campaign.run_batch ~jobs cells)
   in
+  let recommended = Domain.recommended_domain_count () in
+  let effective j = max 1 (min j recommended) in
+  (* Jobs-scaling curve: requested widths 1/2/4 (plus --jobs if it differs).
+     The persistent pool clamps to the host's core count — [effective] — so
+     on a small host several points coincide; the JSON records both the
+     requested and the effective width. *)
+  let widths = List.sort_uniq compare [ 1; 2; 4; jobs_n ] in
   Interp.set_default_engine `Compiled;
-  let runs1, secs1 = cold_batch ~jobs:1 () in
-  let runs_n, secs_n = cold_batch ~jobs:jobs_n () in
+  let curve =
+    List.map
+      (fun j ->
+        let runs, secs = cold_batch ~jobs:j () in
+        (* cache traffic of this batch: cleared at batch start, so the
+           counters cover exactly these cells at this width *)
+        let a_hits, a_misses = Generate.cache_stats () in
+        let c_hits, c_misses = Interp.compile_cache_stats () in
+        (j, runs, secs, (a_hits, a_misses), (c_hits, c_misses)))
+      widths
+  in
+  let runs1, secs1, a_cache_n, c_cache_n =
+    match (curve, List.rev curve) with
+    | (_, r1, s1, _, _) :: _, (_, _, _, a_n, c_n) :: _ -> (r1, s1, a_n, c_n)
+    | _ -> assert false
+  in
+  let secs_n =
+    match List.find_opt (fun (j, _, _, _, _) -> j = jobs_n) curve with
+    | Some (_, _, s, _, _) -> s
+    | None -> secs1
+  in
   Interp.set_default_engine `Treewalk;
   let runs_tw, secs_tw = cold_batch ~jobs:jobs_n () in
   Interp.set_default_engine `Compiled;
-  let deterministic = runs1 = runs_n in
+  let deterministic =
+    List.for_all (fun (_, runs, _, _, _) -> runs = runs1) curve
+  in
   let engines_identical = runs1 = runs_tw in
+  (* randomized fault-space sweep (E20 grid) at each width, cold caches,
+     byte-identity across widths checked on the full outcome lists *)
+  let module Sweep = Wd_harness.Sweep in
+  let sweep_worlds = 1000 in
+  let sweep_seed = Wd_harness.Experiments.base_seed () in
+  let sweep_runs =
+    List.map
+      (fun j ->
+        Generate.clear_cache ();
+        Interp.clear_compile_cache ();
+        let (summary, outcomes), secs =
+          wall (fun () -> Sweep.run ~jobs:j ~seed:sweep_seed ~worlds:sweep_worlds ())
+        in
+        (j, summary, outcomes, secs))
+      widths
+  in
+  let sweep_summary, sweep_outcomes1, sweep_secs1 =
+    match sweep_runs with
+    | (_, s, o, secs) :: _ -> (s, o, secs)
+    | [] -> assert false
+  in
+  let sweep_identical =
+    List.for_all (fun (_, _, o, _) -> o = sweep_outcomes1) sweep_runs
+  in
   (* analysis cache: cold analysis vs memoised hit *)
   Generate.clear_cache ();
   let _, cold_s = wall (fun () -> ignore (Generate.analyze_cached zk_prog)) in
@@ -250,20 +305,69 @@ let run_json_bench ~jobs_n () =
   let call_speedup = per_s c_calls c_call_s /. per_s t_calls t_call_s in
   let buf = Buffer.create 1024 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rate (hits, misses) =
+    float_of_int hits /. Float.max 1. (float_of_int (hits + misses))
+  in
   bpf "{\n";
-  bpf "  \"schema\": \"wd-bench-harness/v2\",\n";
-  bpf "  \"host\": { \"recommended_domains\": %d },\n"
-    (Domain.recommended_domain_count ());
+  bpf "  \"schema\": \"wd-bench-harness/v3\",\n";
+  bpf "  \"host\": { \"recommended_domains\": %d },\n" recommended;
   bpf "  \"campaign_e2\": {\n";
   bpf "    \"scenarios\": %d,\n" (List.length cells);
-  bpf "    \"jobs1_wall_s\": %.3f,\n" secs1;
-  bpf "    \"jobs\": %d,\n" jobs_n;
-  bpf "    \"jobsN_wall_s\": %.3f,\n" secs_n;
-  bpf "    \"speedup\": %.2f,\n" (secs1 /. Float.max 1e-9 secs_n);
+  bpf "    \"jobs_curve\": [\n";
+  List.iteri
+    (fun i (j, _, secs, _, _) ->
+      bpf
+        "      { \"jobs\": %d, \"effective_jobs\": %d, \"wall_s\": %.3f, \
+         \"speedup\": %.2f }%s\n"
+        j (effective j) secs
+        (secs1 /. Float.max 1e-9 secs)
+        (if i = List.length curve - 1 then "" else ","))
+    curve;
+  bpf "    ],\n";
   bpf "    \"deterministic\": %b,\n" deterministic;
+  bpf
+    "    \"analysis_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": \
+     %.3f },\n"
+    (fst a_cache_n) (snd a_cache_n) (rate a_cache_n);
+  bpf
+    "    \"compile_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": \
+     %.3f },\n"
+    (fst c_cache_n) (snd c_cache_n) (rate c_cache_n);
   bpf "    \"treewalk_jobsN_wall_s\": %.3f,\n" secs_tw;
   bpf "    \"engine_speedup\": %.2f,\n" (secs_tw /. Float.max 1e-9 secs_n);
   bpf "    \"engines_identical\": %b\n" engines_identical;
+  bpf "  },\n";
+  bpf "  \"sweep\": {\n";
+  bpf "    \"worlds\": %d,\n" sweep_worlds;
+  bpf "    \"seed\": %d,\n" sweep_seed;
+  bpf "    \"jobs_curve\": [\n";
+  List.iteri
+    (fun i (j, _, _, secs) ->
+      bpf
+        "      { \"jobs\": %d, \"effective_jobs\": %d, \"wall_s\": %.3f, \
+         \"worlds_per_s\": %.1f, \"speedup\": %.2f }%s\n"
+        j (effective j) secs
+        (float_of_int sweep_worlds /. Float.max 1e-9 secs)
+        (sweep_secs1 /. Float.max 1e-9 secs)
+        (if i = List.length sweep_runs - 1 then "" else ","))
+    sweep_runs;
+  bpf "    ],\n";
+  bpf "    \"byte_identical\": %b,\n" sweep_identical;
+  bpf "    \"digest\": \"%s\",\n" sweep_summary.Wd_harness.Sweep.s_digest;
+  bpf
+    "    \"composition\": { \"scenario\": %d, \"fault_free\": %d, \"fleet\": \
+     %d },\n"
+    sweep_summary.Wd_harness.Sweep.s_scenario_worlds
+    sweep_summary.Wd_harness.Sweep.s_fault_free_worlds
+    sweep_summary.Wd_harness.Sweep.s_fleet_worlds;
+  bpf
+    "    \"oracle\": { \"ok\": %d, \"expect_detect\": %d, \"detected\": %d, \
+     \"unexpected_detect\": %d, \"false_alarms\": %d }\n"
+    sweep_summary.Wd_harness.Sweep.s_ok
+    sweep_summary.Wd_harness.Sweep.s_expect_detect
+    sweep_summary.Wd_harness.Sweep.s_detected
+    sweep_summary.Wd_harness.Sweep.s_unexpected_detect
+    sweep_summary.Wd_harness.Sweep.s_false_alarms;
   bpf "  },\n";
   (* fleet plane: one limplock cell, one leader-failover cell, and the two
      correlated cells on the asymmetric 9-node heterogeneous fabric; the
@@ -342,11 +446,15 @@ let run_json_bench ~jobs_n () =
   print_string json;
   Printf.printf "-> wrote BENCH_harness.json\n%!";
   if not deterministic then begin
-    prerr_endline "ERROR: jobs=1 and jobs=N campaign results differ";
+    prerr_endline "ERROR: campaign results differ across jobs widths";
     exit 1
   end;
   if not engines_identical then begin
     prerr_endline "ERROR: compiled and treewalk campaign results differ";
+    exit 1
+  end;
+  if not sweep_identical then begin
+    prerr_endline "ERROR: sweep outcomes differ across jobs widths";
     exit 1
   end
 

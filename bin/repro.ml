@@ -45,15 +45,47 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 let experiment_cmds =
-  List.map
+  List.filter_map
     (fun (ename, _) ->
-      let doc = Printf.sprintf "Run experiment %s." ename in
-      let term =
-        Term.(
-          const run_experiment $ const ename $ jobs_arg $ seed_arg $ engine_arg)
-      in
-      Cmd.v (Cmd.info ename ~doc) term)
+      if ename = "faultspace" then None (* dedicated command below: --worlds *)
+      else
+        let doc = Printf.sprintf "Run experiment %s." ename in
+        let term =
+          Term.(
+            const run_experiment $ const ename $ jobs_arg $ seed_arg
+            $ engine_arg)
+        in
+        Some (Cmd.v (Cmd.info ename ~doc) term))
     (Wd_harness.Experiments.all_texts ())
+
+let faultspace_cmd =
+  let doc =
+    "Run experiment faultspace (E20): a randomized fault-space sweep of \
+     generated worlds graded against per-world oracles."
+  in
+  let worlds_arg =
+    Arg.(
+      value
+      & opt int Wd_harness.Experiments.e20_default_worlds
+      & info [ "worlds" ] ~docv:"N"
+          ~doc:"Number of worlds in the sweep grid (default $(docv)=1000).")
+  in
+  let run worlds jobs seed engine =
+    apply_jobs jobs;
+    apply_seed seed;
+    apply_engine engine;
+    if worlds < 0 then begin
+      Fmt.epr "--worlds must be non-negative@.";
+      1
+    end
+    else begin
+      print_string (Wd_harness.Experiments.e20_text ~worlds ());
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "faultspace" ~doc)
+    Term.(const run $ worlds_arg $ jobs_arg $ seed_arg $ engine_arg)
 
 let all_cmd =
   let doc = "Run every experiment." in
@@ -189,4 +221,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           (list_cmd :: all_cmd :: scenario_cmd :: checkers_cmd
-           :: experiment_cmds)))
+           :: faultspace_cmd :: experiment_cmds)))

@@ -19,16 +19,22 @@ val analyze : ?config:Config.t -> Wd_ir.Ast.program -> generated
 
 val analyze_cached : ?config:Config.t -> Wd_ir.Ast.program -> generated
 (** Like {!analyze}, but memoised on a digest of the marshalled
-    (config, program) pair: repeated boots of one system share a single
-    [generated] (physically equal). The cache is mutex-guarded, so it is
-    safe (and shared) across the domains of a parallel campaign; a
-    [generated] value is immutable after construction. Use {!analyze} to
-    bypass the cache — both produce equal reductions. *)
+    (config, program) pair: within one domain, repeated boots of one system
+    share a single [generated] (physically equal). The cache is
+    domain-local, so the lookup path is lock-free under a parallel
+    campaign; analysis is a pure function of (config, program), so the
+    per-domain copies are structurally identical and campaign results stay
+    byte-identical at any [--jobs] width. Use {!analyze} to bypass the
+    cache — both produce equal reductions. *)
 
 val cache_stats : unit -> int * int
-(** [(hits, misses)] of {!analyze_cached} since start or {!clear_cache}. *)
+(** [(hits, misses)] of {!analyze_cached} across all domains, since start
+    or {!clear_cache}. With W persistent pool workers a system can miss up
+    to W times (once per domain) before every lookup hits. *)
 
 val clear_cache : unit -> unit
+(** Invalidate every domain's cache (epoch bump, applied lazily on each
+    domain's next lookup) and reset the stats. *)
 
 val regions_for_entry_funcs :
   generated -> entry_funcs:string list -> string list

@@ -195,9 +195,9 @@ let run_scenario ?(cfg = default_config) sid =
 
 (* A campaign cell: one scenario under one configuration (mode, seed,
    windows). Cells are self-contained deterministic worlds, so a batch is
-   embarrassingly parallel; [run_batch] farms cells out to a domain pool
-   and returns results in input order, making the parallel batch
-   byte-identical to the sequential one. *)
+   embarrassingly parallel; [run_batch] farms cells out to the persistent
+   process-wide domain pool and returns results in input order, making the
+   parallel batch byte-identical to the sequential one. *)
 type cell = { cell_sid : string; cell_cfg : config }
 
 let cell ?(cfg = default_config) sid = { cell_sid = sid; cell_cfg = cfg }
@@ -219,7 +219,6 @@ type fault_free = {
 }
 
 let run_fault_free ?(cfg = default_config) ?special system =
-  let cfg = { cfg with observe = cfg.observe } in
   let scenario =
     Option.map
       (fun sp ->

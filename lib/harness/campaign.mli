@@ -61,11 +61,11 @@ type cell = { cell_sid : string; cell_cfg : config }
 val cell : ?cfg:config -> string -> cell
 
 val run_batch : ?jobs:int -> cell list -> run list
-(** Run a batch of cells across a transient domain pool ([jobs] defaults to
-    {!Wd_parallel.Pool.default_jobs}). Every cell is a self-contained
-    deterministic simulation, and results are returned in input order, so
-    the output is identical to [List.map] of {!run_scenario} — only
-    faster on multicore hosts. *)
+(** Run a batch of cells across the persistent process-wide domain pool
+    ([jobs] defaults to {!Wd_parallel.Pool.default_jobs}). Every cell is a
+    self-contained deterministic simulation, and results are returned in
+    input order, so the output is identical to [List.map] of
+    {!run_scenario} — only faster on multicore hosts. *)
 
 type fault_free = {
   ff_system : string;

@@ -1465,6 +1465,43 @@ let e19_text () =
      the component. The asymmetric fabric alone indicts nothing.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E20 — randomized fault-space sweep: thousands of generated worlds
+   (scenario x mode x seed x windows, fault-free probes, generated fleet
+   topologies) graded against per-world oracles. The heavy lifting lives in
+   [Sweep]; this wrapper threads the harness-wide jobs/seed overrides and
+   renders the aggregate. *)
+
+let e20_default_worlds = 1000
+
+let e20_run ?(worlds = e20_default_worlds) () =
+  Sweep.run ~jobs:(jobs ()) ~seed:(base_seed ()) ~worlds ()
+
+let e20_text ?(worlds = e20_default_worlds) () =
+  let summary, outcomes = e20_run ~worlds () in
+  let misses =
+    List.filter (fun (o : Sweep.outcome) -> not o.Sweep.o_ok) outcomes
+  in
+  let b = Buffer.create 1024 in
+  let fp fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  fp "E20: randomized fault-space sweep (%d worlds)\n\n" summary.Sweep.s_worlds;
+  fp "%a\n" Sweep.pp_summary summary;
+  if misses <> [] then begin
+    fp "\nworlds missing their oracle (%d):\n" (List.length misses);
+    List.iteri
+      (fun i (o : Sweep.outcome) ->
+        if i < 12 then
+          fp "  %s  (expect_detect=%b detected=%b false_alarms=%d)\n"
+            o.Sweep.o_world o.Sweep.o_expect_detect o.Sweep.o_detected
+            o.Sweep.o_false_alarms)
+      misses;
+    if List.length misses > 12 then
+      fp "  ... and %d more\n" (List.length misses - 12)
+  end;
+  fp "\nEvery world is generated from the base seed alone and graded\n";
+  fp "against its own oracle; rerun with --jobs N to confirm the digest\n";
+  fp "is width-independent, or --seed S to sample a different slice of\n";
+  fp "the fault space.\n";
+  Buffer.contents b
 
 let all_texts () =
   [
@@ -1486,4 +1523,5 @@ let all_texts () =
     ("cluster", e17_text);
     ("failover", e18_text);
     ("hetero", e19_text);
+    ("faultspace", fun () -> e20_text ());
   ]

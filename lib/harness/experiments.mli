@@ -150,6 +150,18 @@ type e15_point = {
 val e15_run : unit -> e15_point list
 val e15_text : unit -> string
 
+(* E20 — randomized fault-space sweep *)
+val e20_default_worlds : int
+
+val e20_run : ?worlds:int -> unit -> Sweep.summary * Sweep.outcome list
+(** Generate and run a {!Sweep} grid of [worlds] worlds (default
+    {!e20_default_worlds}) under the harness-wide jobs and seed overrides.
+    The outcome list is byte-identical at any jobs width. *)
+
+val e20_text : ?worlds:int -> unit -> string
+(** Runs the sweep and renders the oracle aggregate, listing any worlds
+    that missed their oracle. *)
+
 (* E14 — reduction ablations *)
 val e14_run :
   unit -> (string * (string * Wd_analysis.Reduction.stats) list) list

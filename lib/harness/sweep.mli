@@ -1,0 +1,89 @@
+(** Randomized fault-space sweep campaigns.
+
+    The fixed catalog (E2) covers 22 curated cells; a sweep samples the
+    *space around them* at volume. A QCheck generator expands a base seed
+    into thousands of worlds — catalog scenarios under randomized watchdog
+    modes, seeds and timing windows; fault-free accuracy probes; and whole
+    fleets whose topologies are built through {!Wd_cluster.Topology}'s
+    validating constructors, injected with cluster-scoped scenarios. Every
+    world is a self-contained deterministic simulation graded against its
+    own oracle, and the grid fans out over the persistent domain pool, so
+    the outcome list is byte-identical at any [--jobs] width. *)
+
+type world =
+  | Scenario_world of {
+      sw_sid : string;
+      sw_mode : Systems.watchdog_mode;
+      sw_seed : int;
+      sw_warmup : int64;
+      sw_observe : int64;
+    }  (** One catalog scenario under a randomized configuration. *)
+  | Fault_free_world of {
+      ff_system : string;
+      ff_seed : int;
+      ff_observe : int64;
+    }  (** Accuracy probe: no fault; any report is a false alarm. *)
+  | Fleet_world of {
+      fl_csid : string;
+      fl_topology : Wd_cluster.Topology.spec;
+      fl_seed : int;
+    }  (** A generated fleet under a cluster-catalog scenario. *)
+
+val world_id : world -> string
+(** Stable human-readable identity, e.g.
+    ["scenario:kvs-deadlock:generated:seed=713:w=8s:o=15s"]. *)
+
+val grid : ?seed:int -> worlds:int -> unit -> world list
+(** Generate a sweep grid of [worlds] worlds. Pure function of
+    [(seed, worlds)]: the QCheck generators are driven by an explicit
+    [Random.State] derived from [seed] (default 42). Raises
+    [Invalid_argument] on a negative count.
+
+    Composition is roughly 83% scenario worlds, 14% fault-free worlds and
+    3% fleet worlds (a fleet world boots [n] nodes and costs accordingly).
+    Crash specials and slow-burn scenarios whose detection cannot fit the
+    sweep's shortened observation windows are excluded — they keep their
+    full-window coverage in E2. *)
+
+type outcome = {
+  o_world : string;  (** {!world_id} of the world this grades *)
+  o_kind : string;  (** ["scenario"], ["fault-free"] or ["fleet"] *)
+  o_expect_detect : bool;  (** the world's oracle expects a detection *)
+  o_detected : bool;
+  o_latency : int64 option;  (** detection latency when detected *)
+  o_false_alarms : int;
+  o_ok : bool;  (** world matched its oracle *)
+}
+
+val run_world : world -> outcome
+(** Run one world to completion and grade it. Scenario worlds compare
+    mimic-checker detection against the catalog expectation (and demand
+    zero pre-injection reports); fault-free worlds demand zero reports of
+    any detector class; fleet worlds reuse the fleet verdict grading
+    ({!Wd_cluster.Sim.result.cr_as_expected}). *)
+
+type summary = {
+  s_seed : int;
+  s_worlds : int;
+  s_scenario_worlds : int;
+  s_fault_free_worlds : int;
+  s_fleet_worlds : int;
+  s_expect_detect : int;  (** worlds whose oracle expects a detection *)
+  s_detected : int;  (** of those, how many actually detected *)
+  s_unexpected_detect : int;
+  s_false_alarms : int;
+  s_ok : int;  (** worlds matching their oracle *)
+  s_digest : string;  (** digest of the full outcome list, for
+                          cross-width byte-identity checks *)
+}
+
+val digest : outcome list -> string
+val summarize : seed:int -> outcome list -> summary
+
+val run :
+  ?jobs:int -> ?seed:int -> worlds:int -> unit -> summary * outcome list
+(** Generate the grid and run it over the persistent domain pool
+    ({!Wd_parallel.Pool.run_map}). The outcome list is in grid order and
+    byte-identical at any [jobs] width. *)
+
+val pp_summary : summary Fmt.t

@@ -631,49 +631,54 @@ let rt : t Compile.rt =
 
 type compiled = t Compile.t
 
-(* One compiled form per program, shared across every interpreter instance
-   (Main and Checker, all nodes, all domains) — mirrors
-   [Generate.analyze_cached]: compile outside the lock, first insert wins. *)
-let cache_lock = Mutex.create ()
-let cache : (string, compiled) Hashtbl.t = Hashtbl.create 64
+(* One compiled form per (program, domain), held in domain-local storage —
+   mirrors [Generate.analyze_cached]. Campaign workers are persistent (the
+   pool outlives batches), so each domain compiles a target once and then
+   hits its own table with no cross-domain contention: the hot-path lookup
+   takes no lock at all. Invalidation is epoch-based — [clear_compile_cache]
+   bumps a global epoch and each domain resets its table lazily on its next
+   lookup — because one domain cannot reach into another's storage. *)
+let cache_epoch = Atomic.make 0
 let cache_hits = Atomic.make 0
 let cache_misses = Atomic.make 0
+
+type cache_slot = {
+  mutable cs_epoch : int;
+  cs_tbl : (string, compiled) Hashtbl.t;
+}
+
+let cache_key : cache_slot Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { cs_epoch = -1; cs_tbl = Hashtbl.create 64 })
+
+let local_cache () =
+  let slot = Domain.DLS.get cache_key in
+  let now = Atomic.get cache_epoch in
+  if slot.cs_epoch <> now then begin
+    Hashtbl.reset slot.cs_tbl;
+    slot.cs_epoch <- now
+  end;
+  slot.cs_tbl
 
 let prog_digest (prog : program) =
   Digest.to_hex (Digest.string (Marshal.to_string prog []))
 
 let precompile prog =
   let key = prog_digest prog in
-  let cached =
-    Mutex.lock cache_lock;
-    let r = Hashtbl.find_opt cache key in
-    Mutex.unlock cache_lock;
-    r
-  in
-  match cached with
+  let tbl = local_cache () in
+  match Hashtbl.find_opt tbl key with
   | Some cp ->
       Atomic.incr cache_hits;
       cp
   | None ->
       Atomic.incr cache_misses;
       let cp = Compile.compile ~rt prog in
-      Mutex.lock cache_lock;
-      let cp =
-        match Hashtbl.find_opt cache key with
-        | Some winner -> winner
-        | None ->
-            Hashtbl.add cache key cp;
-            cp
-      in
-      Mutex.unlock cache_lock;
+      Hashtbl.add tbl key cp;
       cp
 
 let compile_cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
 
 let clear_compile_cache () =
-  Mutex.lock cache_lock;
-  Hashtbl.reset cache;
-  Mutex.unlock cache_lock;
+  Atomic.incr cache_epoch;
   Atomic.set cache_hits 0;
   Atomic.set cache_misses 0
 

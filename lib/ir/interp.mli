@@ -52,11 +52,14 @@ type compiled
 
 val precompile : program -> compiled
 (** Fetch or build the compiled form of [prog]. Results are cached by
-    program digest under a lock, so concurrent campaign workers compile each
-    target once. *)
+    program digest in domain-local storage: each campaign worker compiles a
+    target at most once and every later lookup is lock-free. Persistent
+    pool domains keep their caches warm across batches. *)
 
 val compile_cache_stats : unit -> int * int
-(** [(hits, misses)] of {!precompile} since start or {!clear_compile_cache}. *)
+(** [(hits, misses)] of {!precompile} across all domains, since start or
+    {!clear_compile_cache}. With W persistent workers a program can miss up
+    to W times (once per domain) before every lookup hits. *)
 
 val clear_compile_cache : unit -> unit
 

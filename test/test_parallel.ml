@@ -80,6 +80,60 @@ let test_lifecycle () =
   | exception Invalid_argument _ -> ());
   check_int "jobs clamped to >= 1" 1 (Pool.jobs (Pool.create ~jobs:0))
 
+(* [Pool.global] clamps its width to the host's core count; tests must not
+   assume a particular host. *)
+let effective n = max 1 (min n (Domain.recommended_domain_count ()))
+
+let test_large_batch_exception () =
+  (* one failing cell buried deep in a large batch: the batch must finish
+     settling (no hang on the remaining counter) and re-raise precisely
+     that cell's exception *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      (match
+         Pool.map p
+           (fun i -> if i = 1717 then raise (Boom i) else i * 2)
+           (List.init 5000 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> check_int "the one failing cell" 1717 i);
+      (* and when several cells fail, the lowest index wins even at size *)
+      match
+        Pool.map p
+          (fun i -> if i mod 997 = 0 && i > 0 then raise (Boom i) else i)
+          (List.init 5000 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> check_int "lowest failing index at size" 997 i)
+
+let test_persistent_reuse () =
+  (* many consecutive batches through the same persistent pool: no worker
+     leaks, no stale cursor state carried across batches *)
+  let p = Pool.global ~jobs:2 () in
+  check_int "global pool width clamped to host" (effective 2) (Pool.jobs p);
+  for round = 1 to 50 do
+    let n = 1 + ((round * 37) mod 200) in
+    let got = Pool.map p (fun i -> i + round) (List.init n Fun.id) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d" round)
+      (List.init n (fun i -> i + round))
+      got
+  done
+
+let test_global_shutdown_revival () =
+  let p = Pool.global ~jobs:2 () in
+  Pool.shutdown p;
+  (* a held reference to the shut-down pool refuses work... *)
+  (match Pool.map p Fun.id [ 1; 2; 3 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument on shut-down global pool"
+  | exception Invalid_argument _ -> ());
+  (* ...but the entry points revive the process-wide pool transparently *)
+  Alcotest.(check (list int))
+    "run_map revives the global pool" [ 2; 3; 4 ]
+    (Pool.run_map ~jobs:2 succ [ 1; 2; 3 ]);
+  let q = Pool.global ~jobs:2 () in
+  check "revived pool is a fresh one" true (q != p);
+  Alcotest.(check (list int)) "revived pool works" [ 0; 1 ] (Pool.map q Fun.id [ 0; 1 ])
+
 (* --- parallel campaign determinism ---
 
    The acceptance bar of the parallel engine: running the whole scenario
@@ -129,6 +183,12 @@ let () =
             test_exception_propagation;
           Alcotest.test_case "map_reduce" `Quick test_map_reduce;
           Alcotest.test_case "lifecycle" `Quick test_lifecycle;
+          Alcotest.test_case "large batch exception" `Quick
+            test_large_batch_exception;
+          Alcotest.test_case "persistent pool reuse" `Quick
+            test_persistent_reuse;
+          Alcotest.test_case "global shutdown + revival" `Quick
+            test_global_shutdown_revival;
         ] );
       ( "campaign",
         [
