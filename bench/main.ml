@@ -293,6 +293,30 @@ let run_json_bench ~jobs_n () =
   let sweep_identical =
     List.for_all (fun (_, _, o, _) -> o = sweep_outcomes1) sweep_runs
   in
+  (* checker-generation race (E21): mine the inferred generation, race it
+     against the mimic generation across the catalog in three deployments,
+     and gate on mining determinism (digest at width 1 = digest at width
+     N) and inferred accuracy (zero fault-free false positives) *)
+  let module Experiments = Wd_harness.Experiments in
+  let module Inference = Wd_harness.Inference in
+  let race = Experiments.e21_run () in
+  let mined_w1 = Inference.mine_and_synth ~jobs:1 () in
+  let mining_deterministic =
+    String.equal race.Experiments.e21_model_digest
+      mined_w1.Inference.md_digest
+  in
+  let race_family d fam =
+    List.find
+      (fun (f : Experiments.e21_family) -> f.Experiments.e21f_family = fam)
+      d.Experiments.e21d_families
+  in
+  let inferred_only =
+    List.find
+      (fun (d : Experiments.e21_deploy) ->
+        d.Experiments.e21d_label = "inferred-only")
+      race.Experiments.e21_deploys
+  in
+  let inferred_alone = race_family inferred_only "inferred" in
   (* analysis cache: cold analysis vs memoised hit *)
   Generate.clear_cache ();
   let _, cold_s = wall (fun () -> ignore (Generate.analyze_cached zk_prog)) in
@@ -309,7 +333,7 @@ let run_json_bench ~jobs_n () =
     float_of_int hits /. Float.max 1. (float_of_int (hits + misses))
   in
   bpf "{\n";
-  bpf "  \"schema\": \"wd-bench-harness/v3\",\n";
+  bpf "  \"schema\": \"wd-bench-harness/v4\",\n";
   bpf "  \"host\": { \"recommended_domains\": %d },\n" recommended;
   bpf "  \"campaign_e2\": {\n";
   bpf "    \"scenarios\": %d,\n" (List.length cells);
@@ -418,6 +442,53 @@ let run_json_bench ~jobs_n () =
   fleet_row "asym9_limplock_partition" alp alp_s ",";
   fleet_row "asym9_slow_link_gray" asl asl_s "";
   bpf "  },\n";
+  (* E21 rows: per-deployment, per-family coverage / median latency /
+     false positives, plus the deterministic sim-event overhead *)
+  bpf "  \"race\": {\n";
+  bpf "    \"mined_runs\": %d,\n" race.Experiments.e21_mined_runs;
+  bpf "    \"mined_events\": %d,\n" race.Experiments.e21_mined_events;
+  bpf "    \"model_digest\": \"%s\",\n" race.Experiments.e21_model_digest;
+  bpf "    \"mining_deterministic\": %b,\n" mining_deterministic;
+  bpf "    \"invariants\": { %s },\n"
+    (String.concat ", "
+       (List.map
+          (fun (sys, n) -> Printf.sprintf "\"%s\": %d" sys n)
+          race.Experiments.e21_invariants));
+  bpf "    \"deploys\": [\n";
+  List.iteri
+    (fun i (d : Experiments.e21_deploy) ->
+      bpf
+        "      { \"label\": \"%s\", \"any_detected\": %d, \"total\": %d, \
+         \"false_positives\": %d, \"checkers\": %d, \"sim_events\": %d, \
+         \"overhead_pct\": %.1f,\n"
+        d.Experiments.e21d_label d.Experiments.e21d_any
+        d.Experiments.e21d_total d.Experiments.e21d_fp
+        d.Experiments.e21d_checkers d.Experiments.e21d_sim_events
+        d.Experiments.e21d_overhead_pct;
+      bpf "        \"families\": { ";
+      List.iteri
+        (fun j (f : Experiments.e21_family) ->
+          let median_ms =
+            if f.Experiments.e21f_latency.Wd_harness.Metrics.ls_count = 0 then
+              -1.
+            else
+              Int64.to_float f.Experiments.e21f_latency.Wd_harness.Metrics.ls_median
+              /. 1e6
+          in
+          bpf
+            "\"%s\": { \"detected\": %d, \"total\": %d, \"median_ms\": %.1f, \
+             \"fp\": %d }%s"
+            f.Experiments.e21f_family f.Experiments.e21f_detected
+            f.Experiments.e21f_total median_ms f.Experiments.e21f_fp
+            (if j = List.length d.Experiments.e21d_families - 1 then ""
+             else ", "))
+        d.Experiments.e21d_families;
+      bpf " } }%s\n"
+        (if i = List.length race.Experiments.e21_deploys - 1 then "" else ",")
+      )
+    race.Experiments.e21_deploys;
+  bpf "    ]\n";
+  bpf "  },\n";
   bpf "  \"analysis_cache\": { \"cold_ms\": %.3f, \"hit_ms\": %.4f },\n"
     (1e3 *. cold_s) (1e3 *. hit_s);
   bpf "  \"interp\": {\n";
@@ -455,6 +526,21 @@ let run_json_bench ~jobs_n () =
   end;
   if not sweep_identical then begin
     prerr_endline "ERROR: sweep outcomes differ across jobs widths";
+    exit 1
+  end;
+  if not mining_deterministic then begin
+    prerr_endline "ERROR: inferred-model digest differs across jobs widths";
+    exit 1
+  end;
+  if inferred_alone.Experiments.e21f_fp > 0 then begin
+    prerr_endline "ERROR: inferred checkers false-alarmed on fault-free runs";
+    exit 1
+  end;
+  if
+    2 * inferred_alone.Experiments.e21f_detected
+    < inferred_alone.Experiments.e21f_total
+  then begin
+    prerr_endline "ERROR: inferred-only coverage fell below half the catalog";
     exit 1
   end
 

@@ -37,8 +37,12 @@ type run = {
 }
 
 let classify_checker id =
-  if String.length id >= 6 && String.sub id 0 6 = "probe:" then `Probe
-  else if String.length id >= 7 && String.sub id 0 7 = "signal:" then `Signal
+  let has_prefix p =
+    String.length id >= String.length p && String.sub id 0 (String.length p) = p
+  in
+  if has_prefix "probe:" then `Probe
+  else if has_prefix "signal:" then `Signal
+  else if has_prefix Wd_infer.Checkers.id_prefix then `Inferred
   else `Mimic
 
 let outcome_of_report ~near ~inject_at ~truth_func (r : Report.t) =
@@ -92,13 +96,14 @@ let class_outcomes ~near ~inject_at ~truth_func reports =
     | Some r -> outcome_of_report ~near ~inject_at ~truth_func r
     | None -> no_detection
   in
-  (out `Mimic, out `Probe, out `Signal)
+  (out `Mimic, out `Probe, out `Signal, out `Inferred)
 
 type config = {
   seed : int;
   warmup : int64;
   observe : int64;
   mode : Systems.watchdog_mode;
+  infer : Wd_infer.Synth.model option;
 }
 
 let default_config =
@@ -107,15 +112,28 @@ let default_config =
     warmup = Wd_sim.Time.sec 8;
     observe = Wd_sim.Time.sec 45;
     mode = Systems.Wd_generated;
+    infer = None;
   }
 
 let run_raw cfg ~system ~scenario () =
   let sched = Wd_sim.Sched.create ~seed:cfg.seed () in
   let reg = Wd_env.Faultreg.create () in
   let special = Option.bind scenario (fun s -> s.Catalog.special) in
+  (* The monitor must own the trace before the system boots so startup ops
+     (recovery reads, first writes) are part of its ordering state, exactly
+     as they were during mining. *)
+  let monitor =
+    Option.map (fun _ -> Wd_infer.Monitor.create sched) cfg.infer
+  in
   (* Pre-register the boot work inside a bootstrap task? Boot functions only
      create tasks; client/probe activity happens once the sim runs. *)
   let booted = Systems.boot ~sched ~reg ~mode:cfg.mode ?special system in
+  (match (cfg.infer, monitor) with
+  | Some model, Some monitor ->
+      List.iter
+        (Driver.add_checker booted.Systems.b_driver)
+        (Wd_infer.Checkers.compile ~model ~monitor ())
+  | _ -> ());
   (match Wd_sim.Sched.run ~until:cfg.warmup sched with
   | Wd_sim.Sched.Time_limit | Wd_sim.Sched.Quiescent -> ()
   | Wd_sim.Sched.Deadlock tasks ->
@@ -164,7 +182,9 @@ let run_scenario ?(cfg = default_config) sid =
           && (List.mem_assoc truth (Wd_analysis.Callgraph.callees cg f)
              || List.mem_assoc f (Wd_analysis.Callgraph.callees cg truth))
   in
-  let mimic, probe, signal = class_outcomes ~near ~inject_at ~truth_func reports in
+  let mimic, probe, signal, inferred =
+    class_outcomes ~near ~inject_at ~truth_func reports
+  in
   let heartbeat =
     outcome_of_suspicion ~inject_at
       (Wd_detectors.Heartbeat.suspected_at booted.Systems.b_heartbeat)
@@ -182,6 +202,7 @@ let run_scenario ?(cfg = default_config) sid =
         ("mimic", mimic);
         ("probe", probe);
         ("signal", signal);
+        ("inferred", inferred);
         ("heartbeat", heartbeat);
         ("observer", observer);
       ];
@@ -213,9 +234,12 @@ type fault_free = {
   ff_mimic_fp : int;
   ff_probe_fp : int;
   ff_signal_fp : int;
+  ff_inferred_fp : int;
   ff_heartbeat_fp : int;
   ff_observer_fp : int;
   ff_workload_ok_ratio : float;
+  ff_sim_events : int;
+  ff_checker_count : int;
 }
 
 let run_fault_free ?(cfg = default_config) ?special system =
@@ -242,15 +266,19 @@ let run_fault_free ?(cfg = default_config) ?special system =
          (fun (r : Report.t) -> classify_checker r.Report.checker_id = cls)
          reports)
   in
+  let _, _, events = Wd_sim.Sched.stats booted.Systems.b_sched in
   {
     ff_system = system;
     ff_mimic_fp = count `Mimic;
     ff_probe_fp = count `Probe;
     ff_signal_fp = count `Signal;
+    ff_inferred_fp = count `Inferred;
     ff_heartbeat_fp =
       (if Wd_detectors.Heartbeat.suspected booted.Systems.b_heartbeat then 1 else 0);
     ff_observer_fp =
       (if Wd_detectors.Observer.suspected booted.Systems.b_observer then 1 else 0);
     ff_workload_ok_ratio =
       Wd_targets.Workload.success_ratio booted.Systems.b_workload;
+    ff_sim_events = events;
+    ff_checker_count = Driver.checker_count booted.Systems.b_driver;
   }

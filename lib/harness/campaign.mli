@@ -22,7 +22,8 @@ type run = {
   r_sid : string;
   r_system : string;
   r_outcomes : (string * outcome) list;
-      (** keyed "mimic", "probe", "signal", "heartbeat", "observer" *)
+      (** keyed "mimic", "probe", "signal", "inferred", "heartbeat",
+          "observer" *)
   r_pre_inject_reports : int;
   r_workload_ok_ratio : float;
   r_workload_issued : int;
@@ -30,14 +31,20 @@ type run = {
   r_sim_events : int;
 }
 
-val classify_checker : string -> [ `Mimic | `Probe | `Signal ]
-(** By id prefix: ["probe:"], ["signal:"], anything else is mimic. *)
+val classify_checker : string -> [ `Mimic | `Probe | `Signal | `Inferred ]
+(** By id prefix: ["probe:"], ["signal:"], ["inferred:"]; anything else is
+    mimic. *)
 
 type config = {
   seed : int;
   warmup : int64;
   observe : int64;
   mode : Systems.watchdog_mode;
+  infer : Wd_infer.Synth.model option;
+      (** when set, trace-inferred checkers compiled from this model are
+          attached alongside whatever [mode] provides: the scheduler gets a
+          trace, a {!Wd_infer.Monitor} consumes it, and the compiled
+          checkers join the same driver as every other family *)
 }
 
 val default_config : config
@@ -72,9 +79,14 @@ type fault_free = {
   ff_mimic_fp : int;
   ff_probe_fp : int;
   ff_signal_fp : int;
+  ff_inferred_fp : int;
   ff_heartbeat_fp : int;
   ff_observer_fp : int;
   ff_workload_ok_ratio : float;
+  ff_sim_events : int;
+      (** deterministic cost proxy: scheduler events fired; comparing
+          configurations on the same world measures checker overhead *)
+  ff_checker_count : int;
 }
 
 val run_fault_free : ?cfg:config -> ?special:string -> string -> fault_free

@@ -1213,11 +1213,12 @@ let e17_text () =
        component accuracy:   %d/%d node indictments name a true component\n\
        false indictments:    %d/%d quiet cells (overload, fault-free, flap)\n\
        detection latency:    %a\n\
-       fleet MTTR:           %a\n"
+       fleet MTTR:           %a\n\
+       evidence by family:   %a\n"
       s.Metrics.fs_right s.Metrics.fs_faulty s.Metrics.fs_component_right
       s.Metrics.fs_node_cells s.Metrics.fs_false_indict s.Metrics.fs_quiet
       Metrics.pp_latency_stats s.Metrics.fs_latency Metrics.pp_latency_stats
-      s.Metrics.fs_mttr
+      s.Metrics.fs_mttr Metrics.pp_family_stats s.Metrics.fs_families
   ^ "\n\
      Limplock indicts the limping node and its component, and the leader's\n\
      Recover command microreboots it (MTTR above); the asymmetric cut\n\
@@ -1453,11 +1454,12 @@ let e19_text () =
        component accuracy:   %d/%d indictments name a true component\n\
        false indictments:    %d/%d quiet cells on the asymmetric fabric\n\
        detection latency:    %a\n\
-       fleet MTTR:           %a\n"
+       fleet MTTR:           %a\n\
+       evidence by family:   %a\n"
       s.Metrics.fs_right s.Metrics.fs_faulty s.Metrics.fs_component_right
       s.Metrics.fs_node_cells s.Metrics.fs_false_indict s.Metrics.fs_quiet
       Metrics.pp_latency_stats s.Metrics.fs_latency Metrics.pp_latency_stats
-      s.Metrics.fs_mttr
+      s.Metrics.fs_mttr Metrics.pp_family_stats s.Metrics.fs_families
   ^ "\n\
      A partial partition or a limping link never shifts blame off the gray\n\
      node: mimic evidence outranks link signals in the rule order, and the\n\
@@ -1503,6 +1505,246 @@ let e20_text ?(worlds = e20_default_worlds) () =
   fp "the fault space.\n";
   Buffer.contents b
 
+(* ------------------------------------------------------------------ *)
+(* E21 — checker-generation race: the static-analysis (mimic) watchdog
+   generation vs the trace-inferred generation, raced across the full
+   failure catalog in three deployments — mimic-only, inferred-only,
+   combined. Graded per checker family on coverage, median detection
+   latency and fault-free false positives; runtime overhead is the
+   deterministic sim-event surplus of each deployment over a bare
+   (Wd_none, no inferred) baseline on the same fault-free worlds. *)
+
+type e21_family = {
+  e21f_family : string;
+  e21f_detected : int;
+  e21f_total : int;
+  e21f_latency : Metrics.latency_stats;
+  e21f_fp : int;
+}
+
+type e21_deploy = {
+  e21d_label : string;
+  e21d_any : int;  (** scenarios where any family detected *)
+  e21d_total : int;
+  e21d_families : e21_family list;
+  e21d_fp : int;  (** all families, all fault-free runs *)
+  e21d_checkers : int;  (** checker count summed over fault-free runs *)
+  e21d_sim_events : int;  (** fault-free sim events, summed over systems *)
+  e21d_overhead_pct : float;  (** vs the bare baseline on the same worlds *)
+}
+
+type e21_result = {
+  e21_mined_runs : int;
+  e21_mined_events : int;
+  e21_model_digest : string;
+  e21_invariants : (string * int) list;  (** per system *)
+  e21_deploys : e21_deploy list;
+}
+
+let e21_families =
+  [ "mimic"; "probe"; "signal"; "inferred"; "heartbeat"; "observer" ]
+
+let e21_family_fp fam (ff : Campaign.fault_free) =
+  match fam with
+  | "mimic" -> ff.Campaign.ff_mimic_fp
+  | "probe" -> ff.Campaign.ff_probe_fp
+  | "signal" -> ff.Campaign.ff_signal_fp
+  | "inferred" -> ff.Campaign.ff_inferred_fp
+  | "heartbeat" -> ff.Campaign.ff_heartbeat_fp
+  | "observer" -> ff.Campaign.ff_observer_fp
+  | _ -> 0
+
+let e21_mine () = Inference.mine_and_synth ~jobs:(jobs ()) ()
+
+(* label, watchdog mode, attach the inferred generation *)
+let e21_deploy_specs =
+  [
+    ("mimic-only", Systems.Wd_generated, false);
+    ("inferred-only", Systems.Wd_none, true);
+    ("combined", Systems.Wd_generated, true);
+  ]
+
+let e21_run () =
+  let mined = e21_mine () in
+  let cfg_for mode with_infer system =
+    {
+      Campaign.default_config with
+      Campaign.mode;
+      infer =
+        (if with_infer then Inference.model_for mined system else None);
+    }
+  in
+  (* bare baseline: no mimic generation, no inferred generation — just the
+     extrinsic families every boot carries. Its fault-free sim-event count
+     anchors the overhead column. *)
+  let base_events =
+    List.fold_left
+      (fun n (ff : Campaign.fault_free) -> n + ff.Campaign.ff_sim_events)
+      0
+      (par_map
+         (fun sys ->
+           Campaign.run_fault_free
+             ~cfg:{ Campaign.default_config with Campaign.mode = Systems.Wd_none }
+             sys)
+         Systems.all_systems)
+  in
+  let deploys =
+    List.map
+      (fun (label, mode, with_infer) ->
+        let runs =
+          Campaign.run_batch ~jobs:(jobs ())
+            (List.map
+               (fun (s : Catalog.scenario) ->
+                 Campaign.cell
+                   ~cfg:(cfg_for mode with_infer s.Catalog.system)
+                   s.Catalog.sid)
+               Catalog.all)
+        in
+        let ffs =
+          par_map
+            (fun sys ->
+              Campaign.run_fault_free ~cfg:(cfg_for mode with_infer sys) sys)
+            Systems.all_systems
+        in
+        let families =
+          List.map
+            (fun fam ->
+              let outs =
+                List.map
+                  (fun (r : Campaign.run) ->
+                    List.assoc fam r.Campaign.r_outcomes)
+                  runs
+              in
+              let lats =
+                List.filter_map
+                  (fun (o : Campaign.outcome) ->
+                    if o.Campaign.o_detected then o.Campaign.o_latency
+                    else None)
+                  outs
+              in
+              {
+                e21f_family = fam;
+                e21f_detected =
+                  List.length
+                    (List.filter (fun o -> o.Campaign.o_detected) outs);
+                e21f_total = List.length outs;
+                e21f_latency =
+                  Metrics.latency_stats_of lats ~total:(List.length outs);
+                e21f_fp =
+                  List.fold_left (fun n ff -> n + e21_family_fp fam ff) 0 ffs;
+              })
+            e21_families
+        in
+        let any =
+          List.length
+            (List.filter
+               (fun (r : Campaign.run) ->
+                 List.exists
+                   (fun (_, o) -> o.Campaign.o_detected)
+                   r.Campaign.r_outcomes)
+               runs)
+        in
+        let sim_events =
+          List.fold_left
+            (fun n (ff : Campaign.fault_free) -> n + ff.Campaign.ff_sim_events)
+            0 ffs
+        in
+        {
+          e21d_label = label;
+          e21d_any = any;
+          e21d_total = List.length runs;
+          e21d_families = families;
+          e21d_fp =
+            List.fold_left
+              (fun n fam -> n + fam.e21f_fp)
+              0 families;
+          e21d_checkers =
+            List.fold_left
+              (fun n (ff : Campaign.fault_free) ->
+                n + ff.Campaign.ff_checker_count)
+              0 ffs;
+          e21d_sim_events = sim_events;
+          e21d_overhead_pct =
+            100.
+            *. float_of_int (sim_events - base_events)
+            /. float_of_int (max 1 base_events);
+        })
+      e21_deploy_specs
+  in
+  {
+    e21_mined_runs = mined.Inference.md_runs;
+    e21_mined_events = mined.Inference.md_events;
+    e21_model_digest = mined.Inference.md_digest;
+    e21_invariants =
+      List.map
+        (fun (sys, m) ->
+          (sys, List.length m.Wd_infer.Synth.m_invariants))
+        mined.Inference.md_models;
+    e21_deploys = deploys;
+  }
+
+let e21_family_of d fam =
+  List.find (fun f -> f.e21f_family = fam) d.e21d_families
+
+let e21_text () =
+  let r = e21_run () in
+  let cov f = fp "%d/%d" f.e21f_detected f.e21f_total in
+  let med (f : e21_family) =
+    if f.e21f_latency.Metrics.ls_count = 0 then "-"
+    else Wd_sim.Time.to_string f.e21f_latency.Metrics.ls_median
+  in
+  let race =
+    Tables.render
+      ~header:
+        [
+          "deployment"; "mimic"; "inferred"; "any"; "median (mimic)";
+          "median (inferred)"; "false alarms"; "checkers"; "overhead";
+        ]
+      (List.map
+         (fun d ->
+           let m = e21_family_of d "mimic" and i = e21_family_of d "inferred" in
+           [
+             d.e21d_label;
+             cov m;
+             cov i;
+             fp "%d/%d" d.e21d_any d.e21d_total;
+             med m;
+             med i;
+             string_of_int d.e21d_fp;
+             string_of_int d.e21d_checkers;
+             fp "%+.1f%%" d.e21d_overhead_pct;
+           ])
+         r.e21_deploys)
+  in
+  let combined =
+    List.find (fun d -> d.e21d_label = "combined") r.e21_deploys
+  in
+  let per_family =
+    Tables.render
+      ~header:[ "family"; "coverage"; "median latency"; "false alarms" ]
+      (List.map
+         (fun f -> [ f.e21f_family; cov f; med f; string_of_int f.e21f_fp ])
+         combined.e21d_families)
+  in
+  fp
+    "E21 — checker-generation race: mimic (static analysis) vs inferred\n\
+     (trace mining) across the full %d-scenario catalog\n\n\
+     mined %d fault-free runs (%d op events) -> models %s\n\
+     invariants per system: %s\n\n"
+    (List.length Catalog.all) r.e21_mined_runs r.e21_mined_events
+    r.e21_model_digest
+    (String.concat ", "
+       (List.map (fun (s, n) -> fp "%s=%d" s n) r.e21_invariants))
+  ^ race
+  ^ "\nper-family breakdown in the combined deployment:\n"
+  ^ per_family
+  ^ "\nThe inferred generation is synthesized from nothing but passing-run\n\
+     traces — no source analysis — yet alone it covers a majority of the\n\
+     catalog with zero fault-free false alarms (liveness invariants catch\n\
+     hangs/deadlocks; never-fail invariants catch error signals). The\n\
+     mimic generation keeps its pinpointing edge; combined, the two are\n\
+     complementary at a few percent extra sim events.\n"
+
 let all_texts () =
   [
     ("table1", e1_text);
@@ -1524,4 +1766,5 @@ let all_texts () =
     ("failover", e18_text);
     ("hetero", e19_text);
     ("faultspace", fun () -> e20_text ());
+    ("infer", e21_text);
   ]

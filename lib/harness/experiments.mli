@@ -200,5 +200,44 @@ val e18_text : unit -> string
 val e19_run : unit -> Wd_cluster.Sim.result list
 val e19_text : unit -> string
 
+(* E21 — checker-generation race: mimic (static analysis) vs trace-inferred
+   checkers across the full catalog, in mimic-only / inferred-only /
+   combined deployments *)
+type e21_family = {
+  e21f_family : string;
+  e21f_detected : int;
+  e21f_total : int;
+  e21f_latency : Metrics.latency_stats;
+  e21f_fp : int;  (** false positives over the fault-free runs *)
+}
+
+type e21_deploy = {
+  e21d_label : string;
+  e21d_any : int;  (** scenarios where any family detected *)
+  e21d_total : int;
+  e21d_families : e21_family list;
+  e21d_fp : int;
+  e21d_checkers : int;
+  e21d_sim_events : int;
+  e21d_overhead_pct : float;
+      (** fault-free sim-event surplus vs a bare (no mimic, no inferred)
+          baseline on the same worlds — deterministic, host-independent *)
+}
+
+type e21_result = {
+  e21_mined_runs : int;
+  e21_mined_events : int;
+  e21_model_digest : string;
+  e21_invariants : (string * int) list;
+  e21_deploys : e21_deploy list;
+}
+
+val e21_mine : unit -> Inference.mined
+(** Mine and synthesize the inferred generation under the harness-wide
+    jobs override (digest-deterministic at any width). *)
+
+val e21_run : unit -> e21_result
+val e21_text : unit -> string
+
 val all_texts : unit -> (string * (unit -> string)) list
 (** (experiment name, renderer) pairs, in presentation order. *)

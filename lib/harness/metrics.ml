@@ -57,6 +57,12 @@ let scenario_across_seeds ?(cfg = Campaign.default_config) ~seeds ~detector sid 
 
 (* --- fleet-level aggregation (E17) ------------------------------------ *)
 
+type family_stats = {
+  fam_family : string; (* mimic | probe | signal | inferred *)
+  fam_indictments : int; (* evidence-backed verdicts on faulty cells *)
+  fam_false_positives : int; (* evidence-backed verdicts on quiet cells *)
+}
+
 type fleet_summary = {
   fs_faulty : int; (* cells whose scenario expects an indictment *)
   fs_right : int; (* ... that indicted exactly the right target *)
@@ -68,7 +74,35 @@ type fleet_summary = {
   fs_mttr : latency_stats;
       (* injection -> first fleet-commanded microreboot, over node cells:
          the decentralized plane's verdict-driven repair loop end to end *)
+  fs_families : family_stats list;
+      (* evidence-backed verdicts attributed to the checker family that
+         produced the shipped report, in [checker_families] order *)
 }
+
+let checker_families = [ "mimic"; "probe"; "signal"; "inferred" ]
+
+let family_name = function
+  | `Mimic -> "mimic"
+  | `Probe -> "probe"
+  | `Signal -> "signal"
+  | `Inferred -> "inferred"
+
+(* Which checker family stands behind each evidence-backed fleet verdict:
+   the verdict's evidence travels as report wire bytes, so decoding it
+   recovers the checker id of whichever local detector fired. *)
+let evidence_families (r : Wd_cluster.Sim.result) =
+  List.filter_map
+    (fun (_, (e : Wd_cluster.Fleet.event)) ->
+      match e.Wd_cluster.Fleet.ev_evidence with
+      | None -> None
+      | Some wire -> (
+          match Wd_watchdog.Report.of_wire wire with
+          | Error _ -> None
+          | Ok rep ->
+              Some
+                (family_name
+                   (Campaign.classify_checker rep.Wd_watchdog.Report.checker_id))))
+    r.Wd_cluster.Sim.cr_events
 
 let fleet_summary (rs : Wd_cluster.Sim.result list) =
   let expects_indictment (r : Wd_cluster.Sim.result) =
@@ -119,4 +153,29 @@ let fleet_summary (rs : Wd_cluster.Sim.result list) =
            (fun r -> r.Wd_cluster.Sim.cr_first_recovery_latency)
            node_cells)
         ~total:(List.length node_cells);
+    fs_families =
+      (let count cells fam =
+         List.fold_left
+           (fun acc r ->
+             acc
+             + List.length
+                 (List.filter (String.equal fam) (evidence_families r)))
+           0 cells
+       in
+       List.map
+         (fun fam ->
+           {
+             fam_family = fam;
+             fam_indictments = count faulty fam;
+             fam_false_positives = count quiet fam;
+           })
+         checker_families);
   }
+
+let pp_family_stats ppf fams =
+  Fmt.pf ppf "%a"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf f ->
+          Fmt.pf ppf "%s %d (+%d fp)" f.fam_family f.fam_indictments
+            f.fam_false_positives))
+    fams

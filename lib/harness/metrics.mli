@@ -24,6 +24,12 @@ val scenario_across_seeds :
 (** Run the scenario once per seed; returns the detector's latency stats and
     how many runs pinpointed exactly. *)
 
+type family_stats = {
+  fam_family : string;  (** mimic | probe | signal | inferred *)
+  fam_indictments : int;  (** evidence-backed verdicts on faulty cells *)
+  fam_false_positives : int;  (** evidence-backed verdicts on quiet cells *)
+}
+
 type fleet_summary = {
   fs_faulty : int;  (** cells whose scenario expects an indictment *)
   fs_right : int;  (** ... that indicted exactly the right target *)
@@ -34,8 +40,20 @@ type fleet_summary = {
   fs_latency : latency_stats;  (** first-verdict latency over faulty cells *)
   fs_mttr : latency_stats;
       (** injection -> first fleet-commanded microreboot, over node cells *)
+  fs_families : family_stats list;
+      (** evidence-backed verdicts attributed to the checker family whose
+          report the verdict shipped, in [checker_families] order *)
 }
+
+val checker_families : string list
+(** The checker families evidence is attributed to:
+    [mimic; probe; signal; inferred]. *)
 
 val fleet_summary : Wd_cluster.Sim.result list -> fleet_summary
 (** Grade a batch of cluster cells (E17): indictment accuracy over faulty
-    scenarios, false-indictment rate over quiet ones, detection latency. *)
+    scenarios, false-indictment rate over quiet ones, detection latency,
+    and per-checker-family attribution of the evidence behind verdicts. *)
+
+val pp_family_stats : Format.formatter -> family_stats list -> unit
+(** Render the per-family breakout on one line:
+    ["mimic 12 (+0 fp), probe 0 (+0 fp), ..."]. *)

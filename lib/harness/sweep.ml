@@ -213,6 +213,7 @@ let run_world w =
           warmup = sw.sw_warmup;
           observe = sw.sw_observe;
           mode = sw.sw_mode;
+          infer = None;
         }
       in
       let r = Campaign.run_scenario ~cfg sw.sw_sid in

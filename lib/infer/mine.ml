@@ -1,0 +1,281 @@
+(* Trace miner (FlyCatcher-style, stage 1): collect operation-level events
+   from passing runs and aggregate them into per-key statistics plus
+   ordering/concurrency observations — the raw material the synthesizer
+   fits invariants to.
+
+   A [recorder] drains the scheduler's bounded trace ring into an unbounded
+   accumulator from a daemon task, so arbitrarily long mining runs lose no
+   events as long as the ring outlasts one drain interval. Aggregation is
+   pure and deterministic: every table is sorted before it leaves. *)
+
+module Trace = Wd_sim.Trace
+
+type run_obs = {
+  ro_id : string;
+  ro_seed : int;
+  ro_span : int64; (* virtual time covered: first event .. final drain *)
+  ro_events : Trace.event list; (* op events only, in order *)
+  ro_dropped : int;
+}
+
+type recorder = {
+  rec_sched : Wd_sim.Sched.t;
+  rec_trace : Trace.t;
+  mutable rec_cursor : int;
+  mutable rec_acc : Trace.event list; (* reversed *)
+  mutable rec_dropped : int;
+}
+
+let is_op (e : Trace.event) =
+  match e.Trace.kind with
+  | Trace.Op_start _ | Trace.Op_end _ | Trace.Op_fail _ -> true
+  | Trace.Spawned | Trace.Blocked _ | Trace.Resumed | Trace.Finished _ ->
+      false
+
+let drain r =
+  let events, dropped, cursor = Trace.since r.rec_trace r.rec_cursor in
+  r.rec_cursor <- cursor;
+  r.rec_dropped <- r.rec_dropped + dropped;
+  List.iter (fun e -> if is_op e then r.rec_acc <- e :: r.rec_acc) events
+
+let attach ?(capacity = 1 lsl 16) ?(drain_every = Wd_sim.Time.ms 250) sched =
+  let trace = Trace.create ~capacity () in
+  Wd_sim.Sched.set_trace sched trace;
+  let r =
+    {
+      rec_sched = sched;
+      rec_trace = trace;
+      rec_cursor = 0;
+      rec_acc = [];
+      rec_dropped = 0;
+    }
+  in
+  ignore
+    (Wd_sim.Sched.spawn ~name:"infer:miner" ~daemon:true sched (fun () ->
+         while true do
+           Wd_sim.Sched.sleep drain_every;
+           drain r
+         done));
+  r
+
+let finish r ~id ~seed =
+  drain r;
+  let events = List.rev r.rec_acc in
+  let span =
+    match events with
+    | [] -> 0L
+    | first :: _ ->
+        Int64.sub (Wd_sim.Sched.now r.rec_sched) first.Trace.at
+  in
+  {
+    ro_id = id;
+    ro_seed = seed;
+    ro_span = span;
+    ro_events = events;
+    ro_dropped = r.rec_dropped;
+  }
+
+(* --- aggregation ------------------------------------------------------- *)
+
+type key_stats = {
+  ks_key : string;
+  ks_target : string;
+  ks_runs : int; (* runs in which the key completed at least once *)
+  ks_count : int; (* completions across all runs *)
+  ks_fails : int;
+  ks_durs : int64 array; (* completed durations, sorted ascending *)
+  ks_max_gap : int64;
+      (* worst start-to-start silence across runs, including the tail to
+         the end of each run — the liveness bound passing runs exhibited *)
+  ks_func : string; (* enclosing function of the first observation *)
+  ks_locks : string list;
+      (* lockset evidence: sync keys in flight in the same task at EVERY
+         observed start of this op, sorted. A common element between two
+         keys proves their mutual exclusion rather than inferring it from
+         an absence of observed overlap. *)
+}
+
+type observations = {
+  obs_runs : int;
+  obs_keys : key_stats list; (* sorted by key *)
+  obs_orders : string list list;
+      (* per run: keys in order of first start — ordering observations *)
+  obs_overlaps : (string * string) list;
+      (* sorted key pairs (a < b), same target, seen in flight concurrently *)
+  obs_events : int;
+  obs_dropped : int;
+}
+
+let target_of_key key =
+  match String.split_on_char ':' key with _ :: t :: _ -> t | _ -> ""
+
+(* Mutable per-key accumulator used only inside [aggregate]. *)
+type acc = {
+  mutable a_runs : int;
+  mutable a_count : int;
+  mutable a_fails : int;
+  mutable a_durs : int64 list;
+  mutable a_max_gap : int64;
+  mutable a_func : string;
+  mutable a_last_run : int; (* run index last counted toward a_runs *)
+  mutable a_locks : string list option;
+      (* intersection of held-lock sets across starts; None = no start yet *)
+}
+
+let is_sync_key key =
+  String.length key >= 5 && String.sub key 0 5 = "sync:"
+
+(* sorted-list intersection *)
+let inter a b = List.filter (fun x -> List.mem x b) a
+
+let aggregate runs =
+  let keys : (string, acc) Hashtbl.t = Hashtbl.create 64 in
+  let overlaps : (string * string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let acc_of key func =
+    match Hashtbl.find_opt keys key with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_runs = 0;
+            a_count = 0;
+            a_fails = 0;
+            a_durs = [];
+            a_max_gap = 0L;
+            a_func = func;
+            a_last_run = -1;
+            a_locks = None;
+          }
+        in
+        Hashtbl.add keys key a;
+        a
+  in
+  let orders = ref [] in
+  let events = ref 0 and dropped = ref 0 in
+  List.iteri
+    (fun run_idx ro ->
+      events := !events + List.length ro.ro_events;
+      dropped := !dropped + ro.ro_dropped;
+      let first_order = ref [] in
+      let seen_first : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+      let last_start : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+      (* per-task stack of in-flight ops (innermost first): a sync key on
+         the stack is a lock this task currently holds or is acquiring *)
+      let inflight : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+      let stack_of task =
+        Option.value ~default:[] (Hashtbl.find_opt inflight task)
+      in
+      let pop task op =
+        let rec drop = function
+          | [] -> []
+          | x :: rest -> if String.equal x op then rest else x :: drop rest
+        in
+        Hashtbl.replace inflight task (drop (stack_of task))
+      in
+      let run_end =
+        match List.rev ro.ro_events with
+        | [] -> 0L
+        | last :: _ -> last.Trace.at
+      in
+      let bump_gap key gap =
+        let a = acc_of key "" in
+        if gap > a.a_max_gap then a.a_max_gap <- gap
+      in
+      List.iter
+        (fun (e : Trace.event) ->
+          match e.Trace.kind with
+          | Trace.Op_start { op; func; _ } ->
+              let a = acc_of op func in
+              if a.a_func = "" then a.a_func <- func;
+              if not (Hashtbl.mem seen_first op) then begin
+                Hashtbl.add seen_first op ();
+                first_order := op :: !first_order
+              end;
+              (match Hashtbl.find_opt last_start op with
+              | Some prev -> bump_gap op (Int64.sub e.Trace.at prev)
+              | None -> ());
+              Hashtbl.replace last_start op e.Trace.at;
+              let stack = stack_of e.Trace.task_id in
+              (* lockset: sync keys this task currently has in flight *)
+              let held = List.sort compare (List.filter is_sync_key stack) in
+              a.a_locks <-
+                Some
+                  (match a.a_locks with
+                  | None -> held
+                  | Some l -> inter l held);
+              (* concurrency: any op of another task in flight on the same
+                 target *)
+              let tgt = target_of_key op in
+              Hashtbl.iter
+                (fun task others ->
+                  if task <> e.Trace.task_id then
+                    List.iter
+                      (fun other ->
+                        if
+                          other <> op
+                          && String.equal (target_of_key other) tgt
+                        then
+                          let pair =
+                            if other < op then (other, op) else (op, other)
+                          in
+                          Hashtbl.replace overlaps pair ())
+                      others)
+                inflight;
+              Hashtbl.replace inflight e.Trace.task_id (op :: stack)
+          | Trace.Op_end { op; dur; _ } ->
+              let a = acc_of op "" in
+              a.a_count <- a.a_count + 1;
+              a.a_durs <- dur :: a.a_durs;
+              if a.a_last_run <> run_idx then begin
+                a.a_last_run <- run_idx;
+                a.a_runs <- a.a_runs + 1
+              end;
+              pop e.Trace.task_id op
+          | Trace.Op_fail { op; _ } ->
+              let a = acc_of op "" in
+              a.a_fails <- a.a_fails + 1;
+              pop e.Trace.task_id op
+          | _ -> ())
+        ro.ro_events;
+      (* tail silence: from the last start of each key to the run's end *)
+      Hashtbl.iter
+        (fun key last -> bump_gap key (Int64.sub run_end last))
+        last_start;
+      orders := List.rev !first_order :: !orders)
+    runs;
+  let obs_keys =
+    Hashtbl.fold
+      (fun key a l ->
+        {
+          ks_key = key;
+          ks_target = target_of_key key;
+          ks_runs = a.a_runs;
+          ks_count = a.a_count;
+          ks_fails = a.a_fails;
+          ks_durs =
+            (let arr = Array.of_list a.a_durs in
+             Array.sort Int64.compare arr;
+             arr);
+          ks_max_gap = a.a_max_gap;
+          ks_func = a.a_func;
+          ks_locks = Option.value ~default:[] a.a_locks;
+        }
+        :: l)
+      keys []
+    |> List.sort (fun a b -> compare a.ks_key b.ks_key)
+  in
+  let obs_overlaps =
+    Hashtbl.fold (fun p () l -> p :: l) overlaps [] |> List.sort compare
+  in
+  {
+    obs_runs = List.length runs;
+    obs_keys;
+    obs_orders = List.rev !orders;
+    obs_overlaps;
+    obs_events = !events;
+    obs_dropped = !dropped;
+  }
+
+let pp_stats ppf ks =
+  Fmt.pf ppf "%-44s runs %d  n %5d  fails %d  max-gap %a" ks.ks_key ks.ks_runs
+    ks.ks_count ks.ks_fails Wd_sim.Time.pp ks.ks_max_gap

@@ -1,0 +1,58 @@
+(** Trace miner (stage 1 of the inferred-checker pipeline): record
+    operation-level trace events from passing runs and aggregate them into
+    per-key timing/failure statistics, first-occurrence orderings and
+    same-target concurrency observations. *)
+
+type run_obs = {
+  ro_id : string;
+  ro_seed : int;
+  ro_span : int64;
+  ro_events : Wd_sim.Trace.event list; (** op events only, in order *)
+  ro_dropped : int;
+}
+
+type recorder
+
+val attach :
+  ?capacity:int -> ?drain_every:int64 -> Wd_sim.Sched.t -> recorder
+(** Install a trace on the scheduler (via {!Wd_sim.Sched.set_trace}) and a
+    daemon that drains it into an unbounded accumulator. Call before
+    booting the system under observation. *)
+
+val finish : recorder -> id:string -> seed:int -> run_obs
+(** Final drain; call after the run's last {!Wd_sim.Sched.run}. *)
+
+type key_stats = {
+  ks_key : string;      (** runtime op key "kind:target:operand-prefix" *)
+  ks_target : string;
+  ks_runs : int;        (** runs in which the key completed at least once *)
+  ks_count : int;       (** completions across all runs *)
+  ks_fails : int;
+  ks_durs : int64 array;  (** completed durations, sorted ascending *)
+  ks_max_gap : int64;
+      (** worst start-to-start silence across runs, including each run's
+          tail — the liveness bound passing runs exhibited *)
+  ks_func : string;     (** enclosing function of the first observation *)
+  ks_locks : string list;
+      (** lockset evidence: sync keys in flight in the same task at every
+          observed start of this op (sorted). A common element between two
+          keys proves mutual exclusion, rather than inferring it from an
+          absence of observed overlap. *)
+}
+
+type observations = {
+  obs_runs : int;
+  obs_keys : key_stats list;            (** sorted by key *)
+  obs_orders : string list list;        (** per run, first-start order *)
+  obs_overlaps : (string * string) list;
+      (** sorted same-target key pairs observed concurrently in flight *)
+  obs_events : int;
+  obs_dropped : int;
+}
+
+val aggregate : run_obs list -> observations
+(** Pure and deterministic: same runs (in the same order) give structurally
+    identical observations. *)
+
+val target_of_key : string -> string
+val pp_stats : Format.formatter -> key_stats -> unit

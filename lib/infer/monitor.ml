@@ -1,0 +1,144 @@
+(* Runtime trace consumer (stage 3a): the live counterpart of the miner.
+   One monitor per booted world owns the scheduler's trace cursor and folds
+   new op events into per-key state that the compiled inferred checkers
+   query: in-flight operations (for envelope hangs), worst completed
+   duration (for fail-slow, latched via max), last-start times (for gap
+   liveness), failure signatures, first occurrences (for ordering) and
+   same-target overlaps (for exclusion).
+
+   Draining is cheap and idempotent between events; every checker calls
+   [drain] before evaluating, so whichever runs first in a tick pays the
+   fold. If events were overwritten between drains (ring overflow), the
+   in-flight table is cleared rather than risk a stale entry surfacing as a
+   phantom hang: monotone counters survive, liveness re-arms. *)
+
+module Trace = Wd_sim.Trace
+
+type key_state = {
+  mutable st_started : int;
+  mutable st_completed : int;
+  mutable st_failed : int;
+  mutable st_first_err : string;
+  mutable st_last_start : int64;
+  mutable st_worst : int64; (* max completed duration *)
+  mutable st_worst_at : int64;
+  mutable st_first_seen : int64;
+  mutable st_inflight : (int * int64 * string) list;
+      (* (task_id, started, func); short: concurrent ops per key are few *)
+}
+
+type t = {
+  sched : Wd_sim.Sched.t;
+  trace : Trace.t;
+  mutable cursor : int;
+  mutable dropped : int;
+  keys : (string, key_state) Hashtbl.t;
+  overlaps : (string * string, int64) Hashtbl.t; (* first overlap instant *)
+}
+
+let create ?(capacity = 1 lsl 16) sched =
+  let trace = Trace.create ~capacity () in
+  Wd_sim.Sched.set_trace sched trace;
+  {
+    sched;
+    trace;
+    cursor = 0;
+    dropped = 0;
+    keys = Hashtbl.create 64;
+    overlaps = Hashtbl.create 16;
+  }
+
+let state t key =
+  match Hashtbl.find_opt t.keys key with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          st_started = 0;
+          st_completed = 0;
+          st_failed = 0;
+          st_first_err = "";
+          st_last_start = -1L;
+          st_worst = 0L;
+          st_worst_at = 0L;
+          st_first_seen = -1L;
+          st_inflight = [];
+        }
+      in
+      Hashtbl.add t.keys key st;
+      st
+
+let drain t =
+  let events, dropped, cursor = Trace.since t.trace t.cursor in
+  t.cursor <- cursor;
+  if dropped > 0 then begin
+    t.dropped <- t.dropped + dropped;
+    (* stale in-flight entries would read as phantom hangs; reset them *)
+    Hashtbl.iter (fun _ st -> st.st_inflight <- []) t.keys
+  end;
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.kind with
+      | Trace.Op_start { op; func; _ } ->
+          let st = state t op in
+          st.st_started <- st.st_started + 1;
+          st.st_last_start <- e.Trace.at;
+          if st.st_first_seen < 0L then st.st_first_seen <- e.Trace.at;
+          (* same-target overlap with any other in-flight key *)
+          let tgt = Mine.target_of_key op in
+          Hashtbl.iter
+            (fun other st' ->
+              if
+                (not (String.equal other op))
+                && String.equal (Mine.target_of_key other) tgt
+                && List.exists (fun (task, _, _) -> task <> e.Trace.task_id)
+                     st'.st_inflight
+              then
+                let pair = if other < op then (other, op) else (op, other) in
+                if not (Hashtbl.mem t.overlaps pair) then
+                  Hashtbl.add t.overlaps pair e.Trace.at)
+            t.keys;
+          st.st_inflight <-
+            (e.Trace.task_id, e.Trace.at, func) :: st.st_inflight
+      | Trace.Op_end { op; dur; _ } ->
+          let st = state t op in
+          st.st_completed <- st.st_completed + 1;
+          st.st_inflight <-
+            List.filter (fun (task, _, _) -> task <> e.Trace.task_id)
+              st.st_inflight;
+          if dur > st.st_worst then begin
+            st.st_worst <- dur;
+            st.st_worst_at <- e.Trace.at
+          end
+      | Trace.Op_fail { op; err; _ } ->
+          let st = state t op in
+          st.st_failed <- st.st_failed + 1;
+          if st.st_first_err = "" then st.st_first_err <- err;
+          st.st_inflight <-
+            List.filter (fun (task, _, _) -> task <> e.Trace.task_id)
+              st.st_inflight
+      | _ -> ())
+    events
+
+(* --- queries (after a drain) ------------------------------------------- *)
+
+let view t key = Hashtbl.find_opt t.keys key
+let seen t key =
+  match view t key with Some st -> st.st_started > 0 | None -> false
+
+let oldest_inflight t key =
+  match view t key with
+  | None | Some { st_inflight = []; _ } -> None
+  | Some st ->
+      Some
+        (List.fold_left
+           (fun ((_, best, _) as acc) ((_, started, _) as e) ->
+             if started < best then e else acc)
+           (List.hd st.st_inflight) (List.tl st.st_inflight))
+
+let overlapped_at t a b =
+  let pair = if a < b then (a, b) else (b, a) in
+  Hashtbl.find_opt t.overlaps pair
+
+let dropped t = t.dropped
+let keys_tracked t = Hashtbl.length t.keys

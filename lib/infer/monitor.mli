@@ -1,0 +1,41 @@
+(** Runtime trace consumer: folds the scheduler's op-level trace events
+    into per-key state that compiled inferred checkers query. Create it
+    before booting the monitored system (it installs the trace); checkers
+    call {!drain} before each evaluation. *)
+
+type key_state = {
+  mutable st_started : int;
+  mutable st_completed : int;
+  mutable st_failed : int;
+  mutable st_first_err : string;
+  mutable st_last_start : int64;
+  mutable st_worst : int64;
+  mutable st_worst_at : int64;
+  mutable st_first_seen : int64;
+  mutable st_inflight : (int * int64 * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> Wd_sim.Sched.t -> t
+(** Installs a fresh trace ring on the scheduler via
+    {!Wd_sim.Sched.set_trace}. *)
+
+val drain : t -> unit
+(** Fold all new trace events into the state. Cheap when nothing new
+    happened; shared by every checker on the same monitor. On ring
+    overflow the in-flight table resets (counters survive) so stale
+    entries can never read as phantom hangs. *)
+
+val view : t -> string -> key_state option
+val seen : t -> string -> bool
+
+val oldest_inflight : t -> string -> (int * int64 * string) option
+(** Longest-running in-flight occurrence: [(task_id, started, func)]. *)
+
+val overlapped_at : t -> string -> string -> int64 option
+(** First instant the two keys were observed concurrently in flight on the
+    same target, if ever. *)
+
+val dropped : t -> int
+val keys_tracked : t -> int

@@ -310,14 +310,49 @@ let lock_desc_memo t lockname =
       Hashtbl.add t.lock_descs lockname d;
       d
 
+(* Runtime analogue of [Wd_analysis.Vulnerable]'s op key: the first string
+   operand truncated after its first path segment, so mined trace keys line
+   up with the statically derived "kind:target:operand-prefix" families.
+   Only computed when the run is traced and the node executes in Main mode
+   (checker-mode mimics must not pollute the passing-run observations). *)
+let trace_key t ~opname ~target vargs =
+  if t.mode <> Main then None
+  else
+    match Wd_sim.Sched.trace (Wd_sim.Sched.get ()) with
+    | None -> None
+    | Some _ ->
+        let prefix =
+          match vargs with
+          | VStr s :: _ -> (
+              match String.index_opt s '/' with
+              | Some i -> String.sub s 0 (i + 1)
+              | None -> s)
+          | _ -> ""
+        in
+        Some (opname ^ ":" ^ target ^ ":" ^ prefix)
+
+let trace_err = function
+  | Violation { vkind; _ } -> "violation:" ^ vkind
+  | Wd_env.Disk.Io_error _ -> "io_error"
+  | Wd_env.Net.Net_error _ -> "net_error"
+  | Out_of_memory -> "out_of_memory"
+  | e -> Printexc.to_string e
+
 (* Record op start/end around an effectful action so the watchdog driver can
    pinpoint an in-flight hang and track slow operations. [is_lock] routes
    the elapsed time to the lock-wait counter (excluded from slowness
-   assessment); the call site knows, so no description sniffing. *)
-let with_probe t loc ~is_lock desc f =
+   assessment); the call site knows, so no description sniffing. [tkey],
+   when present, additionally emits Op_start/Op_end/Op_fail trace events
+   keyed by it — the raw material for trace-inferred checkers. *)
+let with_probe t loc ~is_lock ?tkey desc f =
   let s = Wd_sim.Sched.get () in
   let started = Wd_sim.Sched.now s in
   t.probe.current_op <- Some (loc, desc, started);
+  (match tkey with
+  | Some op ->
+      Wd_sim.Sched.trace_emit s
+        (Wd_sim.Trace.Op_start { op; node = t.node; func = Loc.func loc })
+  | None -> ());
   let finish () =
     let elapsed = Int64.sub (Wd_sim.Sched.now s) started in
     t.probe.current_op <- None;
@@ -325,24 +360,38 @@ let with_probe t loc ~is_lock desc f =
     t.probe.ops_executed <- t.probe.ops_executed + 1;
     (if is_lock then t.probe.lock_ns <- Int64.add t.probe.lock_ns elapsed
      else t.probe.op_ns <- Int64.add t.probe.op_ns elapsed);
-    match t.probe.slowest_op with
+    (match t.probe.slowest_op with
     | Some (_, worst) when worst >= elapsed -> ()
-    | Some _ | None -> t.probe.slowest_op <- Some (loc, elapsed)
+    | Some _ | None -> t.probe.slowest_op <- Some (loc, elapsed));
+    elapsed
   in
   match f () with
   | v ->
-      finish ();
+      let elapsed = finish () in
+      (match tkey with
+      | Some op ->
+          Wd_sim.Sched.trace_emit s
+            (Wd_sim.Trace.Op_end
+               { op; node = t.node; func = Loc.func loc; dur = elapsed })
+      | None -> ());
       v
   | exception e ->
       (* Leave [current_op] set on failure: it is the pinpoint. *)
       t.probe.last_op <- Some loc;
+      (match tkey with
+      | Some op ->
+          Wd_sim.Sched.trace_emit s
+            (Wd_sim.Trace.Op_fail
+               { op; node = t.node; func = Loc.func loc; err = trace_err e })
+      | None -> ());
       raise e
 
 let scratch t path = t.scratch_prefix ^ path
 
 (* Effectful op over pre-evaluated arguments; shared by both engines. *)
 let exec_op_v t loc ~desc ~kind ~target vargs =
-  with_probe t loc ~is_lock:false desc (fun () ->
+  let tkey = trace_key t ~opname:(op_kind_name kind) ~target vargs in
+  with_probe t loc ~is_lock:false ?tkey desc (fun () ->
       match (kind, vargs) with
       | Disk_write, [ p; data ] ->
           let d = Runtime.disk t.res target in
@@ -484,7 +533,9 @@ let exec_sync_v t loc ~lock:lockname ~desc body =
   let lock = Runtime.lock t.res lockname in
   match t.mode with
   | Main -> (
-      with_probe t loc ~is_lock:true desc (fun () -> Wd_sim.Smutex.lock lock);
+      let tkey = trace_key t ~opname:"sync" ~target:lockname [] in
+      with_probe t loc ~is_lock:true ?tkey desc (fun () ->
+          Wd_sim.Smutex.lock lock);
       let release () = Wd_sim.Smutex.unlock lock in
       match body () with
       | () -> release ()

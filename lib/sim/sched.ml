@@ -103,6 +103,17 @@ let emit s t kind =
   | None -> ()
   | Some tr -> Trace.record tr ~at:s.now ~task_id:t.id ~task_name:t.name kind
 
+(* Record an event attributed to the current task (the interpreter uses this
+   for operation-level events). No-op when tracing is off. *)
+let trace_emit s kind =
+  match s.trace with
+  | None -> ()
+  | Some tr ->
+      let task_id, task_name =
+        match s.current with Some t -> (t.id, t.name) | None -> (0, "<sched>")
+      in
+      Trace.record tr ~at:s.now ~task_id ~task_name kind
+
 let finish s t status =
   emit s t
     (Trace.Finished

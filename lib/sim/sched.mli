@@ -80,4 +80,9 @@ val set_trace : t -> Trace.t -> unit
 
 val trace : t -> Trace.t option
 
+val trace_emit : t -> Trace.kind -> unit
+(** Record an event attributed to the currently running task; no-op when
+    tracing is off. The interpreter uses this to append operation-level
+    events ({!Trace.Op_start} etc.) into the same timeline. *)
+
 val pp_task : Format.formatter -> task -> unit

@@ -1,13 +1,19 @@
 (* Execution tracing: a bounded ring buffer of scheduler events (spawns,
-   blocks with reasons, wakes, exits). Opt-in via [Sched.set_trace]; the
-   last events before a detection are the postmortem timeline a report
-   invites you to read. *)
+   blocks with reasons, wakes, exits) and — when the interpreter runs with
+   tracing enabled — operation-level events (start/end/fail of environment
+   operations, keyed "kind:target:operand-prefix"). Opt-in via
+   [Sched.set_trace]; the last events before a detection are the postmortem
+   timeline a report invites you to read, and the op events are the raw
+   material the trace miner turns into inferred checkers. *)
 
 type kind =
   | Spawned
   | Blocked of string  (* the suspend reason *)
   | Resumed
   | Finished of string (* "exited" / "failed: ..." / "killed" *)
+  | Op_start of { op : string; node : string; func : string }
+  | Op_end of { op : string; node : string; func : string; dur : int64 }
+  | Op_fail of { op : string; node : string; func : string; err : string }
 
 type event = { at : int64; task_id : int; task_name : string; kind : kind }
 
@@ -38,11 +44,27 @@ let recent t n =
       | Some e -> e
       | None -> assert false)
 
+(* Events with global index >= [cursor], oldest first, and the new cursor
+   (= total). Events that already fell off the ring are lost — the second
+   component counts them so an incremental consumer can tell. *)
+let since t cursor =
+  let cursor = max 0 cursor in
+  let available = min t.total t.capacity in
+  let oldest_kept = t.total - available in
+  let dropped = max 0 (oldest_kept - cursor) in
+  let n = max 0 (t.total - max cursor oldest_kept) in
+  (recent t n, dropped, t.total)
+
 let kind_name = function
   | Spawned -> "spawned"
   | Blocked reason -> "blocked: " ^ reason
   | Resumed -> "resumed"
   | Finished how -> "finished: " ^ how
+  | Op_start { op; node; _ } -> Printf.sprintf "op-start %s @%s" op node
+  | Op_end { op; node; dur; _ } ->
+      Printf.sprintf "op-end %s @%s (%Ldns)" op node dur
+  | Op_fail { op; node; err; _ } ->
+      Printf.sprintf "op-fail %s @%s: %s" op node err
 
 let pp_event ppf e =
   Fmt.pf ppf "[%a] #%d %-24s %s" Time.pp e.at e.task_id e.task_name

@@ -1,12 +1,25 @@
 (** Execution tracing: a bounded ring buffer of scheduler events, opt-in
     via {!Sched.set_trace}. The recent window before a watchdog detection
-    is a ready-made postmortem timeline. *)
+    is a ready-made postmortem timeline.
+
+    Besides scheduler events, Main-mode interpreters emit operation-level
+    events ([Op_start]/[Op_end]/[Op_fail]) for every environment operation
+    and lock acquisition, keyed ["kind:target:operand-prefix"]. These are
+    the observations the trace miner ({!Wd_infer}) turns into timing
+    envelopes and ordering invariants. *)
 
 type kind =
   | Spawned
   | Blocked of string  (** the suspend reason *)
   | Resumed
   | Finished of string
+  | Op_start of { op : string; node : string; func : string }
+      (** operation began; [op] is the runtime key
+          ["kind:target:operand-prefix"], [func] the enclosing function *)
+  | Op_end of { op : string; node : string; func : string; dur : int64 }
+      (** operation completed after [dur] virtual ns *)
+  | Op_fail of { op : string; node : string; func : string; err : string }
+      (** operation raised; the enclosing task may still handle it *)
 
 type event = { at : int64; task_id : int; task_name : string; kind : kind }
 
@@ -19,5 +32,11 @@ val total : t -> int
 val recent : t -> int -> event list
 (** Most recent [n] events, oldest first. *)
 
+val since : t -> int -> event list * int * int
+(** [since t cursor] = events with global index >= [cursor] that are still
+    in the ring (oldest first), how many were already overwritten, and the
+    new cursor to pass next time (= {!total}). *)
+
+val kind_name : kind -> string
 val pp_event : Format.formatter -> event -> unit
 val dump : ?n:int -> Format.formatter -> t -> unit

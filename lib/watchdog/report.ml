@@ -156,11 +156,27 @@ let dec_num c ~stop ~of_string ~what =
   | Some n -> n
   | None -> fail ("bad " ^ what ^ " " ^ digits)
 
-let dec_int c = dec_num c ~stop:';' ~of_string:int_of_string_opt ~what:"int"
-let dec_i64 c = dec_num c ~stop:';' ~of_string:Int64.of_string_opt ~what:"int64"
+(* Canonical decimal only: [int_of_string_opt] also accepts hex/octal/
+   binary prefixes, '_' separators and a leading '+', which would let two
+   distinct byte strings decode to equal reports — breaking the
+   injectivity the evidence digest layer relies on. Decoding then
+   re-rendering pins the accepted form to exactly what the encoder
+   emits. *)
+let canonical_int s =
+  match int_of_string_opt s with
+  | Some n when String.equal (string_of_int n) s -> Some n
+  | _ -> None
+
+let canonical_i64 s =
+  match Int64.of_string_opt s with
+  | Some n when String.equal (Int64.to_string n) s -> Some n
+  | _ -> None
+
+let dec_int c = dec_num c ~stop:';' ~of_string:canonical_int ~what:"int"
+let dec_i64 c = dec_num c ~stop:';' ~of_string:canonical_i64 ~what:"int64"
 
 let dec_str c =
-  let n = dec_num c ~stop:':' ~of_string:int_of_string_opt ~what:"length" in
+  let n = dec_num c ~stop:':' ~of_string:canonical_int ~what:"length" in
   if n < 0 || c.pos + n > String.length c.s then fail "bad string length";
   let s = String.sub c.s c.pos n in
   c.pos <- c.pos + n;

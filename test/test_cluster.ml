@@ -198,6 +198,18 @@ let test_e17_oracle_at_jobs_1_and_n () =
   check_int "0/8 false indictments" 0 s.M.fs_false_indict;
   (* every node indictment now carries recoverable evidence: MTTR present *)
   check "fleet MTTR measured" true (s.M.fs_mttr.M.ls_count = 4);
+  (* the evidence behind those verdicts decodes and attributes to the
+     mimic family — and the quiet cells contribute no family evidence *)
+  Alcotest.(check (list string))
+    "family order" M.checker_families
+    (List.map (fun f -> f.M.fam_family) s.M.fs_families);
+  let fam name =
+    List.find (fun f -> f.M.fam_family = name) s.M.fs_families
+  in
+  check "mimic evidence backs the node verdicts" true
+    ((fam "mimic").M.fam_indictments >= 4);
+  check "no family fires on quiet cells" true
+    (List.for_all (fun f -> f.M.fam_false_positives = 0) s.M.fs_families);
   (* the flap cells ride along in the extended grid and stay quiet *)
   let flap =
     List.filter (fun r -> r.Sim.cr_csid = "fleet-link-flap") r1

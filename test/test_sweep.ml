@@ -103,6 +103,38 @@ let test_parallel_byte_identity () =
   check_int "unexpected detections" 0 s.Sweep.s_unexpected_detect;
   check_int "false alarms" 0 s.Sweep.s_false_alarms
 
+(* --- the 1000-world sweep's single honest miss, pinned by name ---
+
+   The full seed-42 E20 grid grades 999/1000 worlds against their oracles;
+   the one miss is this kvs-deadlock world. Diagnosis (see also
+   test_infer's race test): at seed 15233 the AB/BA lock collision only
+   wedges ~18s after injection — 3s past the world's 15s observe window —
+   so the miss is a window long-tail, not a detector gap. If this test
+   starts failing because the world is suddenly detected, the interleaving
+   or the detectors changed: re-run the full sweep (repro faultspace) and
+   move this pin to whatever the new aggregate says. *)
+
+let missed_world =
+  Sweep.Scenario_world
+    {
+      sw_sid = "kvs-deadlock";
+      sw_mode = Wd_harness.Systems.Wd_generated;
+      sw_seed = 15233;
+      sw_warmup = Wd_sim.Time.sec 8;
+      sw_observe = Wd_sim.Time.sec 15;
+    }
+
+let test_pinned_e20_miss () =
+  Alcotest.(check string)
+    "world identity"
+    "scenario:kvs-deadlock:generated:seed=15233:w=8s:o=15s"
+    (Sweep.world_id missed_world);
+  let o = Sweep.run_world missed_world in
+  check "oracle expects a detection" true o.Sweep.o_expect_detect;
+  check "the window long-tail still escapes" false o.Sweep.o_detected;
+  check_int "and without false alarms" 0 o.Sweep.o_false_alarms;
+  check "graded as a miss" false o.Sweep.o_ok
+
 let () =
   Alcotest.run "wd_sweep"
     [
@@ -117,5 +149,7 @@ let () =
         [
           Alcotest.test_case "parallel byte-identity + pinned aggregate"
             `Slow test_parallel_byte_identity;
+          Alcotest.test_case "pinned E20 long-tail miss" `Quick
+            test_pinned_e20_miss;
         ] );
     ]

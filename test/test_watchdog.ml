@@ -355,6 +355,134 @@ let test_wire_validated_and_errors () =
        (Report.to_wire (Report.make ~at:1L ~checker_id:"t" ~fkind:Report.Slow ())
        ^ "x"))
 
+(* --- wire codec properties: round-trip and mutation fuzz ---
+
+   The fleet plane ships reports as bytes and corroborates them by digest,
+   so the codec must be byte-stable (encode is a canonical form) and
+   injective (no two distinct wires decode to equal reports). Random
+   reports check the first; random byte mutations check that the decoder
+   either rejects or decodes to a report whose re-encoding reproduces the
+   mutated bytes exactly — never a silent mis-decode. *)
+
+let gen_wire_str = QCheck.Gen.(string_size ~gen:char (int_bound 12))
+
+let gen_wire_value =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return VUnit;
+              map (fun b -> VBool b) bool;
+              map (fun i -> VInt i) int;
+              map (fun s -> VStr s) gen_wire_str;
+              map (fun s -> VBytes (Bytes.of_string s)) gen_wire_str;
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          frequency
+            [
+              (3, leaf);
+              ( 1,
+                map
+                  (fun vs -> VList vs)
+                  (list_size (int_bound 3) (self (n / 2))) );
+              (1, map2 (fun a b -> VPair (a, b)) (self (n / 2)) (self (n / 2)));
+              ( 1,
+                map
+                  (fun kvs -> VMap kvs)
+                  (list_size (int_bound 3) (pair gen_wire_str (self (n / 2))))
+              );
+            ]))
+
+let gen_wire_fkind =
+  QCheck.Gen.(
+    oneof
+      [
+        return Report.Hang;
+        return Report.Slow;
+        map (fun s -> Report.Error_sig s) gen_wire_str;
+        map (fun s -> Report.Assert_fail s) gen_wire_str;
+        map (fun s -> Report.Checker_crash s) gen_wire_str;
+      ])
+
+let gen_wire_report =
+  QCheck.Gen.(
+    map
+      (fun ((at, checker_id, fkind), (loc, op_desc, payload, validated)) ->
+        let r =
+          Report.make ~at:(Int64.of_int at) ~checker_id ~fkind
+            ?loc:
+              (Option.map
+                 (fun (func, path, uid) -> Wd_ir.Loc.make ~func ~path ~uid)
+                 loc)
+            ~op_desc ~payload ()
+        in
+        r.Report.validated <- validated;
+        r)
+      (pair
+         (triple int gen_wire_str gen_wire_fkind)
+         (quad
+            (opt (triple gen_wire_str (list_size (int_bound 4) int) int))
+            gen_wire_str
+            (list_size (int_bound 4) (pair gen_wire_str gen_wire_value))
+            (oneofl [ None; Some true; Some false ]))))
+
+let arb_wire_report = QCheck.make gen_wire_report
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"random reports round-trip byte-stably" ~count:500
+    arb_wire_report (fun r ->
+      let wire = Report.to_wire r in
+      match Report.of_wire wire with
+      | Error _ -> false
+      | Ok r' -> r' = r && String.equal (Report.to_wire r') wire)
+
+let prop_wire_mutation =
+  QCheck.Test.make
+    ~name:"byte mutations rejected or decode to exactly the mutated bytes"
+    ~count:2000
+    QCheck.(
+      make
+        Gen.(triple gen_wire_report (int_bound 4096) (map Char.chr (int_bound 255))))
+    (fun (r, pos, byte) ->
+      let wire = Bytes.of_string (Report.to_wire r) in
+      Bytes.set wire (pos mod Bytes.length wire) byte;
+      let mutated = Bytes.to_string wire in
+      match Report.of_wire mutated with
+      | Error _ -> true
+      | Ok r' -> String.equal (Report.to_wire r') mutated)
+
+let prop_wire_truncation =
+  QCheck.Test.make ~name:"every proper prefix is rejected" ~count:200
+    QCheck.(make Gen.(pair gen_wire_report (int_bound 4096)))
+    (fun (r, n) ->
+      let wire = Report.to_wire r in
+      let n = n mod String.length wire in
+      match Report.of_wire (String.sub wire 0 n) with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let test_wire_canonical_numbers () =
+  (* the decoder accepts only the encoder's canonical decimal form: OCaml's
+     permissive int parsing (hex, octal, '_' separators, leading '+'/'0')
+     would make distinct wires decode to equal reports *)
+  let r = Report.make ~at:16L ~checker_id:"n" ~fkind:Report.Hang () in
+  let wire = Report.to_wire r in
+  check "canonical form decodes" true
+    (match Report.of_wire wire with Ok _ -> true | Error _ -> false);
+  let reject variant =
+    (* the encoded [at] is the first field after the magic: "WDR1|16;" *)
+    let mutated =
+      "WDR1|" ^ variant
+      ^ String.sub wire 8 (String.length wire - 8)
+    in
+    check (variant ^ " rejected") true
+      (match Report.of_wire mutated with Ok _ -> false | Error _ -> true)
+  in
+  List.iter reject [ "0x10;"; "0o20;"; "0b10000;"; "1_6;"; "+16;"; "016;" ]
+
 let () =
   Alcotest.run "wd_watchdog"
     [
@@ -367,6 +495,11 @@ let () =
             test_wire_every_value_shape;
           Alcotest.test_case "validated + malformed input" `Quick
             test_wire_validated_and_errors;
+          Alcotest.test_case "canonical decimals only" `Quick
+            test_wire_canonical_numbers;
+          QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_wire_mutation;
+          QCheck_alcotest.to_alcotest prop_wire_truncation;
         ] );
       ( "wcontext",
         [
