@@ -205,12 +205,17 @@ let interp_bench ~engine prog fname nv =
   let (), secs = wall (fun () -> ignore (Sched.run s)) in
   (Wd_ir.Interp.stmts_executed main, secs)
 
-(* (stmt_loop stmts, stmt secs, call_loop calls, call secs) for one engine. *)
+(* (stmt_loop stmts, stmt secs, call_loop calls, call_loop stmts, call
+   secs) for one engine. The call loop also reports statement throughput —
+   each iteration is a handful of statements around the call, so its
+   stmts/s is the "statements with call overhead in the mix" number. *)
 let interp_bench_engine engine =
   let stmts, stmt_s = interp_bench ~engine interp_prog "sum_to" 100_000 in
   let calls = 30_000 in
-  let _, call_s = interp_bench ~engine interp_call_prog "call_loop" calls in
-  (stmts, stmt_s, calls, call_s)
+  let call_stmts, call_s =
+    interp_bench ~engine interp_call_prog "call_loop" calls
+  in
+  (stmts, stmt_s, calls, call_stmts, call_s)
 
 let per_s n secs = float_of_int n /. Float.max 1e-9 secs
 
@@ -323,18 +328,38 @@ let run_json_bench ~jobs_n () =
   let _, hit_s = wall (fun () -> ignore (Generate.analyze_cached zk_prog)) in
   (* interpreter micro-benches, one row per engine: straight-line
      statements and call-heavy *)
-  let c_stmts, c_stmt_s, c_calls, c_call_s = interp_bench_engine `Compiled in
-  let t_stmts, t_stmt_s, t_calls, t_call_s = interp_bench_engine `Treewalk in
+  let c_stmts, c_stmt_s, c_calls, c_cstmts, c_call_s =
+    interp_bench_engine `Compiled
+  in
+  let t_stmts, t_stmt_s, t_calls, t_cstmts, t_call_s =
+    interp_bench_engine `Treewalk
+  in
   let stmt_speedup = per_s c_stmts c_stmt_s /. per_s t_stmts t_stmt_s in
   let call_speedup = per_s c_calls c_call_s /. per_s t_calls t_call_s in
+  (* heavy-traffic load plane (E22): each workload at >= 10^6 completed
+     requests across its deployment rows, sized so the zkmini/cstore
+     totals clear the bar with the detection runs included *)
+  let module Loadgen = Wd_harness.Loadgen in
+  let load_requests = 350_000 in
+  let load, load_s =
+    wall (fun () -> Experiments.e22_run ~requests:load_requests ())
+  in
   let buf = Buffer.create 1024 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let rate (hits, misses) =
     float_of_int hits /. Float.max 1. (float_of_int (hits + misses))
   in
   bpf "{\n";
-  bpf "  \"schema\": \"wd-bench-harness/v4\",\n";
-  bpf "  \"host\": { \"recommended_domains\": %d },\n" recommended;
+  bpf "  \"schema\": \"wd-bench-harness/v5\",\n";
+  let gc = Gc.get () in
+  bpf
+    "  \"host\": { \"recommended_domains\": %d, \"gc\": { \
+     \"minor_heap_words\": %d, \"space_overhead\": %d, \"wd_minor_heap\": %s \
+     } },\n"
+    recommended gc.Gc.minor_heap_size gc.Gc.space_overhead
+    (match Wd_parallel.Pool.minor_heap_words () with
+    | Some w -> string_of_int w
+    | None -> "null");
   bpf "  \"campaign_e2\": {\n";
   bpf "    \"scenarios\": %d,\n" (List.length cells);
   bpf "    \"jobs_curve\": [\n";
@@ -489,10 +514,49 @@ let run_json_bench ~jobs_n () =
     race.Experiments.e21_deploys;
   bpf "    ]\n";
   bpf "  },\n";
+  (* E22 rows: heavy-traffic load per workload and deployment; requests,
+     accuracy, virtual-time throughput/percentiles (host-independent), the
+     watchdog's sim-event overhead and latency inflation vs the wd-off row,
+     and detection latency of a mid-load fault *)
+  bpf "  \"load\": {\n";
+  bpf "    \"requests_per_row\": %d,\n" load_requests;
+  bpf "    \"total_requests\": %d,\n" load.Experiments.e22_total_requests;
+  bpf "    \"wall_s\": %.1f,\n" load_s;
+  bpf "    \"workloads\": [\n";
+  List.iteri
+    (fun i (w : Experiments.e22_workload) ->
+      bpf "      { \"label\": \"%s\", \"gen\": \"%s\", \"requests\": %d,\n"
+        w.Experiments.e22w_label w.Experiments.e22w_gen
+        w.Experiments.e22w_requests;
+      bpf "        \"rows\": [\n";
+      List.iteri
+        (fun j (row : Experiments.e22_row) ->
+          let l = row.Experiments.e22r_load in
+          bpf
+            "          { \"deploy\": \"%s\", \"requests\": %d, \"ok_ratio\": \
+             %.4f, \"shed\": %d, \"throughput_rps\": %.0f, \"p50_us\": %.1f, \
+             \"p99_us\": %.1f, \"sim_events\": %d, \"overhead_pct\": %.2f, \
+             \"p50_x\": %.3f, \"p99_x\": %.3f, \"detect_ms\": %.1f }%s\n"
+            row.Experiments.e22r_deploy l.Loadgen.lr_requests
+            (Loadgen.success_ratio l) l.Loadgen.lr_shed
+            (Loadgen.throughput_rps l)
+            (Int64.to_float l.Loadgen.lr_p50 /. 1e3)
+            (Int64.to_float l.Loadgen.lr_p99 /. 1e3)
+            row.Experiments.e22r_sim_events row.Experiments.e22r_overhead_pct
+            row.Experiments.e22r_p50_x row.Experiments.e22r_p99_x
+            (ms row.Experiments.e22r_detect)
+            (if j = List.length w.Experiments.e22w_rows - 1 then "" else ","))
+        w.Experiments.e22w_rows;
+      bpf "        ] }%s\n"
+        (if i = List.length load.Experiments.e22_workloads - 1 then ""
+         else ","))
+    load.Experiments.e22_workloads;
+  bpf "    ]\n";
+  bpf "  },\n";
   bpf "  \"analysis_cache\": { \"cold_ms\": %.3f, \"hit_ms\": %.4f },\n"
     (1e3 *. cold_s) (1e3 *. hit_s);
   bpf "  \"interp\": {\n";
-  let engine_rows label stmts stmt_s calls call_s comma =
+  let engine_rows label stmts stmt_s calls cstmts call_s comma =
     bpf "    \"%s\": {\n" label;
     bpf
       "      \"stmt_loop\": { \"stmts\": %d, \"wall_s\": %.3f, \
@@ -500,12 +564,18 @@ let run_json_bench ~jobs_n () =
       stmts stmt_s (per_s stmts stmt_s);
     bpf
       "      \"call_loop\": { \"calls\": %d, \"wall_s\": %.3f, \
-       \"calls_per_s\": %.0f }\n"
-      calls call_s (per_s calls call_s);
+       \"calls_per_s\": %.0f, \"stmts\": %d, \"stmts_per_s\": %.0f },\n"
+      calls call_s (per_s calls call_s) cstmts (per_s cstmts call_s);
+    let agg_stmts = stmts + cstmts and agg_s = stmt_s +. call_s in
+    bpf
+      "      \"aggregate\": { \"stmts\": %d, \"wall_s\": %.3f, \
+       \"stmts_per_s\": %.0f, \"pct_of_1e8_target\": %.1f }\n"
+      agg_stmts agg_s (per_s agg_stmts agg_s)
+      (100. *. per_s agg_stmts agg_s /. 1e8);
     bpf "    }%s\n" comma
   in
-  engine_rows "compiled" c_stmts c_stmt_s c_calls c_call_s ",";
-  engine_rows "treewalk" t_stmts t_stmt_s t_calls t_call_s ",";
+  engine_rows "compiled" c_stmts c_stmt_s c_calls c_cstmts c_call_s ",";
+  engine_rows "treewalk" t_stmts t_stmt_s t_calls t_cstmts t_call_s ",";
   bpf "    \"engine_speedup\": { \"stmt_loop\": %.2f, \"call_loop\": %.2f }\n"
     stmt_speedup call_speedup;
   bpf "  }\n";
@@ -542,7 +612,81 @@ let run_json_bench ~jobs_n () =
   then begin
     prerr_endline "ERROR: inferred-only coverage fell below half the catalog";
     exit 1
-  end
+  end;
+  (* jobs-scaling gate: any campaign point that actually got >= 2 domains
+     must show real speedup over the width-1 run; on a single-core host
+     every point is effective width 1 and the gate is vacuous *)
+  List.iter
+    (fun (j, _, secs, _, _) ->
+      if effective j >= 2 && secs1 /. Float.max 1e-9 secs < 1.2 then begin
+        Printf.eprintf
+          "ERROR: campaign jobs curve at effective width %d speedup %.2f < \
+           1.2\n"
+          (effective j)
+          (secs1 /. Float.max 1e-9 secs);
+        exit 1
+      end)
+    curve;
+  (* load-plane gates: the gated rows of the v5 schema. Single-node
+     workloads must field all three deployments at >= 10^6 completed
+     requests with a clean oracle (every request answered, nothing shed)
+     and a measured detection latency under load; the fleet row must be
+     present and clean. *)
+  let load_fail msg =
+    prerr_endline ("ERROR: load gate: " ^ msg);
+    exit 1
+  in
+  let check_row ~wl ~need_detect (row : Experiments.e22_row) =
+    let l = row.Experiments.e22r_load in
+    if Loadgen.success_ratio l < 0.99 then
+      load_fail
+        (Printf.sprintf "%s/%s ok ratio %.4f < 0.99" wl
+           row.Experiments.e22r_deploy (Loadgen.success_ratio l));
+    if l.Loadgen.lr_shed > 0 then
+      load_fail
+        (Printf.sprintf "%s/%s shed %d requests" wl row.Experiments.e22r_deploy
+           l.Loadgen.lr_shed);
+    if need_detect && row.Experiments.e22r_detect = None then
+      load_fail
+        (Printf.sprintf "%s/%s did not detect the mid-load fault" wl
+           row.Experiments.e22r_deploy)
+  in
+  List.iter
+    (fun wl ->
+      match
+        List.find_opt
+          (fun (w : Experiments.e22_workload) -> w.Experiments.e22w_label = wl)
+          load.Experiments.e22_workloads
+      with
+      | None -> load_fail (wl ^ " workload row missing")
+      | Some w ->
+          if w.Experiments.e22w_requests < 1_000_000 then
+            load_fail
+              (Printf.sprintf "%s completed %d requests < 1e6" wl
+                 w.Experiments.e22w_requests);
+          List.iter
+            (fun deploy ->
+              match
+                List.find_opt
+                  (fun (r : Experiments.e22_row) ->
+                    r.Experiments.e22r_deploy = deploy)
+                  w.Experiments.e22w_rows
+              with
+              | None -> load_fail (wl ^ "/" ^ deploy ^ " row missing")
+              | Some row ->
+                  check_row ~wl ~need_detect:(deploy <> "wd-off") row)
+            [ "wd-off"; "wd-on"; "inferred-on" ])
+    [ "zkmini"; "cstore" ];
+  (match
+     List.find_opt
+       (fun (w : Experiments.e22_workload) ->
+         w.Experiments.e22w_gen = "fleet")
+       load.Experiments.e22_workloads
+   with
+  | None -> load_fail "fleet workload row missing"
+  | Some w ->
+      List.iter (check_row ~wl:w.Experiments.e22w_label ~need_detect:false)
+        w.Experiments.e22w_rows)
 
 let () =
   let argv = Array.to_list Sys.argv in

@@ -47,7 +47,8 @@ let list_cmd =
 let experiment_cmds =
   List.filter_map
     (fun (ename, _) ->
-      if ename = "faultspace" then None (* dedicated command below: --worlds *)
+      if ename = "faultspace" || ename = "load" then
+        None (* dedicated commands below: --worlds / --requests *)
       else
         let doc = Printf.sprintf "Run experiment %s." ename in
         let term =
@@ -86,6 +87,38 @@ let faultspace_cmd =
   Cmd.v
     (Cmd.info "faultspace" ~doc)
     Term.(const run $ worlds_arg $ jobs_arg $ seed_arg $ engine_arg)
+
+let load_cmd =
+  let doc =
+    "Run experiment load (E22): open/closed-loop heavy-traffic load against \
+     single nodes and a fleet, watchdog-on vs -off vs inferred-on, with \
+     detection latency under load."
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int Wd_harness.Experiments.e22_default_requests
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Request budget per deployment row of each workload (default \
+             $(docv)=60000).")
+  in
+  let run requests jobs seed engine =
+    apply_jobs jobs;
+    apply_seed seed;
+    apply_engine engine;
+    if requests <= 0 then begin
+      Fmt.epr "--requests must be positive@.";
+      1
+    end
+    else begin
+      print_string (Wd_harness.Experiments.e22_text ~requests ());
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc)
+    Term.(const run $ requests_arg $ jobs_arg $ seed_arg $ engine_arg)
 
 let all_cmd =
   let doc = "Run every experiment." in
@@ -221,4 +254,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           (list_cmd :: all_cmd :: scenario_cmd :: checkers_cmd
-           :: faultspace_cmd :: experiment_cmds)))
+           :: faultspace_cmd :: load_cmd :: experiment_cmds)))

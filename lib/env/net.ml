@@ -94,7 +94,8 @@ let send ?site_dst ?(size = 0) n ~src ~dst payload =
   let s = Wd_sim.Sched.get () in
   let now = Wd_sim.Sched.now s in
   let site =
-    Fmt.str "net:%s:send:%s:%s" n.name src (Option.value site_dst ~default:dst)
+    "net:" ^ n.name ^ ":send:" ^ src ^ ":"
+    ^ Option.value site_dst ~default:dst
   in
   let behaviours = Faultreg.consult n.reg ~site ~now in
   (* Sender-side consequences: hang and error block/fail the caller. *)

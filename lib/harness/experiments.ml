@@ -1745,6 +1745,297 @@ let e21_text () =
      mimic generation keeps its pinpointing edge; combined, the two are\n\
      complementary at a few percent extra sim events.\n"
 
+(* ------------------------------------------------------------------ *)
+(* E22 — watchdog overhead under heavy traffic. The load plane drives  *)
+(* each workload at 10^5..10^6+ requests per deployment and compares   *)
+(* watchdog-on / watchdog-off / inferred-on on the same virtual world: *)
+(* overhead is sim-event inflation (work the watchdog adds), latency   *)
+(* impact is the p50/p99 ratio against the bare run, and detection     *)
+(* latency is measured by injecting a catalog fault mid-load.          *)
+(* ------------------------------------------------------------------ *)
+
+type e22_row = {
+  e22r_deploy : string;  (** "wd-off" | "wd-on" | "inferred-on" *)
+  e22r_load : Loadgen.result;
+  e22r_sim_events : int;
+  e22r_overhead_pct : float;  (** sim-event inflation vs the wd-off row *)
+  e22r_p50_x : float;  (** p50 latency ratio vs the wd-off row *)
+  e22r_p99_x : float;
+  e22r_detect : int64 option;
+      (** detection latency under load (separate injected run); [None] for
+          deployments with nothing to detect with, or when undetected *)
+}
+
+type e22_workload = {
+  e22w_label : string;
+  e22w_gen : string;  (** generator kind: "closed" | "open" | "fleet" *)
+  e22w_requests : int;  (** completed requests, all rows + injected runs *)
+  e22w_rows : e22_row list;
+}
+
+type e22_result = {
+  e22_workloads : e22_workload list;
+  e22_total_requests : int;
+}
+
+(* deployment label, watchdog mode, attach the inferred generation *)
+let e22_deploy_specs =
+  [
+    ("wd-off", Systems.Wd_none, false);
+    ("wd-on", Systems.Wd_generated, false);
+    ("inferred-on", Systems.Wd_none, true);
+  ]
+
+let e22_boot ~sched ~mode ~infer system =
+  let reg = Wd_env.Faultreg.create () in
+  (* monitor before boot: startup ops are part of its ordering state,
+     exactly as during mining (same rule as Campaign.run_raw) *)
+  let monitor = Option.map (fun _ -> Wd_infer.Monitor.create sched) infer in
+  let booted = Systems.boot ~sched ~reg ~mode system in
+  (match (infer, monitor) with
+  | Some model, Some monitor ->
+      List.iter
+        (Driver.add_checker booted.Systems.b_driver)
+        (Wd_infer.Checkers.compile ~model ~monitor ())
+  | _ -> ());
+  (booted, reg)
+
+(* One clean load run: boot, offer [requests], account every arrival. *)
+let e22_perf ~requests ~gen ~mode ~infer system =
+  let sched = Wd_sim.Sched.create ~seed:(base_seed ()) () in
+  let booted, _reg = e22_boot ~sched ~mode ~infer system in
+  let g =
+    match gen with
+    | `Closed ->
+        Loadgen.spawn_closed ~label:system ~sched ~clients:32
+          ~think:(Wd_sim.Time.us 50) ~requests
+          ~op:booted.Systems.b_client ()
+    | `Open rate ->
+        Loadgen.spawn_open ~label:system ~sched ~rate_rps:rate
+          ~max_inflight:512 ~requests ~op:booted.Systems.b_client ()
+  in
+  let r = Loadgen.drive g in
+  let _, _, events = Wd_sim.Sched.stats sched in
+  (r, events)
+
+(* Detection latency under load: same boot, same generator, but a catalog
+   fault lands after a 2s ramp while clients keep hammering; latency is the
+   first driver report at or after the injection instant. *)
+let e22_detect ~requests ~gen ~mode ~infer ~sid system =
+  let scenario = Catalog.find sid in
+  let sched = Wd_sim.Sched.create ~seed:(base_seed ()) () in
+  let booted, reg = e22_boot ~sched ~mode ~infer system in
+  let g =
+    match gen with
+    | `Closed ->
+        Loadgen.spawn_closed ~label:(system ^ "+fault") ~sched ~clients:32
+          ~think:(Wd_sim.Time.us 50) ~requests
+          ~op:booted.Systems.b_client ()
+    | `Open rate ->
+        Loadgen.spawn_open ~label:(system ^ "+fault") ~sched ~rate_rps:rate
+          ~max_inflight:512 ~requests ~op:booted.Systems.b_client ()
+  in
+  let step u =
+    match Wd_sim.Sched.run ~until:u sched with
+    | Wd_sim.Sched.Time_limit | Wd_sim.Sched.Quiescent
+    | Wd_sim.Sched.Deadlock _ ->
+        ()
+  in
+  step (Wd_sim.Time.sec 2);
+  let inject_at = Wd_sim.Sched.now sched in
+  ignore (Catalog.inject reg scenario ~at:inject_at);
+  if scenario.Catalog.special = Some "crash" then
+    Wd_sim.Sched.at sched inject_at booted.Systems.b_crash;
+  let detected = ref None in
+  let deadline = Int64.add inject_at (Wd_sim.Time.sec 30) in
+  let t = ref inject_at in
+  while !detected = None && !t < deadline do
+    t := Int64.add !t (Wd_sim.Time.ms 100);
+    step !t;
+    detected :=
+      List.find_opt
+        (fun (r : Report.t) -> r.Report.at >= inject_at)
+        (List.rev (Driver.reports booted.Systems.b_driver))
+  done;
+  let latency =
+    Option.map
+      (fun (r : Report.t) -> Int64.sub r.Report.at inject_at)
+      !detected
+  in
+  (latency, Loadgen.completed g)
+
+(* per-workload detection scenarios: a hang for zkmini (the ZK-2201
+   reproduction), a stuck compaction for cstore *)
+let e22_sid_of = function
+  | "zkmini" -> "zk-2201"
+  | "cstore" -> "cs-compaction-stuck"
+  | s -> invalid_arg ("e22: no detection scenario for " ^ s)
+
+let e22_single ~requests ~mined (label, gen) =
+  let infer_of with_infer =
+    if with_infer then Inference.model_for mined label else None
+  in
+  let perfs =
+    par_map
+      (fun (_, mode, with_infer) ->
+        e22_perf ~requests ~gen ~mode ~infer:(infer_of with_infer) label)
+      e22_deploy_specs
+  in
+  let detect_requests = max 1 (requests / 4) in
+  let detects =
+    par_map
+      (fun (_, mode, with_infer) ->
+        e22_detect ~requests:detect_requests ~gen ~mode
+          ~infer:(infer_of with_infer) ~sid:(e22_sid_of label) label)
+      (List.filter (fun (d, _, _) -> d <> "wd-off") e22_deploy_specs)
+  in
+  let base_load, base_events =
+    List.nth perfs 0 (* spec order: wd-off first *)
+  in
+  let detect_of d =
+    match d with
+    | "wd-on" -> fst (List.nth detects 0)
+    | "inferred-on" -> fst (List.nth detects 1)
+    | _ -> None
+  in
+  let ratio num den =
+    Int64.to_float num /. Float.max 1. (Int64.to_float den)
+  in
+  let rows =
+    List.map2
+      (fun (d, _, _) (load, events) ->
+        {
+          e22r_deploy = d;
+          e22r_load = load;
+          e22r_sim_events = events;
+          e22r_overhead_pct =
+            100.
+            *. float_of_int (events - base_events)
+            /. float_of_int (max 1 base_events);
+          e22r_p50_x = ratio load.Loadgen.lr_p50 base_load.Loadgen.lr_p50;
+          e22r_p99_x = ratio load.Loadgen.lr_p99 base_load.Loadgen.lr_p99;
+          e22r_detect = detect_of d;
+        })
+      (List.map (fun (d, _, _) -> (d, (), ())) e22_deploy_specs)
+      perfs
+  in
+  {
+    e22w_label = label;
+    e22w_gen = (match gen with `Closed -> "closed" | `Open _ -> "open");
+    e22w_requests =
+      List.fold_left (fun n (l, _) -> n + l.Loadgen.lr_requests) 0 perfs
+      + List.fold_left (fun n (_, c) -> n + c) 0 detects;
+    e22w_rows = rows;
+  }
+
+(* Fleet workload: closed-loop clients against every node of a small
+   uniform fleet, through each node's bounded end-to-end client op. Fleet
+   nodes always carry their full generated watchdog, so this is a single
+   wd-on scale row, not an on/off comparison. *)
+let e22_fleet ~requests =
+  let topology = Wd_cluster.Topology.uniform ~nodes:3 Wd_cluster.Topology.Zkmini in
+  let world =
+    Wd_cluster.Sim.boot ~seed:(base_seed ()) ~topology ()
+  in
+  let sched = Wd_cluster.Sim.world_sched world in
+  (* settle membership and elections before offering load *)
+  (match Wd_sim.Sched.run ~until:(Wd_sim.Time.sec 2) sched with
+  | Wd_sim.Sched.Time_limit | Wd_sim.Sched.Quiescent
+  | Wd_sim.Sched.Deadlock _ ->
+      ());
+  let g =
+    Loadgen.spawn_fleet ~label:"fleet" ~world ~clients_per_node:8
+      ~think:(Wd_sim.Time.us 200) ~requests ()
+  in
+  let r = Loadgen.drive g in
+  let _, _, events = Wd_sim.Sched.stats sched in
+  {
+    e22w_label = "fleet-zkmini-3";
+    e22w_gen = "fleet";
+    e22w_requests = r.Loadgen.lr_requests;
+    e22w_rows =
+      [
+        {
+          e22r_deploy = "wd-on";
+          e22r_load = r;
+          e22r_sim_events = events;
+          e22r_overhead_pct = 0.;
+          e22r_p50_x = 1.;
+          e22r_p99_x = 1.;
+          e22r_detect = None;
+        };
+      ];
+  }
+
+let e22_default_requests = 60_000
+
+let e22_run ?(requests = e22_default_requests) ?fleet_requests () =
+  let fleet_requests =
+    match fleet_requests with Some n -> n | None -> requests
+  in
+  let mined = e21_mine () in
+  let singles =
+    List.map
+      (e22_single ~requests ~mined)
+      [ ("zkmini", `Closed); ("cstore", `Open 8_000) ]
+  in
+  let fleet = e22_fleet ~requests:fleet_requests in
+  let workloads = singles @ [ fleet ] in
+  {
+    e22_workloads = workloads;
+    e22_total_requests =
+      List.fold_left (fun n w -> n + w.e22w_requests) 0 workloads;
+  }
+
+let e22_text ?requests ?fleet_requests () =
+  let r = e22_run ?requests ?fleet_requests () in
+  let tbl =
+    Tables.render
+      ~header:
+        [
+          "workload"; "gen"; "deploy"; "requests"; "ok"; "throughput";
+          "p50"; "p99"; "overhead"; "p50 x"; "p99 x"; "detect";
+        ]
+      (List.concat_map
+         (fun w ->
+           List.map
+             (fun row ->
+               let l = row.e22r_load in
+               [
+                 w.e22w_label;
+                 w.e22w_gen;
+                 row.e22r_deploy;
+                 string_of_int l.Loadgen.lr_requests;
+                 fp "%.3f" (Loadgen.success_ratio l);
+                 fp "%.0f/s" (Loadgen.throughput_rps l);
+                 Wd_sim.Time.to_string l.Loadgen.lr_p50;
+                 Wd_sim.Time.to_string l.Loadgen.lr_p99;
+                 (if row.e22r_deploy = "wd-off" then "base"
+                  else fp "%+.1f%%" row.e22r_overhead_pct);
+                 fp "%.2fx" row.e22r_p50_x;
+                 fp "%.2fx" row.e22r_p99_x;
+                 (match row.e22r_detect with
+                 | Some d -> Wd_sim.Time.to_string d
+                 | None -> "-");
+               ])
+             w.e22w_rows)
+         r.e22_workloads)
+  in
+  fp
+    "E22 — watchdog overhead under heavy traffic (%d requests total)\n\
+     closed loop: 32 clients, 50us think; open loop: fixed arrival rate,\n\
+     512 in-flight cap; fleet: 8 clients/node through the end-to-end\n\
+     client op. overhead = sim-event inflation vs the wd-off run of the\n\
+     same workload; p50x/p99x = latency vs the same baseline; detect =\n\
+     first report after a mid-load catalog fault (zk-2201 /\n\
+     cs-compaction-stuck).\n\n"
+    r.e22_total_requests
+  ^ tbl
+  ^ "\nThe watchdog's cost under saturation is extra simulated work, not\n\
+     client-visible latency: checker activity inflates sim events by a few\n\
+     percent while p50/p99 track the bare run, and a fault landing under\n\
+     full load is still reported within the detection budget.\n"
+
 let all_texts () =
   [
     ("table1", e1_text);
@@ -1767,4 +2058,5 @@ let all_texts () =
     ("hetero", e19_text);
     ("faultspace", fun () -> e20_text ());
     ("infer", e21_text);
+    ("load", fun () -> e22_text ());
   ]

@@ -239,5 +239,44 @@ val e21_mine : unit -> Inference.mined
 val e21_run : unit -> e21_result
 val e21_text : unit -> string
 
+(* E22 — watchdog overhead under heavy traffic: the load plane (Loadgen)
+   drives each workload with 10^5..10^6+ requests per deployment and
+   compares watchdog-on / watchdog-off / inferred-on on the same virtual
+   world *)
+type e22_row = {
+  e22r_deploy : string;  (** "wd-off" | "wd-on" | "inferred-on" *)
+  e22r_load : Loadgen.result;
+  e22r_sim_events : int;
+  e22r_overhead_pct : float;
+      (** sim-event inflation vs the wd-off row of the same workload —
+          the work the watchdog adds; deterministic, host-independent *)
+  e22r_p50_x : float;  (** p50 latency ratio vs the wd-off row *)
+  e22r_p99_x : float;
+  e22r_detect : int64 option;
+      (** detection latency of a mid-load catalog fault (separate injected
+          run at the same offered load); [None] when nothing detects *)
+}
+
+type e22_workload = {
+  e22w_label : string;
+  e22w_gen : string;  (** "closed" | "open" | "fleet" *)
+  e22w_requests : int;  (** completed requests, all rows + injected runs *)
+  e22w_rows : e22_row list;
+}
+
+type e22_result = {
+  e22_workloads : e22_workload list;
+  e22_total_requests : int;
+}
+
+val e22_default_requests : int
+
+val e22_run : ?requests:int -> ?fleet_requests:int -> unit -> e22_result
+(** [requests] is the budget per deployment row of each single-node
+    workload (detection runs use a quarter of it); [fleet_requests]
+    (default [requests]) is the fleet row's budget. *)
+
+val e22_text : ?requests:int -> ?fleet_requests:int -> unit -> string
+
 val all_texts : unit -> (string * (unit -> string)) list
 (** (experiment name, renderer) pairs, in presentation order. *)

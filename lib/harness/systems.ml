@@ -24,6 +24,10 @@ type booted = {
   b_crash : unit -> unit;
   b_mem : Wd_env.Memory.t;
   b_res : Wd_ir.Runtime.resources;
+  b_client : int -> [ `Ok of Wd_ir.Ast.value | `Err of string | `Timeout ];
+      (* one client request by index, for load generators; wider keyspace
+         than the periodic background workload and no per-call formatting
+         on the request path *)
 }
 
 (* Ablation checkers for the no-context mode: mimic the reduced unit but
@@ -188,6 +192,13 @@ let boot_kvs ?engine ~sched ~reg ~mode ~special () =
     List.iter (Wd_sim.Sched.kill sched) tasks;
     Driver.stop driver
   in
+  let client i =
+    let key = "lk" ^ string_of_int (i mod 256) in
+    match i mod 3 with
+    | 0 -> Wd_targets.Kvs.set t ~key ~value:("lv" ^ string_of_int i)
+    | 1 -> Wd_targets.Kvs.get t ~key
+    | _ -> Wd_targets.Kvs.append t ~key ~value:"+"
+  in
   {
     b_system = "kvs";
     b_sched = sched;
@@ -201,6 +212,7 @@ let boot_kvs ?engine ~sched ~reg ~mode ~special () =
     b_crash = crash;
     b_mem = t.Wd_targets.Kvs.mem;
     b_res = t.Wd_targets.Kvs.res;
+    b_client = client;
   }
 
 (* --- zkmini --- *)
@@ -259,6 +271,11 @@ let boot_zk ?engine ~sched ~reg ~mode ~special:_ () =
     List.iter (Wd_sim.Sched.kill sched) tasks;
     Driver.stop driver
   in
+  let client i =
+    let path = "/l" ^ string_of_int (i mod 64) in
+    if i mod 3 = 0 then Wd_targets.Zkmini.get t ~path
+    else Wd_targets.Zkmini.create t ~path ~data:("ld" ^ string_of_int i)
+  in
   {
     b_system = "zkmini";
     b_sched = sched;
@@ -272,6 +289,7 @@ let boot_zk ?engine ~sched ~reg ~mode ~special:_ () =
     b_crash = crash;
     b_mem = t.Wd_targets.Zkmini.mem;
     b_res = t.Wd_targets.Zkmini.res;
+    b_client = client;
   }
 
 (* --- dfsmini --- *)
@@ -331,6 +349,11 @@ let boot_dfs ?engine ~sched ~reg ~mode ~special:_ () =
     List.iter (Wd_sim.Sched.kill sched) tasks;
     Driver.stop driver
   in
+  let client i =
+    let blkid = "lb" ^ string_of_int (i mod 128) in
+    if i mod 4 = 3 then Wd_targets.Dfsmini.read_block_req t ~blkid
+    else Wd_targets.Dfsmini.put_block t ~blkid ~data:("lp" ^ string_of_int i)
+  in
   {
     b_system = "dfsmini";
     b_sched = sched;
@@ -344,6 +367,7 @@ let boot_dfs ?engine ~sched ~reg ~mode ~special:_ () =
     b_crash = crash;
     b_mem = t.Wd_targets.Dfsmini.mem;
     b_res = t.Wd_targets.Dfsmini.res;
+    b_client = client;
   }
 
 (* --- cstore --- *)
@@ -396,6 +420,11 @@ let boot_cs ?engine ~sched ~reg ~mode ~special () =
     List.iter (Wd_sim.Sched.kill sched) tasks;
     Driver.stop driver
   in
+  let client i =
+    let key = "lrow" ^ string_of_int (i mod 128) in
+    if i mod 3 = 2 then Wd_targets.Cstore.read t ~key
+    else Wd_targets.Cstore.write t ~key ~value:("lc" ^ string_of_int i)
+  in
   {
     b_system = "cstore";
     b_sched = sched;
@@ -409,6 +438,7 @@ let boot_cs ?engine ~sched ~reg ~mode ~special () =
     b_crash = crash;
     b_mem = t.Wd_targets.Cstore.mem;
     b_res = t.Wd_targets.Cstore.res;
+    b_client = client;
   }
 
 (* --- mqbroker --- *)
@@ -459,6 +489,7 @@ let boot_mq ?engine ~sched ~reg ~mode ~special:_ () =
     List.iter (Wd_sim.Sched.kill sched) tasks;
     Driver.stop driver
   in
+  let client i = Wd_targets.Mqbroker.produce t ~data:("le" ^ string_of_int i) in
   {
     b_system = "mqbroker";
     b_sched = sched;
@@ -472,6 +503,7 @@ let boot_mq ?engine ~sched ~reg ~mode ~special:_ () =
     b_crash = crash;
     b_mem = t.Wd_targets.Mqbroker.mem;
     b_res = t.Wd_targets.Mqbroker.res;
+    b_client = client;
   }
 
 let boot ?engine ~sched ~reg ~mode ?special system =

@@ -20,6 +20,11 @@ type booted = {
   b_crash : unit -> unit;  (** simulate a whole-process crash *)
   b_mem : Wd_env.Memory.t;
   b_res : Wd_ir.Runtime.resources;
+  b_client : int -> [ `Ok of Wd_ir.Ast.value | `Err of string | `Timeout ];
+      (** issue one client request by index — the entry point load
+          generators drive; must be called from inside a task. Uses a wider
+          keyspace than the background workload and no per-call formatting
+          on the request path. *)
 }
 
 val boot :

@@ -2,19 +2,96 @@
    closures. See compile.mli for the lowering strategy and the parity
    contract with the tree-walking reference engine in [Interp].
 
-   The compiler owns nothing effectful: charging, op execution, sync
-   protocols and hooks are reached through the ['i rt] record supplied by
-   the interpreter, so one compiled program serves Main and Checker
-   instances alike and the semantics live in exactly one place. *)
+   Execution is direct-threaded: every statement closure receives its
+   continuation at compile time and tail-calls it, so a basic block runs as
+   a chain of tail calls with no per-statement dispatch loop, no block
+   arrays and no intermediate closure layers. Constructs that open a
+   dynamic extent (Try's handler scope, Sync's lock hold, loop bodies)
+   compile their interior against the [halt] terminator and call their own
+   continuation outside that extent, which is what keeps exception scoping
+   identical to the tree-walker.
+
+   CPU charging is inlined into every statement closure through the
+   concrete {!ctx} record rather than reached through a per-statement
+   indirect call; ops, sync protocols and hooks still funnel through the
+   ['i rt] record so one compiled program serves Main and Checker instances
+   alike and the effectful semantics live in exactly one place. *)
 
 open Ast
 
 exception Violation of { loc : Loc.t; vkind : string; msg : string }
 exception Return_exn of value
 
+(* --- the compile epoch ---
+
+   Bumped by [Interp.clear_compile_cache]. Domain-local program caches and
+   the call-site inline caches below both validate against it: a bump
+   makes every cached compiled form stale and every call site re-read its
+   callee's compiled fields on next execution. *)
+
+let epoch = Atomic.make 0
+let current_epoch () = Atomic.get epoch
+let bump_epoch () = Atomic.incr epoch
+
+(* --- execution context: CPU accounting + depth budget ---
+
+   One per interpreter instance, threaded through every compiled closure so
+   statement charging is straight-line field arithmetic (immediate ints)
+   instead of an indirect call into the interpreter. The tree-walker
+   updates the same record through {!charge_stmt}/{!charge}, which is what
+   keeps [stmts_executed] and quantum-flush timing engine-identical. *)
+
+type ctx = {
+  cx_cost : int; (* virtual ns charged per statement *)
+  cx_quantum : int; (* accumulated cost is flushed to the clock at this *)
+  mutable cx_acc : int;
+  mutable cx_stmts : int;
+  cx_max_depth : int;
+  (* Return-value slot for the compiled engine's exception-free tail
+     returns; valid only between a body's normal completion and the call
+     site's immediate read (same fiber, no suspension in between). *)
+  mutable cx_ret : value;
+}
+
+let make_ctx ~stmt_cost ~quantum ~max_depth =
+  {
+    cx_cost = stmt_cost;
+    cx_quantum = quantum;
+    cx_acc = 0;
+    cx_stmts = 0;
+    cx_max_depth = max_depth;
+    cx_ret = VUnit;
+  }
+
+(* Charge CPU time for an interpreted statement, flushed in quanta so that
+   a busy loop advances virtual time (an infinite loop must not freeze the
+   simulation, and must be observable as non-progress). *)
+let[@inline] charge_stmt c =
+  c.cx_stmts <- c.cx_stmts + 1;
+  let acc = c.cx_acc + c.cx_cost in
+  if acc >= c.cx_quantum then begin
+    c.cx_acc <- 0;
+    Wd_sim.Sched.sleep (Int64.of_int acc)
+  end
+  else c.cx_acc <- acc
+
+let charge c cost =
+  if Int64.compare cost 0x2000_0000_0000_0000L >= 0 then begin
+    (* degenerate huge cost: flush directly, with int64 precision *)
+    let acc = Int64.add (Int64.of_int c.cx_acc) cost in
+    c.cx_acc <- 0;
+    Wd_sim.Sched.sleep acc
+  end
+  else begin
+    let acc = c.cx_acc + Int64.to_int cost in
+    if acc >= c.cx_quantum then begin
+      c.cx_acc <- 0;
+      Wd_sim.Sched.sleep (Int64.of_int acc)
+    end
+    else c.cx_acc <- acc
+  end
+
 type 'i rt = {
-  charge_stmt : 'i -> unit;
-  charge : 'i -> int64 -> unit;
   exec_op :
     'i ->
     Loc.t ->
@@ -25,7 +102,6 @@ type 'i rt = {
     value;
   exec_sync : 'i -> Loc.t -> lock:string -> desc:string -> (unit -> unit) -> unit;
   exec_hook : 'i -> int -> (string -> value option) -> unit;
-  max_depth : 'i -> int;
 }
 
 (* Frame slots are always "bound" to something; reads of a name the program
@@ -95,15 +171,78 @@ let slot fenv x =
 
 (* --- compiled form --- *)
 
+(* A statement / continuation: instance, context, frame, call depth. *)
+type 'i kont = 'i -> ctx -> value array -> int -> unit
+
+let halt : 'i kont = fun _ _ _ _ -> ()
+
+(* The terminator of a *function body* (as opposed to the [halt] of inner
+   extents — loop/try/sync interiors): falling off the end of a function
+   yields [VUnit] through the return slot. A [Return] compiled directly
+   against this terminator (i.e. in tail position of the body, including
+   through tail [If] branches) writes the slot instead of raising —
+   [Return_exn] is only paid by non-tail returns escaping an inner extent. *)
+let kfin : 'i kont = fun _ c _ _ -> c.cx_ret <- VUnit
+
 type 'i cfunc = {
   cf_src : func; (* identity of the first binding; pass 2 compiles only it *)
   cf_arity : int;
   mutable cf_param_slots : int array;
   mutable cf_nslots : int;
-  mutable cf_body : 'i -> value array -> int -> unit; (* raises Return_exn *)
+  mutable cf_body : 'i kont; (* raises Return_exn *)
+  (* Frame pool: slot arrays recycled across calls. A frame is popped for
+     the duration of one activation (including any suspension inside it),
+     so concurrent fibers always hold distinct frames; frames abandoned to
+     an escaping exception are simply not returned. Single-domain use only,
+     like every other mutable compiled-form structure. *)
+  mutable cf_pool : value array list;
+  mutable cf_pool_len : int;
+  mutable cf_pool_hits : int;
 }
 
 type 'i t = { cp_prog : program; cp_funcs : (string, 'i cfunc) Hashtbl.t }
+
+let pool_cap = 32
+
+let frame_get cf =
+  match cf.cf_pool with
+  | nf :: rest ->
+      cf.cf_pool <- rest;
+      cf.cf_pool_len <- cf.cf_pool_len - 1;
+      cf.cf_pool_hits <- cf.cf_pool_hits + 1;
+      Array.fill nf 0 (Array.length nf) unbound;
+      nf
+  | [] -> Array.make cf.cf_nslots unbound
+
+let frame_put cf nf =
+  if cf.cf_pool_len < pool_cap then begin
+    cf.cf_pool <- nf :: cf.cf_pool;
+    cf.cf_pool_len <- cf.cf_pool_len + 1
+  end
+
+(* --- call-site inline caches ---
+
+   Each compiled call site owns one monomorphic cache of its callee's
+   mutable compiled fields ([cf_body] / [cf_param_slots] are re-bound by
+   pass 2 and by recompilation). The cache is validated against the global
+   compile epoch on every call: one immediate comparison on the hot path,
+   a re-read of the callee handle when stale. *)
+
+type 'i site = {
+  s_cf : 'i cfunc;
+  mutable s_epoch : int;
+  mutable s_body : 'i kont;
+  mutable s_params : int array;
+}
+
+let ic_refills = Atomic.make 0
+let ic_refill_count () = Atomic.get ic_refills
+
+let refill site =
+  Atomic.incr ic_refills;
+  site.s_body <- site.s_cf.cf_body;
+  site.s_params <- site.s_cf.cf_param_slots;
+  site.s_epoch <- current_epoch ()
 
 (* --- expression compilation (pure: closures take only the frame) --- *)
 
@@ -150,12 +289,17 @@ let rec cexpr fenv loc e : value array -> value =
         let vs = k f in
         (try Prims.apply name vs with Prims.Prim_error m -> err_prim loc m)
 
+(* Operand-shape specialisation: loop-dominant arithmetic and comparison
+   shapes (Var/Const and Var/Var int operands) compile to flat slot reads
+   with no inner closure calls. Error order matches the generic path
+   exactly: left operand's unbound check, right operand's unbound check,
+   then the type violation with both evaluated values. *)
 and cbinop fenv loc op a b : value array -> value =
   match op with
   | And ->
       (* Short-circuit; a non-bool left side is a type violation before the
-         right side is touched, in both engines. The right side's raw value
-         is the result, unchecked — exactly the tree-walker. *)
+         right side is touched. The right side's raw value is the result,
+         unchecked — exactly the tree-walker. *)
       let ca = cbool fenv loc (fun v -> err_logic loc v) a in
       let cb = cexpr fenv loc b in
       fun f -> if ca f then cb f else vfalse
@@ -163,24 +307,77 @@ and cbinop fenv loc op a b : value array -> value =
       let ca = cbool fenv loc (fun v -> err_logic loc v) a in
       let cb = cexpr fenv loc b in
       fun f -> if ca f then vtrue else cb f
-  | Add ->
-      let ca = cexpr fenv loc a in
-      let cb = cexpr fenv loc b in
-      fun f -> (
-        let va = ca f in
-        let vb = cb f in
-        match (va, vb) with
-        | VInt x, VInt y -> VInt (x + y)
-        | _ -> err_int_op loc va vb)
-  | Sub ->
-      let ca = cexpr fenv loc a in
-      let cb = cexpr fenv loc b in
-      fun f -> (
-        let va = ca f in
-        let vb = cb f in
-        match (va, vb) with
-        | VInt x, VInt y -> VInt (x - y)
-        | _ -> err_int_op loc va vb)
+  | Add -> (
+      match (a, b) with
+      | Var x, Const (VInt n) ->
+          let i = slot fenv x in
+          let vb = VInt n in
+          fun f -> (
+            match Array.unsafe_get f i with
+            | VInt v -> VInt (v + n)
+            | va ->
+                if va == unbound then err_unbound loc x
+                else err_int_op loc va vb)
+      | Var x, Var y ->
+          let i = slot fenv x in
+          let j = slot fenv y in
+          fun f ->
+            let va = Array.unsafe_get f i in
+            if va == unbound then err_unbound loc x;
+            let vb = Array.unsafe_get f j in
+            if vb == unbound then err_unbound loc y;
+            (match (va, vb) with
+            | VInt p, VInt q -> VInt (p + q)
+            | _ -> err_int_op loc va vb)
+      | Const (VInt n), Var y ->
+          let j = slot fenv y in
+          let va = VInt n in
+          fun f -> (
+            match Array.unsafe_get f j with
+            | VInt v -> VInt (n + v)
+            | vb ->
+                if vb == unbound then err_unbound loc y
+                else err_int_op loc va vb)
+      | _ ->
+          let ca = cexpr fenv loc a in
+          let cb = cexpr fenv loc b in
+          fun f -> (
+            let va = ca f in
+            let vb = cb f in
+            match (va, vb) with
+            | VInt x, VInt y -> VInt (x + y)
+            | _ -> err_int_op loc va vb))
+  | Sub -> (
+      match (a, b) with
+      | Var x, Const (VInt n) ->
+          let i = slot fenv x in
+          let vb = VInt n in
+          fun f -> (
+            match Array.unsafe_get f i with
+            | VInt v -> VInt (v - n)
+            | va ->
+                if va == unbound then err_unbound loc x
+                else err_int_op loc va vb)
+      | Var x, Var y ->
+          let i = slot fenv x in
+          let j = slot fenv y in
+          fun f ->
+            let va = Array.unsafe_get f i in
+            if va == unbound then err_unbound loc x;
+            let vb = Array.unsafe_get f j in
+            if vb == unbound then err_unbound loc y;
+            (match (va, vb) with
+            | VInt p, VInt q -> VInt (p - q)
+            | _ -> err_int_op loc va vb)
+      | _ ->
+          let ca = cexpr fenv loc a in
+          let cb = cexpr fenv loc b in
+          fun f -> (
+            let va = ca f in
+            let vb = cb f in
+            match (va, vb) with
+            | VInt x, VInt y -> VInt (x - y)
+            | _ -> err_int_op loc va vb))
   | Mul ->
       let ca = cexpr fenv loc a in
       let cb = cexpr fenv loc b in
@@ -238,42 +435,111 @@ and cbinop fenv loc op a b : value array -> value =
         | _ -> err_concat loc va vb)
 
 and ccmp fenv loc op a b : value array -> bool =
-  let ca = cexpr fenv loc a in
-  let cb = cexpr fenv loc b in
-  match op with
-  | Lt ->
-      fun f -> (
-        let va = ca f in
-        let vb = cb f in
-        match (va, vb) with
-        | VInt x, VInt y -> x < y
-        | VStr x, VStr y -> String.compare x y < 0
-        | _ -> err_cmp loc va vb)
-  | Le ->
-      fun f -> (
-        let va = ca f in
-        let vb = cb f in
-        match (va, vb) with
-        | VInt x, VInt y -> x <= y
-        | VStr x, VStr y -> String.compare x y <= 0
-        | _ -> err_cmp loc va vb)
-  | Gt ->
-      fun f -> (
-        let va = ca f in
-        let vb = cb f in
-        match (va, vb) with
-        | VInt x, VInt y -> x > y
-        | VStr x, VStr y -> String.compare x y > 0
-        | _ -> err_cmp loc va vb)
-  | Ge ->
-      fun f -> (
-        let va = ca f in
-        let vb = cb f in
-        match (va, vb) with
-        | VInt x, VInt y -> x >= y
-        | VStr x, VStr y -> String.compare x y >= 0
-        | _ -> err_cmp loc va vb)
-  | Add | Sub | Mul | Div | Mod | Eq | Ne | And | Or | Concat -> assert false
+  (* [cmp_vc]/[cmp_vv] specialise the Var/Const-int and Var/Var shapes that
+     dominate loop conditions; the generic closure pair remains for
+     everything else (including string comparison). *)
+  let generic op =
+    let ca = cexpr fenv loc a in
+    let cb = cexpr fenv loc b in
+    match op with
+    | `Lt ->
+        fun f -> (
+          let va = ca f in
+          let vb = cb f in
+          match (va, vb) with
+          | VInt x, VInt y -> x < y
+          | VStr x, VStr y -> String.compare x y < 0
+          | _ -> err_cmp loc va vb)
+    | `Le ->
+        fun f -> (
+          let va = ca f in
+          let vb = cb f in
+          match (va, vb) with
+          | VInt x, VInt y -> x <= y
+          | VStr x, VStr y -> String.compare x y <= 0
+          | _ -> err_cmp loc va vb)
+    | `Gt ->
+        fun f -> (
+          let va = ca f in
+          let vb = cb f in
+          match (va, vb) with
+          | VInt x, VInt y -> x > y
+          | VStr x, VStr y -> String.compare x y > 0
+          | _ -> err_cmp loc va vb)
+    | `Ge ->
+        fun f -> (
+          let va = ca f in
+          let vb = cb f in
+          match (va, vb) with
+          | VInt x, VInt y -> x >= y
+          | VStr x, VStr y -> String.compare x y >= 0
+          | _ -> err_cmp loc va vb)
+  in
+  match (a, b) with
+  | Var x, Const (VInt n) -> (
+      let i = slot fenv x in
+      let vb = VInt n in
+      let bad va =
+        if va == unbound then err_unbound loc x else err_cmp loc va vb
+      in
+      match op with
+      | Lt -> (
+          fun f ->
+            match Array.unsafe_get f i with VInt v -> v < n | va -> bad va)
+      | Le -> (
+          fun f ->
+            match Array.unsafe_get f i with VInt v -> v <= n | va -> bad va)
+      | Gt -> (
+          fun f ->
+            match Array.unsafe_get f i with VInt v -> v > n | va -> bad va)
+      | Ge -> (
+          fun f ->
+            match Array.unsafe_get f i with VInt v -> v >= n | va -> bad va)
+      | _ -> assert false)
+  | Var x, Var y -> (
+      let i = slot fenv x in
+      let j = slot fenv y in
+      let pair f =
+        let va = Array.unsafe_get f i in
+        if va == unbound then err_unbound loc x;
+        let vb = Array.unsafe_get f j in
+        if vb == unbound then err_unbound loc y;
+        (va, vb)
+      in
+      match op with
+      | Lt -> (
+          fun f ->
+            match pair f with
+            | VInt p, VInt q -> p < q
+            | VStr p, VStr q -> String.compare p q < 0
+            | va, vb -> err_cmp loc va vb)
+      | Le -> (
+          fun f ->
+            match pair f with
+            | VInt p, VInt q -> p <= q
+            | VStr p, VStr q -> String.compare p q <= 0
+            | va, vb -> err_cmp loc va vb)
+      | Gt -> (
+          fun f ->
+            match pair f with
+            | VInt p, VInt q -> p > q
+            | VStr p, VStr q -> String.compare p q > 0
+            | va, vb -> err_cmp loc va vb)
+      | Ge -> (
+          fun f ->
+            match pair f with
+            | VInt p, VInt q -> p >= q
+            | VStr p, VStr q -> String.compare p q >= 0
+            | va, vb -> err_cmp loc va vb)
+      | _ -> assert false)
+  | _ -> (
+      match op with
+      | Lt -> generic `Lt
+      | Le -> generic `Le
+      | Gt -> generic `Gt
+      | Ge -> generic `Ge
+      | Add | Sub | Mul | Div | Mod | Eq | Ne | And | Or | Concat ->
+          assert false)
 
 (* Compile an expression used as a condition, producing a bare [bool].
    [bad] is the violation to raise when the expression's *value* turns out
@@ -357,133 +623,139 @@ let compile ~rt prog =
             cf_arity = List.length f.params;
             cf_param_slots = [||];
             cf_nslots = 0;
-            cf_body = (fun _ _ _ -> assert false);
+            cf_body = (fun _ _ _ _ -> assert false);
+            cf_pool = [];
+            cf_pool_len = 0;
+            cf_pool_hits = 0;
           })
     prog.funcs;
-  let rec cstmt fenv (st : stmt) =
+  (* [cstmt fenv st k] compiles one statement against its continuation:
+     the returned closure does the statement's work, then tail-calls [k].
+     [cblock] folds a block into one such chain. *)
+  let rec cstmt fenv (st : stmt) k =
     let loc = st.loc in
     match st.node with
     | Let (x, e) | Assign (x, e) ->
         let i = slot fenv x in
         let ce = cexpr fenv loc e in
-        fun t f _d ->
-          rt.charge_stmt t;
-          Array.unsafe_set f i (ce f)
+        fun t c f d ->
+          charge_stmt c;
+          Array.unsafe_set f i (ce f);
+          k t c f d
     | Op { kind; target; args; bind } -> (
-        let k = clist fenv loc args in
+        let ka = clist fenv loc args in
         let desc = op_desc kind target in
         match bind with
         | None ->
-            fun t f _d ->
-              rt.charge_stmt t;
-              let vs = k f in
-              ignore (rt.exec_op t loc ~desc ~kind ~target vs : value)
+            fun t c f d ->
+              charge_stmt c;
+              let vs = ka f in
+              ignore (rt.exec_op t loc ~desc ~kind ~target vs : value);
+              k t c f d
         | Some x ->
             let i = slot fenv x in
-            fun t f _d ->
-              rt.charge_stmt t;
-              let vs = k f in
-              Array.unsafe_set f i (rt.exec_op t loc ~desc ~kind ~target vs))
-    | Call { func; args; bind } -> ccall fenv loc func args bind
-    | If (c, th, el) ->
-        let cc = cbool fenv loc (fun v -> err_cond loc v) c in
-        let cth = cblock fenv th in
-        let cel = cblock fenv el in
-        fun t f d ->
-          rt.charge_stmt t;
-          if cc f then cth t f d else cel t f d
-    | While (c, body) ->
-        let cc = cbool fenv loc (fun v -> err_cond loc v) c in
-        let cb = cblock fenv body in
-        fun t f d ->
-          rt.charge_stmt t;
+            fun t c f d ->
+              charge_stmt c;
+              let vs = ka f in
+              Array.unsafe_set f i (rt.exec_op t loc ~desc ~kind ~target vs);
+              k t c f d)
+    | Call { func; args; bind } -> ccall fenv loc func args bind k
+    | If (cnd, th, el) ->
+        let cc = cbool fenv loc (fun v -> err_cond loc v) cnd in
+        let cth = cblock fenv th k in
+        let cel = cblock fenv el k in
+        fun t c f d ->
+          charge_stmt c;
+          if cc f then cth t c f d else cel t c f d
+    | While (cnd, body) ->
+        (* Charged once per statement entry, not per iteration — as in the
+           tree-walker. The body runs to [halt] each iteration so a [Try]
+           inside it cannot capture the loop's continuation. *)
+        let cc = cbool fenv loc (fun v -> err_cond loc v) cnd in
+        let cb = cblock fenv body halt in
+        fun t c f d ->
+          charge_stmt c;
           while cc f do
-            cb t f d
-          done
+            cb t c f d
+          done;
+          k t c f d
     | Foreach (x, e, body) ->
         let ce = cexpr fenv loc e in
         let i = slot fenv x in
-        let cb = cblock fenv body in
-        fun t f d -> (
-          rt.charge_stmt t;
-          match ce f with
+        let cb = cblock fenv body halt in
+        fun t c f d ->
+          charge_stmt c;
+          (match ce f with
           | VList items ->
               List.iter
                 (fun item ->
                   Array.unsafe_set f i item;
-                  cb t f d)
+                  cb t c f d)
                 items
-          | v -> err_foreach loc v)
+          | v -> err_foreach loc v);
+          k t c f d
     | Sync (lockname, body) ->
-        let cb = cblock fenv body in
+        (* The interior runs to [halt] inside the lock's dynamic extent;
+           the continuation runs after release. *)
+        let cb = cblock fenv body halt in
         let desc = "lock(" ^ lockname ^ ")" in
-        fun t f d ->
-          rt.charge_stmt t;
-          rt.exec_sync t loc ~lock:lockname ~desc (fun () -> cb t f d)
+        fun t c f d ->
+          charge_stmt c;
+          rt.exec_sync t loc ~lock:lockname ~desc (fun () -> cb t c f d);
+          k t c f d
     | Try (body, exn, handler) ->
-        let cb = cblock fenv body in
+        (* Interior and handler both run to [halt]; the continuation runs
+           outside the catch, so a failure in a *later* statement can never
+           be routed to this handler. *)
+        let cb = cblock fenv body halt in
         let i = slot fenv exn in
-        let ch = cblock fenv handler in
-        fun t f d ->
-          rt.charge_stmt t;
-          (try cb t f d with
+        let ch = cblock fenv handler halt in
+        fun t c f d ->
+          charge_stmt c;
+          (try cb t c f d with
           | Wd_env.Disk.Io_error m
           | Wd_env.Net.Net_error m
           | Wd_env.Memory.Out_of_memory m ->
               Array.unsafe_set f i (VStr m);
-              ch t f d
+              ch t c f d
           | Wd_sim.Channel.Closed m ->
               Array.unsafe_set f i (VStr ("channel closed: " ^ m));
-              ch t f d)
+              ch t c f d);
+          k t c f d
     | Return e ->
         let ce = cexpr fenv loc e in
-        fun t f _d ->
-          rt.charge_stmt t;
-          raise_notrace (Return_exn (ce f))
+        if k == kfin then
+          fun _t c f _d ->
+            charge_stmt c;
+            c.cx_ret <- ce f
+        else
+          fun _t c f _d ->
+            charge_stmt c;
+            raise_notrace (Return_exn (ce f))
     | Assert (e, msg) ->
         let cc = cbool fenv loc (fun v -> err_cond loc v) e in
-        fun t f _d ->
-          rt.charge_stmt t;
-          if not (cc f) then verr loc "assert" msg
+        fun t c f d ->
+          charge_stmt c;
+          if not (cc f) then verr loc "assert" msg;
+          k t c f d
     | Compute { cost_ns; note = _ } ->
-        fun t _f _d ->
-          rt.charge_stmt t;
-          rt.charge t cost_ns
+        fun t c f d ->
+          charge_stmt c;
+          charge c cost_ns;
+          k t c f d
     | Hook id ->
         let slots = fenv.slots in
-        fun t f _d ->
-          rt.charge_stmt t;
+        fun t c f d ->
+          charge_stmt c;
           rt.exec_hook t id (fun name ->
               match Hashtbl.find_opt slots name with
               | Some i ->
                   let v = Array.unsafe_get f i in
                   if v == unbound then None else Some v
-              | None -> None)
-  and cblock fenv block =
-    match Array.of_list (List.map (cstmt fenv) block) with
-    | [||] -> fun _ _ _ -> ()
-    | [| s1 |] -> s1
-    | [| s1; s2 |] ->
-        fun t f d ->
-          s1 t f d;
-          s2 t f d
-    | [| s1; s2; s3 |] ->
-        fun t f d ->
-          s1 t f d;
-          s2 t f d;
-          s3 t f d
-    | [| s1; s2; s3; s4 |] ->
-        fun t f d ->
-          s1 t f d;
-          s2 t f d;
-          s3 t f d;
-          s4 t f d
-    | arr ->
-        fun t f d ->
-          for i = 0 to Array.length arr - 1 do
-            (Array.unsafe_get arr i) t f d
-          done
-  and ccall fenv loc func args bind =
+              | None -> None);
+          k t c f d
+  and cblock fenv block k = List.fold_right (cstmt fenv) block k
+  and ccall fenv loc func args bind k =
     let store =
       match bind with
       | None -> fun _f (_v : value) -> ()
@@ -496,85 +768,121 @@ let compile ~rt prog =
         (* Unknown target: compile the tree-walker's behaviour — arguments
            still evaluate, the depth guard still applies, then [find_func]
            raises the canonical [Ir_error]. *)
-        let k = clist fenv loc args in
-        fun t f d ->
-          rt.charge_stmt t;
-          ignore (k f : value list);
-          if d > rt.max_depth t then err_depth (rt.max_depth t);
+        let ka = clist fenv loc args in
+        fun _t c f d ->
+          charge_stmt c;
+          ignore (ka f : value list);
+          if d > c.cx_max_depth then err_depth c.cx_max_depth;
           ignore (find_func prog func : func);
           assert false
     | Some cf when List.compare_length_with args cf.cf_arity <> 0 ->
-        let k = clist fenv loc args in
-        fun t f d ->
-          rt.charge_stmt t;
-          ignore (k f : value list);
-          if d > rt.max_depth t then err_depth (rt.max_depth t);
+        let ka = clist fenv loc args in
+        fun _t c f d ->
+          charge_stmt c;
+          ignore (ka f : value list);
+          if d > c.cx_max_depth then err_depth c.cx_max_depth;
           err_call_arity func
     | Some cf -> (
-        (* [cf_body]/[cf_nslots]/[cf_param_slots] are read at run time: the
-           callee may not be compiled yet (forward reference). *)
-        let invoke t nf d =
-          match cf.cf_body t nf (d + 1) with
-          | () -> VUnit
-          | exception Return_exn v -> v
-        in
+        (* The site's inline cache snapshots [cf_body]/[cf_param_slots]
+           (re-bound by pass 2: the callee may not be compiled yet on a
+           forward reference) and revalidates against the compile epoch. *)
+        let site = { s_cf = cf; s_epoch = -1; s_body = halt; s_params = [||] } in
         match List.map (cexpr fenv loc) args with
         | [] ->
-            fun t f d ->
-              rt.charge_stmt t;
-              if d > rt.max_depth t then err_depth (rt.max_depth t);
-              let nf = Array.make cf.cf_nslots unbound in
-              store f (invoke t nf d)
+            fun t c f d ->
+              charge_stmt c;
+              if d > c.cx_max_depth then err_depth c.cx_max_depth;
+              if site.s_epoch <> Atomic.get epoch then refill site;
+              let nf = frame_get cf in
+              (match site.s_body t c nf (d + 1) with
+              | () ->
+                  frame_put cf nf;
+                  store f c.cx_ret
+              | exception Return_exn v ->
+                  frame_put cf nf;
+                  store f v);
+              k t c f d
         | [ a0 ] ->
-            fun t f d ->
-              rt.charge_stmt t;
+            fun t c f d ->
+              charge_stmt c;
               let v0 = a0 f in
-              if d > rt.max_depth t then err_depth (rt.max_depth t);
-              let nf = Array.make cf.cf_nslots unbound in
-              let ps = cf.cf_param_slots in
-              Array.unsafe_set nf (Array.unsafe_get ps 0) v0;
-              store f (invoke t nf d)
+              if d > c.cx_max_depth then err_depth c.cx_max_depth;
+              if site.s_epoch <> Atomic.get epoch then refill site;
+              let nf = frame_get cf in
+              Array.unsafe_set nf (Array.unsafe_get site.s_params 0) v0;
+              (match site.s_body t c nf (d + 1) with
+              | () ->
+                  frame_put cf nf;
+                  store f c.cx_ret
+              | exception Return_exn v ->
+                  frame_put cf nf;
+                  store f v);
+              k t c f d
         | [ a0; a1 ] ->
-            fun t f d ->
-              rt.charge_stmt t;
+            fun t c f d ->
+              charge_stmt c;
               let v0 = a0 f in
               let v1 = a1 f in
-              if d > rt.max_depth t then err_depth (rt.max_depth t);
-              let nf = Array.make cf.cf_nslots unbound in
-              let ps = cf.cf_param_slots in
+              if d > c.cx_max_depth then err_depth c.cx_max_depth;
+              if site.s_epoch <> Atomic.get epoch then refill site;
+              let nf = frame_get cf in
+              let ps = site.s_params in
               Array.unsafe_set nf (Array.unsafe_get ps 0) v0;
               Array.unsafe_set nf (Array.unsafe_get ps 1) v1;
-              store f (invoke t nf d)
+              (match site.s_body t c nf (d + 1) with
+              | () ->
+                  frame_put cf nf;
+                  store f c.cx_ret
+              | exception Return_exn v ->
+                  frame_put cf nf;
+                  store f v);
+              k t c f d
         | [ a0; a1; a2 ] ->
-            fun t f d ->
-              rt.charge_stmt t;
+            fun t c f d ->
+              charge_stmt c;
               let v0 = a0 f in
               let v1 = a1 f in
               let v2 = a2 f in
-              if d > rt.max_depth t then err_depth (rt.max_depth t);
-              let nf = Array.make cf.cf_nslots unbound in
-              let ps = cf.cf_param_slots in
+              if d > c.cx_max_depth then err_depth c.cx_max_depth;
+              if site.s_epoch <> Atomic.get epoch then refill site;
+              let nf = frame_get cf in
+              let ps = site.s_params in
               Array.unsafe_set nf (Array.unsafe_get ps 0) v0;
               Array.unsafe_set nf (Array.unsafe_get ps 1) v1;
               Array.unsafe_set nf (Array.unsafe_get ps 2) v2;
-              store f (invoke t nf d)
+              (match site.s_body t c nf (d + 1) with
+              | () ->
+                  frame_put cf nf;
+                  store f c.cx_ret
+              | exception Return_exn v ->
+                  frame_put cf nf;
+                  store f v);
+              k t c f d
         | cs ->
             let carr = Array.of_list cs in
             let n = Array.length carr in
-            fun t f d ->
-              rt.charge_stmt t;
+            fun t c f d ->
+              charge_stmt c;
               let vs = Array.make n VUnit in
-              for k = 0 to n - 1 do
-                Array.unsafe_set vs k ((Array.unsafe_get carr k) f)
+              for j = 0 to n - 1 do
+                Array.unsafe_set vs j ((Array.unsafe_get carr j) f)
               done;
-              if d > rt.max_depth t then err_depth (rt.max_depth t);
-              let nf = Array.make cf.cf_nslots unbound in
-              let ps = cf.cf_param_slots in
-              for k = 0 to n - 1 do
-                Array.unsafe_set nf (Array.unsafe_get ps k)
-                  (Array.unsafe_get vs k)
+              if d > c.cx_max_depth then err_depth c.cx_max_depth;
+              if site.s_epoch <> Atomic.get epoch then refill site;
+              let nf = frame_get cf in
+              let ps = site.s_params in
+              for j = 0 to n - 1 do
+                Array.unsafe_set nf (Array.unsafe_get ps j)
+                  (Array.unsafe_get vs j)
               done;
-              store f (invoke t nf d))
+              (match site.s_body t c nf (d + 1) with
+              | () ->
+                  frame_put cf nf;
+                  store f c.cx_ret
+              | exception Return_exn v ->
+                  frame_put cf nf;
+                  store f v);
+              k t c f d)
   in
   (* Pass 2: compile bodies. Only the registered (first) binding of a name
      is compiled; later duplicates are unreachable, as in the tree-walker. *)
@@ -584,7 +892,7 @@ let compile ~rt prog =
       if cf.cf_src == fdef then begin
         let fenv = { slots = Hashtbl.create 16; next = 0 } in
         let ps = Array.of_list (List.map (slot fenv) fdef.params) in
-        let body = cblock fenv fdef.body in
+        let body = cblock fenv fdef.body kfin in
         cf.cf_param_slots <- ps;
         cf.cf_nslots <- fenv.next;
         cf.cf_body <- body
@@ -597,9 +905,14 @@ let program cp = cp.cp_prog
 let nslots cp fname =
   Option.map (fun cf -> cf.cf_nslots) (Hashtbl.find_opt cp.cp_funcs fname)
 
+let frame_pool_stats cp fname =
+  Option.map
+    (fun cf -> (cf.cf_pool_len, cf.cf_pool_hits))
+    (Hashtbl.find_opt cp.cp_funcs fname)
+
 (* Toplevel entry: the tree-walker's [exec_call t 0] with the depth guard
    elided (0 can never exceed the depth budget). *)
-let call cp t fname vargs =
+let call cp t c fname vargs =
   match Hashtbl.find_opt cp.cp_funcs fname with
   | None ->
       ignore (find_func cp.cp_prog fname : func);
@@ -607,7 +920,13 @@ let call cp t fname vargs =
   | Some cf -> (
       if List.compare_length_with vargs cf.cf_arity <> 0 then
         err_call_arity fname;
-      let nf = Array.make cf.cf_nslots unbound in
+      let nf = frame_get cf in
       let ps = cf.cf_param_slots in
       List.iteri (fun k v -> nf.(ps.(k)) <- v) vargs;
-      match cf.cf_body t nf 1 with () -> VUnit | exception Return_exn v -> v)
+      match cf.cf_body t c nf 1 with
+      | () ->
+          frame_put cf nf;
+          c.cx_ret
+      | exception Return_exn v ->
+          frame_put cf nf;
+          v)

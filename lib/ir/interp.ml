@@ -62,13 +62,11 @@ type t = {
   shadow_globals : (string, value) Hashtbl.t;
   scratch_prefix : string;
   lock_timeout : int64;
-  (* CPU accounting in immediate ints: an [int64] accumulator field is a
-     boxed write per statement. Quantum and statement cost fit comfortably. *)
-  stmt_cost_i : int;
-  cpu_quantum_i : int;
-  mutable cpu_acc : int;
-  mutable stmts_executed : int;
-  max_depth : int;
+  (* CPU accounting and depth budget live in the [Compile.ctx] record the
+     compiled engine threads through every closure; the tree-walker updates
+     the same record, which keeps [stmts_executed] and quantum-flush timing
+     engine-identical. *)
+  ctx : Compile.ctx;
   (* Op/lock descriptions are part of probe records; memoised per (kind,
      target) so the non-error path never re-formats them. *)
   op_descs : (op_kind * string, string) Hashtbl.t;
@@ -106,7 +104,7 @@ let program t = t.prog
 let node t = t.node
 let probe t = t.probe
 let resources t = t.res
-let stmts_executed t = t.stmts_executed
+let stmts_executed t = t.ctx.Compile.cx_stmts
 
 let engine t =
   match t.impl with Treewalk_impl -> `Treewalk | Compiled_impl _ -> `Compiled
@@ -115,34 +113,11 @@ let set_hook_sink t sink = t.hook_sink <- Some sink
 let register_hook t ~id spec = Hashtbl.replace t.hooks id spec
 let hook_spec t ~id = Hashtbl.find_opt t.hooks id
 
-(* Charge CPU time for interpreted statements, flushed in quanta so that a
-   busy loop advances virtual time (an infinite loop must not freeze the
-   simulation, and must be observable as non-progress). *)
+(* CPU charging is implemented on [Compile.ctx] (inlined into compiled
+   closures); the tree-walker routes through the same functions. *)
 
-let charge_stmt t =
-  t.stmts_executed <- t.stmts_executed + 1;
-  let acc = t.cpu_acc + t.stmt_cost_i in
-  if acc >= t.cpu_quantum_i then begin
-    t.cpu_acc <- 0;
-    Wd_sim.Sched.sleep (Int64.of_int acc)
-  end
-  else t.cpu_acc <- acc
-
-let charge t cost =
-  if Int64.compare cost 0x2000_0000_0000_0000L >= 0 then begin
-    (* degenerate huge cost: flush directly, with int64 precision *)
-    let acc = Int64.add (Int64.of_int t.cpu_acc) cost in
-    t.cpu_acc <- 0;
-    Wd_sim.Sched.sleep acc
-  end
-  else begin
-    let acc = t.cpu_acc + Int64.to_int cost in
-    if acc >= t.cpu_quantum_i then begin
-      t.cpu_acc <- 0;
-      Wd_sim.Sched.sleep (Int64.of_int acc)
-    end
-    else t.cpu_acc <- acc
-  end
+let charge_stmt t = Compile.charge_stmt t.ctx
+let charge t cost = Compile.charge t.ctx cost
 
 (* --- expression evaluation (pure; tree-walking reference engine) ---
 
@@ -651,7 +626,8 @@ and exec_stmt t frame depth st =
   | Hook id -> exec_hook_v t id (fun x -> Hashtbl.find_opt frame x)
 
 and exec_call t depth fname vargs =
-  if depth > t.max_depth then Compile.err_depth t.max_depth;
+  if depth > t.ctx.Compile.cx_max_depth then
+    Compile.err_depth t.ctx.Compile.cx_max_depth;
   let f, arity =
     match Hashtbl.find_opt t.funcs_by_name fname with
     | Some fa -> fa
@@ -671,14 +647,7 @@ and exec_call t depth fname vargs =
 (* --- compiled engine: runtime interface and program cache --- *)
 
 let rt : t Compile.rt =
-  {
-    Compile.charge_stmt;
-    charge;
-    exec_op = exec_op_v;
-    exec_sync = exec_sync_v;
-    exec_hook = exec_hook_v;
-    max_depth = (fun t -> t.max_depth);
-  }
+  { Compile.exec_op = exec_op_v; exec_sync = exec_sync_v; exec_hook = exec_hook_v }
 
 type compiled = t Compile.t
 
@@ -687,9 +656,10 @@ type compiled = t Compile.t
    pool outlives batches), so each domain compiles a target once and then
    hits its own table with no cross-domain contention: the hot-path lookup
    takes no lock at all. Invalidation is epoch-based — [clear_compile_cache]
-   bumps a global epoch and each domain resets its table lazily on its next
-   lookup — because one domain cannot reach into another's storage. *)
-let cache_epoch = Atomic.make 0
+   bumps the global [Compile] epoch and each domain resets its table lazily
+   on its next lookup — because one domain cannot reach into another's
+   storage. The same epoch invalidates every call-site inline cache inside
+   compiled forms that stay live across the bump. *)
 let cache_hits = Atomic.make 0
 let cache_misses = Atomic.make 0
 
@@ -703,7 +673,7 @@ let cache_key : cache_slot Domain.DLS.key =
 
 let local_cache () =
   let slot = Domain.DLS.get cache_key in
-  let now = Atomic.get cache_epoch in
+  let now = Compile.current_epoch () in
   if slot.cs_epoch <> now then begin
     Hashtbl.reset slot.cs_tbl;
     slot.cs_epoch <- now
@@ -729,7 +699,7 @@ let precompile prog =
 let compile_cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
 
 let clear_compile_cache () =
-  Atomic.incr cache_epoch;
+  Compile.bump_epoch ();
   Atomic.set cache_hits 0;
   Atomic.set cache_misses 0
 
@@ -766,11 +736,10 @@ let create ?engine ?compiled ?(mode = Main) ?(scratch_prefix = "__wd/")
       shadow_globals = Hashtbl.create 16;
       scratch_prefix;
       lock_timeout;
-      stmt_cost_i = Int64.to_int stmt_cost;
-      cpu_quantum_i = Int64.to_int cpu_quantum;
-      cpu_acc = 0;
-      stmts_executed = 0;
-      max_depth = 512;
+      ctx =
+        Compile.make_ctx
+          ~stmt_cost:(Int64.to_int stmt_cost)
+          ~quantum:(Int64.to_int cpu_quantum) ~max_depth:512;
       op_descs = Hashtbl.create 16;
       lock_descs = Hashtbl.create 8;
       impl = Treewalk_impl;
@@ -793,7 +762,14 @@ let create ?engine ?compiled ?(mode = Main) ?(scratch_prefix = "__wd/")
 let call t fname args =
   match t.impl with
   | Treewalk_impl -> exec_call t 0 fname args
-  | Compiled_impl cp -> Compile.call cp t fname args
+  | Compiled_impl cp -> Compile.call cp t t.ctx fname args
+
+let frame_pool_stats t fname =
+  match t.impl with
+  | Treewalk_impl -> None
+  | Compiled_impl cp -> Compile.frame_pool_stats cp fname
+
+let ic_refills = Compile.ic_refill_count
 
 let start ?entries t sched =
   let wanted = entries in

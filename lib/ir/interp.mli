@@ -17,8 +17,10 @@
     progression), probe records, hook firing order and [Violation] payloads:
 
     - [`Compiled] (the default): the one-time closure-compilation pass of
-      {!Compile}, with slot-indexed frames. Compiled forms are cached
-      per-program digest and shared across instances and domains.
+      {!Compile} — direct-threaded dispatch, slot-indexed pooled frames,
+      call-site inline caches. Compiled forms are cached per-program digest
+      in domain-local storage and shared across instances within a domain
+      (they carry per-domain mutable state and never cross domains).
     - [`Treewalk]: the direct AST walker below, kept as the reference
       semantics ([WD_ENGINE=treewalk] forces it process-wide). *)
 
@@ -47,8 +49,10 @@ val default_engine : unit -> engine
 
 type compiled
 (** A closure-compiled program (see {!Compile}), shareable across any number
-    of interpreter instances — Main and Checker alike — and across
-    domains. *)
+    of interpreter instances — Main and Checker alike — within the domain
+    that compiled it. Carries mutable frame pools and inline caches, so it
+    must not cross domains; the domain-local {!precompile} cache already
+    enforces this. *)
 
 val precompile : program -> compiled
 (** Fetch or build the compiled form of [prog]. Results are cached by
@@ -98,6 +102,17 @@ val node : t -> string
 val probe : t -> probe_state
 val resources : t -> Runtime.resources
 val stmts_executed : t -> int
+
+val frame_pool_stats : t -> string -> (int * int) option
+(** [(pooled_frames, pool_hits)] of a function in this interpreter's
+    compiled form (see {!Compile.frame_pool_stats}); [None] on the
+    tree-walker or for an unknown function. For tests and bench
+    introspection. *)
+
+val ic_refills : unit -> int
+(** Process-wide inline-cache (re)fill counter (see
+    {!Compile.ic_refill_count}): every call site's first execution plus one
+    refill per site per {!clear_compile_cache} epoch bump. *)
 
 val set_hook_sink : t -> (int -> (string * value) list -> unit) -> unit
 (** Receives (hook id, captured deep-copied values) from Main-mode hooks. *)

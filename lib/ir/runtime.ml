@@ -66,6 +66,11 @@ let queue r name =
       Hashtbl.replace r.queues name q;
       q
 
+(* Reclaim a queue that will never be used again (e.g. a per-request reply
+   queue): load runs mint millions of them and the table must not grow
+   without bound. A later [queue] call on the same name just re-creates it. *)
+let drop_queue r name = Hashtbl.remove r.queues name
+
 let global r name =
   match Hashtbl.find_opt r.globals name with Some v -> v | None -> VUnit
 

@@ -4,15 +4,26 @@
    spurious pop is harmless — waiters must re-check their predicate, exactly
    as with POSIX condition variables. *)
 
-type t = { name : string; waiters : (unit -> unit) Queue.t }
+type t = {
+  name : string;
+  reason : string; (* precomputed: built per-wait this is a measurable cost *)
+  reason_timed : string;
+  waiters : (unit -> unit) Queue.t;
+}
 
-let create name = { name; waiters = Queue.create () }
+let create name =
+  {
+    name;
+    reason = "cond " ^ name;
+    reason_timed = "cond " ^ name ^ " (timed)";
+    waiters = Queue.create ();
+  }
+
 let name c = c.name
 let waiter_count c = Queue.length c.waiters
 
 let wait c =
-  Sched.suspend
-    ~reason:(Fmt.str "cond %s" c.name)
+  Sched.suspend ~reason:c.reason
     ~register:(fun waker -> Queue.push waker c.waiters)
 
 let signal c = if not (Queue.is_empty c.waiters) then (Queue.pop c.waiters) ()
@@ -33,8 +44,7 @@ let await_timeout c pred ~timeout =
     if pred () then true
     else if Sched.now s >= deadline then false
     else begin
-      Sched.suspend
-        ~reason:(Fmt.str "cond %s (timed)" c.name)
+      Sched.suspend ~reason:c.reason_timed
         ~register:(fun waker ->
           Queue.push waker c.waiters;
           Sched.at s deadline waker);

@@ -223,10 +223,12 @@ let at s time f =
 
 let after s delay f = at s (Int64.add s.now delay) f
 
+(* Constant reason: sleep is the hottest suspend (every CPU-quantum flush
+   goes through it) and a formatted per-call reason string is measurable
+   there. The duration is recoverable from the trace timestamps. *)
 let sleep delay =
   let s = get () in
-  suspend ~reason:(Fmt.str "sleep %a" Time.pp delay) ~register:(fun waker ->
-      after s delay waker)
+  suspend ~reason:"sleep" ~register:(fun waker -> after s delay waker)
 
 let yield () =
   let s = get () in

@@ -38,12 +38,23 @@ let spawn_dispatcher t =
 (* Issue one request and wait for its reply. Must be called from a task. *)
 let request ?(timeout = Wd_sim.Time.sec 2) t fields =
   t.seq <- t.seq + 1;
-  let reply_name = Fmt.str "%s/r%d" t.replies_queue t.seq in
+  let reply_name = t.replies_queue ^ "/r" ^ string_of_int t.seq in
   let reply_q = Runtime.queue t.res reply_name in
   let req = Ast.VMap (("reply", Ast.VStr reply_name) :: fields) in
   let inq = Runtime.queue t.res t.request_queue in
-  if not (Wd_sim.Channel.try_send inq req) then `Err "request queue full"
+  if not (Wd_sim.Channel.try_send inq req) then begin
+    Runtime.drop_queue t.res reply_name;
+    `Err "request queue full"
+  end
   else
-    match Wd_sim.Channel.recv_timeout reply_q ~timeout with
-    | Some v -> `Ok v
-    | None -> `Timeout
+    let r =
+      match Wd_sim.Channel.recv_timeout reply_q ~timeout with
+      | Some v -> `Ok v
+      | None -> `Timeout
+    in
+    (* One queue per request: reclaim it or load runs grow the resource
+       table (and its channels) without bound. A reply that arrives after
+       a timeout re-creates the queue through the dispatcher's
+       [Runtime.queue] — a rare, bounded leak. *)
+    Runtime.drop_queue t.res reply_name;
+    r

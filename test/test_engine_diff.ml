@@ -128,6 +128,130 @@ let test_error_payloads () =
         false (c = "no outcome"))
     bad_cases
 
+(* --- IC invalidation: redefinition-after-compile, trace-diffed ---
+
+   Same random programs, but the compiled run has its compile cache cleared
+   mid-run (epoch bump) while a *different* random program is compiled in
+   between — the classic redefinition-after-compile pattern. Every call
+   site's inline cache must refill against the new epoch and keep executing
+   its own (unchanged) program: traces stay byte-identical to the
+   tree-walker, and the refill counter moves. *)
+
+let run_trace_with_redefinition seed =
+  let prog = Randgen.gen_program seed in
+  let sched = Sched.create ~seed () in
+  let reg = Wd_env.Faultreg.create () in
+  let res = Randgen.make_env ~reg ~seed in
+  let main = Interp.create ~engine:`Compiled ~node:"n1" ~res prog in
+  ignore (Interp.start main sched);
+  (* mid-run: invalidate, then compile an unrelated program into the fresh
+     epoch so the old sites cannot accidentally revalidate *)
+  Sched.at sched (Time.sec 5) (fun () ->
+      Interp.clear_compile_cache ();
+      ignore (Interp.precompile (Randgen.gen_program (seed + 1000))));
+  Sched.at sched (Time.sec 8) (fun () -> Interp.clear_compile_cache ());
+  ignore (Sched.run ~until:(Time.sec 12) sched);
+  {
+    tr_stmts = Interp.stmts_executed main;
+    tr_end = Sched.now sched;
+    tr_globals =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) res.Runtime.globals []
+      |> List.sort compare;
+  }
+
+let n_redef_seeds = 30
+
+let test_ic_invalidation_traces () =
+  let refills0 = Interp.ic_refills () in
+  for seed = 0 to n_redef_seeds - 1 do
+    let c = run_trace_with_redefinition seed in
+    let t = run_trace ~engine:`Treewalk seed in
+    Alcotest.(check int)
+      (Fmt.str "stmts_executed under redefinition (seed %d)" seed)
+      t.tr_stmts c.tr_stmts;
+    Alcotest.(check int64)
+      (Fmt.str "virtual end time under redefinition (seed %d)" seed)
+      t.tr_end c.tr_end;
+    if c.tr_globals <> t.tr_globals then
+      Alcotest.failf "final globals differ at seed %d under redefinition" seed
+  done;
+  Alcotest.(check bool)
+    "epoch bumps forced inline-cache refills" true
+    (Interp.ic_refills () > refills0)
+
+(* --- frame pools: reuse on iterated calls, correctness on deep recursion --- *)
+
+let pool_prog =
+  B.program "pool"
+    ~funcs:
+      [
+        B.func "leaf" ~params:[ "x" ]
+          [ B.let_ "y" B.(v "x" +: i 1); B.return (B.v "y") ];
+        B.func "iterate" ~params:[ "n" ]
+          [
+            B.let_ "i" (B.i 0);
+            B.while_
+              B.(v "i" <: v "n")
+              [ B.call ~bind:"r" "leaf" [ B.v "i" ];
+                B.assign "i" B.(v "i" +: i 1) ];
+            B.return (B.v "i");
+          ];
+        (* depth-bounded double recursion: rec(n) = rec(n-1) + rec(n-1) at
+           the bottom two levels, so frames are drawn and returned on both
+           the normal and the deep path *)
+        B.func "rec" ~params:[ "n" ]
+          [
+            B.if_
+              B.(v "n" <=: i 0)
+              [ B.return (B.i 1) ]
+              [
+                B.call ~bind:"a" "rec" [ B.(v "n" -: i 1) ];
+                B.return B.(v "a" +: i 1);
+              ];
+          ];
+      ]
+    ~entries:[]
+
+let run_pool_fn ~engine fname arg =
+  let sched = Sched.create ~seed:11 () in
+  let reg = Wd_env.Faultreg.create () in
+  let res = Randgen.make_env ~reg ~seed:11 in
+  let it = Interp.create ~engine ~node:"n1" ~res pool_prog in
+  let out = ref VUnit in
+  ignore
+    (Sched.spawn ~name:"pool" sched (fun () ->
+         out := Interp.call it fname [ VInt arg ]));
+  ignore (Sched.run sched);
+  (it, !out, Interp.stmts_executed it)
+
+let test_frame_pool_reuse () =
+  let it, v, _ = run_pool_fn ~engine:`Compiled "iterate" 10_000 in
+  Alcotest.(check bool) "iterate result" true (v = VInt 10_000);
+  (match Interp.frame_pool_stats it "leaf" with
+  | None -> Alcotest.fail "no frame pool stats for leaf on compiled engine"
+  | Some (pooled, hits) ->
+      (* first call misses (empty pool), every later one must hit *)
+      Alcotest.(check bool)
+        (Fmt.str "leaf pool hits %d >= 9999" hits)
+        true (hits >= 9_999);
+      Alcotest.(check bool)
+        (Fmt.str "leaf pool retains %d frame(s)" pooled)
+        true
+        (pooled >= 1 && pooled <= 32));
+  Alcotest.(check (option (pair int int)))
+    "treewalk has no frame pools" None
+    (let it_tw, _, _ = run_pool_fn ~engine:`Treewalk "iterate" 10 in
+     Interp.frame_pool_stats it_tw "leaf")
+
+let test_deep_recursion_parity () =
+  (* depth 500 sits just under the 512 budget: 500 live frames at peak,
+     far beyond the pool cap, so growth and drain paths both run *)
+  let _, vc, sc = run_pool_fn ~engine:`Compiled "rec" 500 in
+  let _, vt, st = run_pool_fn ~engine:`Treewalk "rec" 500 in
+  Alcotest.(check bool) "deep recursion value parity" true (vc = vt);
+  Alcotest.(check int) "deep recursion stmts parity" st sc;
+  Alcotest.(check bool) "deep recursion computed" true (vc = VInt 501)
+
 (* --- E17 fleet summaries: byte-identical across engines and widths --- *)
 
 let test_e17_engine_identity () =
@@ -155,6 +279,15 @@ let () =
             `Slow test_randprog_traces;
           Alcotest.test_case "violation payloads byte-identical" `Quick
             test_error_payloads;
+          Alcotest.test_case
+            (Fmt.str
+               "%d programs trace-identical under redefinition-after-compile"
+               n_redef_seeds)
+            `Slow test_ic_invalidation_traces;
+          Alcotest.test_case "frame pool reused across iterated calls" `Quick
+            test_frame_pool_reuse;
+          Alcotest.test_case "deep recursion parity (500 frames)" `Quick
+            test_deep_recursion_parity;
           Alcotest.test_case "E17 byte-identical across engines" `Slow
             test_e17_engine_identity;
         ] );

@@ -136,6 +136,44 @@ let test_catalog_conformance () =
       end)
     Wd_faults.Catalog.all
 
+(* Load plane: a closed-loop run is a pure function of (seed, workload) —
+   every counter and percentile bit-identical across repeats — and an
+   open-loop run offered more than the system can absorb sheds the excess
+   instead of queueing without bound. *)
+let load_run gen =
+  let sched = Wd_sim.Sched.create ~seed:9 () in
+  let reg = Wd_env.Faultreg.create () in
+  let booted =
+    Systems.boot ~sched ~reg ~mode:Systems.Wd_generated "kvs"
+  in
+  Loadgen.drive (gen sched booted)
+
+let test_loadgen_deterministic () =
+  let closed sched (b : Systems.booted) =
+    Loadgen.spawn_closed ~sched ~clients:8 ~think:(Wd_sim.Time.us 100)
+      ~requests:3_000 ~op:b.Systems.b_client ()
+  in
+  let r1 = load_run closed and r2 = load_run closed in
+  (* lr_wall_s is host time — everything else must be bit-identical *)
+  check "deterministic across repeats" true
+    ({ r1 with Loadgen.lr_wall_s = 0. } = { r2 with Loadgen.lr_wall_s = 0. });
+  check "all requests completed" true (r1.Loadgen.lr_requests = 3_000);
+  check "all ok" true (r1.Loadgen.lr_ok = 3_000);
+  check "p50 <= p99" true (r1.Loadgen.lr_p50 <= r1.Loadgen.lr_p99);
+  check "p99 <= max" true (r1.Loadgen.lr_p99 <= r1.Loadgen.lr_max);
+  check "positive throughput" true (Loadgen.throughput_rps r1 > 0.)
+
+let test_loadgen_open_sheds () =
+  let open_ sched (b : Systems.booted) =
+    (* far above any single node's capacity, tiny in-flight window *)
+    Loadgen.spawn_open ~sched ~rate_rps:500_000 ~max_inflight:4
+      ~requests:5_000 ~op:b.Systems.b_client ()
+  in
+  let r = load_run open_ in
+  check "accounted every arrival" true
+    (r.Loadgen.lr_requests + r.Loadgen.lr_shed = 5_000);
+  check "overload sheds" true (r.Loadgen.lr_shed > 0)
+
 let test_tables_render () =
   let text =
     Tables.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ]
@@ -171,5 +209,9 @@ let () =
           Alcotest.test_case "catalog consistency" `Quick
             test_scenario_catalog_consistent;
           Alcotest.test_case "table rendering" `Quick test_tables_render;
+          Alcotest.test_case "loadgen deterministic" `Quick
+            test_loadgen_deterministic;
+          Alcotest.test_case "loadgen open-loop sheds overload" `Quick
+            test_loadgen_open_sheds;
         ] );
     ]
