@@ -344,13 +344,18 @@ let run_json_bench ~jobs_n () =
   let load, load_s =
     wall (fun () -> Experiments.e22_run ~requests:load_requests ())
   in
+  (* allocation discipline (v6): minor-heap words per completed request on
+     the zkmini closed loop, wd-off vs wd-on. Must run inline on this
+     domain — Gc.minor_words is per-domain — and is deterministic for the
+     fixed seed, so the gate below cannot flap. *)
+  let alloc_rows, alloc_s = wall (fun () -> Experiments.e22_alloc ()) in
   let buf = Buffer.create 1024 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let rate (hits, misses) =
     float_of_int hits /. Float.max 1. (float_of_int (hits + misses))
   in
   bpf "{\n";
-  bpf "  \"schema\": \"wd-bench-harness/v5\",\n";
+  bpf "  \"schema\": \"wd-bench-harness/v6\",\n";
   let gc = Gc.get () in
   bpf
     "  \"host\": { \"recommended_domains\": %d, \"gc\": { \
@@ -553,6 +558,24 @@ let run_json_bench ~jobs_n () =
     load.Experiments.e22_workloads;
   bpf "    ]\n";
   bpf "  },\n";
+  (* v6: minor-allocation per simulated request, the number the
+     allocation-discipline refactor is accountable for *)
+  bpf "  \"alloc\": {\n";
+  bpf "    \"workload\": \"zkmini\",\n";
+  bpf "    \"wall_s\": %.1f,\n" alloc_s;
+  bpf "    \"budget_bytes_per_req\": 30000,\n";
+  bpf "    \"rows\": [\n";
+  List.iteri
+    (fun i (r : Experiments.e22_alloc_row) ->
+      bpf
+        "      { \"deploy\": \"%s\", \"requests\": %d, \
+         \"minor_words_per_req\": %.1f, \"bytes_per_req\": %.0f }%s\n"
+        r.Experiments.e22a_deploy r.Experiments.e22a_requests
+        r.Experiments.e22a_words_per_req r.Experiments.e22a_bytes_per_req
+        (if i = List.length alloc_rows - 1 then "" else ","))
+    alloc_rows;
+  bpf "    ]\n";
+  bpf "  },\n";
   bpf "  \"analysis_cache\": { \"cold_ms\": %.3f, \"hit_ms\": %.4f },\n"
     (1e3 *. cold_s) (1e3 *. hit_s);
   bpf "  \"interp\": {\n";
@@ -686,7 +709,46 @@ let run_json_bench ~jobs_n () =
   | None -> load_fail "fleet workload row missing"
   | Some w ->
       List.iter (check_row ~wl:w.Experiments.e22w_label ~need_detect:false)
-        w.Experiments.e22w_rows)
+        w.Experiments.e22w_rows);
+  (* latency-identity gate: the watchdog runs off the request path, so in
+     virtual time its presence must not move client percentiles at all —
+     wd-on p50/p99 bit-identical to the wd-off baseline *)
+  List.iter
+    (fun (w : Experiments.e22_workload) ->
+      if w.Experiments.e22w_gen <> "fleet" then
+        List.iter
+          (fun (row : Experiments.e22_row) ->
+            if
+              row.Experiments.e22r_deploy = "wd-on"
+              && (row.Experiments.e22r_p50_x <> 1.
+                 || row.Experiments.e22r_p99_x <> 1.)
+            then
+              load_fail
+                (Printf.sprintf
+                   "%s/wd-on p50/p99 not bit-identical to wd-off (x%.6f/x%.6f)"
+                   w.Experiments.e22w_label row.Experiments.e22r_p50_x
+                   row.Experiments.e22r_p99_x))
+          w.Experiments.e22w_rows)
+    load.Experiments.e22_workloads;
+  (* allocation gate (v6): the refactor's budget — wd-on minor allocation
+     per simulated request stays within 30 KB (the seed spent ~55 KB) *)
+  (match
+     List.find_opt
+       (fun (r : Experiments.e22_alloc_row) ->
+         r.Experiments.e22a_deploy = "wd-on")
+       alloc_rows
+   with
+  | None ->
+      prerr_endline "ERROR: alloc gate: wd-on row missing";
+      exit 1
+  | Some r ->
+      if r.Experiments.e22a_bytes_per_req > 30_000. then begin
+        Printf.eprintf
+          "ERROR: alloc gate: wd-on %.0f bytes/request exceeds the 30000 \
+           budget\n"
+          r.Experiments.e22a_bytes_per_req;
+        exit 1
+      end)
 
 let () =
   let argv = Array.to_list Sys.argv in

@@ -140,10 +140,10 @@ let checker_of_unit ?engine g ~sched ~wctx ~res ~node (u : Reduction.unit_) =
   let payload () = Wcontext.snapshot wctx unit_id in
   let locate () =
     let probe = Interp.probe ci in
-    match probe.Interp.current_op with
+    match Interp.current_op probe with
     | Some (loc, desc, _) -> (Some loc, desc, payload ())
     | None -> (
-        match probe.Interp.last_op with
+        match Interp.last_op probe with
         | Some loc -> (Some loc, "", payload ())
         | None -> (Some u.Reduction.anchor_loc, "", payload ()))
   in
@@ -157,7 +157,8 @@ let checker_of_unit ?engine g ~sched ~wctx ~res ~node (u : Reduction.unit_) =
         let op_ns_before = probe.Interp.op_ns in
         match Interp.call ci u.Reduction.ufunc.fname args with
         | _ ->
-            last_op_time := Some (Int64.sub probe.Interp.op_ns op_ns_before);
+            last_op_time :=
+              Some (Int64.of_int (probe.Interp.op_ns - op_ns_before));
             Checker.Pass
         | exception Interp.Violation { loc; vkind = "liveness"; msg } ->
             Checker.Fail

@@ -33,6 +33,9 @@ type t = {
   rng : Wd_sim.Rng.t;
   seek_ns : int64;
   per_byte_ns : int64;
+  (* op -> path -> interned fault-site id; only populated while faults are
+     armed, so clean runs never pay for site strings at all. *)
+  site_ids : (string, (string, Wd_sim.Site.id) Hashtbl.t) Hashtbl.t;
   mutable reads : int;
   mutable writes : int;
   mutable bytes_read : int;
@@ -48,6 +51,7 @@ let create ?(seek_ns = Wd_sim.Time.us 100) ?(per_byte_ns = 2L) ~reg ~rng name =
     rng;
     seek_ns;
     per_byte_ns;
+    site_ids = Hashtbl.create 7;
     reads = 0;
     writes = 0;
     bytes_read = 0;
@@ -64,12 +68,36 @@ let stats d =
    the cost of [^] chains. *)
 let site d ~op ~path = "disk:" ^ d.name ^ ":" ^ op ^ ":" ^ path
 
+(* Interned site for (op, path): the string is built once per distinct pair
+   and subsequent consults reuse the canonical copy. Only reached when the
+   registry is armed; a run cap keeps pathological path diversity from
+   growing the global intern table unboundedly. *)
+let site_id d ~op ~path =
+  let per_op =
+    match Hashtbl.find_opt d.site_ids op with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 32 in
+        Hashtbl.add d.site_ids op h;
+        h
+  in
+  match Hashtbl.find_opt per_op path with
+  | Some id -> id
+  | None ->
+      let id = Wd_sim.Site.intern (site d ~op ~path) in
+      if Hashtbl.length per_op < 4096 then Hashtbl.add per_op path id;
+      id
+
 (* Model the cost of touching [len] bytes, then apply injected behaviours.
    Returns [corrupt] so the caller can damage the payload silently. *)
 let perform d ~op ~path ~len =
   let s = Wd_sim.Sched.get () in
   let now = Wd_sim.Sched.now s in
-  let behaviours = Faultreg.consult d.reg ~site:(site d ~op ~path) ~now in
+  let behaviours =
+    if Faultreg.armed d.reg then
+      Faultreg.consult d.reg ~site:(Wd_sim.Site.str (site_id d ~op ~path)) ~now
+    else []
+  in
   let factor = Faultreg.slow_factor behaviours in
   let modelled =
     Int64.add d.seek_ns (Int64.mul d.per_byte_ns (Int64.of_int len))

@@ -45,6 +45,12 @@ let remove t ~id = t.faults <- List.filter (fun f -> f.id <> id) t.faults
 let faults t = t.faults
 let triggers t = List.rev t.triggers
 
+(* Hot-path guard: with no faults injected (every clean perf/load run, and
+   every op outside a fault window after [clear]) a consult can match
+   nothing and record nothing — callers skip building the site string
+   entirely. *)
+let armed t = t.faults <> []
+
 let site_matches ~pattern ~site =
   let n = String.length pattern in
   if n > 0 && pattern.[n - 1] = '*' then

@@ -35,6 +35,11 @@ val triggers : t -> trigger list
 
 val site_matches : pattern:string -> site:string -> bool
 
+val armed : t -> bool
+(** [true] iff any fault is currently injected. When [false], [consult]
+    cannot match or record anything — hot paths use this to skip building
+    the site string altogether. *)
+
 val consult : t -> site:string -> now:int64 -> (string * behaviour) list
 (** Active faults matching [site], as [(fault id, behaviour)]. Logs a trigger
     for each and retires [once] faults. *)

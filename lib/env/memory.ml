@@ -10,6 +10,7 @@ type t = {
   name : string;
   capacity : int;
   reg : Faultreg.t;
+  alloc_site : string; (* interned "mem:<name>:alloc", built once *)
   mutable used : int;
   mutable peak : int;
   mutable allocs : int;
@@ -27,6 +28,7 @@ let create ?(pause_threshold = 0.80) ?(max_pause = Wd_sim.Time.ms 400) ~reg
     name;
     capacity;
     reg;
+    alloc_site = Wd_sim.Site.str (Wd_sim.Site.intern ("mem:" ^ name ^ ":alloc"));
     used = 0;
     peak = 0;
     allocs = 0;
@@ -57,8 +59,11 @@ let alloc m size =
   if size < 0 then invalid_arg "Memory.alloc: negative size";
   let s = Wd_sim.Sched.get () in
   let now = Wd_sim.Sched.now s in
-  let site = Fmt.str "mem:%s:alloc" m.name in
-  let behaviours = Faultreg.consult m.reg ~site ~now in
+  let behaviours =
+    if Faultreg.armed m.reg then
+      Faultreg.consult m.reg ~site:m.alloc_site ~now
+    else []
+  in
   (match
      Faultreg.apply_common behaviours ~now ~stop_of:(Faultreg.stop_of m.reg)
    with

@@ -43,6 +43,9 @@ type 'a t = {
   links : (string * string, link_profile) Hashtbl.t;
   (* serialisation horizon of each bandwidth-bounded link *)
   busy_until : (string * string, int64) Hashtbl.t;
+  (* (src, site dst) -> interned fault-site id; populated only while the
+     registry is armed, so clean sends build no site string. *)
+  site_ids : (string * string, Wd_sim.Site.id) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -58,6 +61,7 @@ let create ?(base_latency = Wd_sim.Time.us 500) ~reg ~rng name =
     last_delivery = Hashtbl.create 32;
     links = Hashtbl.create 16;
     busy_until = Hashtbl.create 16;
+    site_ids = Hashtbl.create 32;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -90,14 +94,26 @@ let inbox n endpoint =
 
 let inbox_length n endpoint = Wd_sim.Channel.length (inbox n endpoint)
 
+let site_id n ~src ~sdst =
+  match Hashtbl.find_opt n.site_ids (src, sdst) with
+  | Some id -> id
+  | None ->
+      let id =
+        Wd_sim.Site.intern ("net:" ^ n.name ^ ":send:" ^ src ^ ":" ^ sdst)
+      in
+      if Hashtbl.length n.site_ids < 8192 then
+        Hashtbl.add n.site_ids (src, sdst) id;
+      id
+
 let send ?site_dst ?(size = 0) n ~src ~dst payload =
   let s = Wd_sim.Sched.get () in
   let now = Wd_sim.Sched.now s in
-  let site =
-    "net:" ^ n.name ^ ":send:" ^ src ^ ":"
-    ^ Option.value site_dst ~default:dst
+  let behaviours =
+    if Faultreg.armed n.reg then
+      let sdst = Option.value site_dst ~default:dst in
+      Faultreg.consult n.reg ~site:(Wd_sim.Site.str (site_id n ~src ~sdst)) ~now
+    else []
   in
-  let behaviours = Faultreg.consult n.reg ~site ~now in
   (* Sender-side consequences: hang and error block/fail the caller. *)
   List.iter
     (fun (id, b) ->

@@ -1778,6 +1778,13 @@ type e22_result = {
   e22_total_requests : int;
 }
 
+type e22_alloc_row = {
+  e22a_deploy : string;
+  e22a_requests : int;  (** completed requests actually driven *)
+  e22a_words_per_req : float;  (** minor-heap words per completed request *)
+  e22a_bytes_per_req : float;
+}
+
 (* deployment label, watchdog mode, attach the inferred generation *)
 let e22_deploy_specs =
   [
@@ -1966,6 +1973,38 @@ let e22_fleet ~requests =
         };
       ];
   }
+
+(* Allocation discipline, the E22 companion measurement: minor-heap words
+   allocated per completed request on the single-node zkmini closed loop,
+   wd-off vs wd-on. [Gc.minor_words] is a per-domain counter, so both runs
+   execute inline on the calling domain — never under par_map. The schedule
+   is deterministic for a fixed seed, so the figure is reproducible enough
+   to gate in CI. The inferred-on deployment is skipped: it needs a mining
+   pass whose own allocation would dwarf the load plane's. *)
+let e22_alloc ?(requests = 20_000) () =
+  List.filter_map
+    (fun (deploy, mode, with_infer) ->
+      if with_infer then None
+      else
+        let sched = Wd_sim.Sched.create ~seed:(base_seed ()) () in
+        let booted, _reg = e22_boot ~sched ~mode ~infer:None "zkmini" in
+        let g =
+          Loadgen.spawn_closed ~label:"zkmini" ~sched ~clients:32
+            ~think:(Wd_sim.Time.us 50) ~requests
+            ~op:booted.Systems.b_client ()
+        in
+        let w0 = Gc.minor_words () in
+        let r = Loadgen.drive g in
+        let dw = Gc.minor_words () -. w0 in
+        let per_req = dw /. float_of_int (max 1 r.Loadgen.lr_requests) in
+        Some
+          {
+            e22a_deploy = deploy;
+            e22a_requests = r.Loadgen.lr_requests;
+            e22a_words_per_req = per_req;
+            e22a_bytes_per_req = per_req *. float_of_int (Sys.word_size / 8);
+          })
+    e22_deploy_specs
 
 let e22_default_requests = 60_000
 

@@ -269,6 +269,19 @@ type e22_result = {
   e22_total_requests : int;
 }
 
+type e22_alloc_row = {
+  e22a_deploy : string;  (** "wd-off" | "wd-on" *)
+  e22a_requests : int;  (** completed requests actually driven *)
+  e22a_words_per_req : float;  (** minor-heap words per completed request *)
+  e22a_bytes_per_req : float;
+}
+
+val e22_alloc : ?requests:int -> unit -> e22_alloc_row list
+(** Minor-heap allocation per completed request on the zkmini closed loop,
+    one row per deployment (wd-off, wd-on; inferred-on is skipped — it
+    needs a mining pass). Runs inline on the calling domain because
+    [Gc.minor_words] is per-domain; deterministic for a fixed seed. *)
+
 val e22_default_requests : int
 
 val e22_run : ?requests:int -> ?fleet_requests:int -> unit -> e22_result

@@ -192,8 +192,11 @@ let boot_kvs ?engine ~sched ~reg ~mode ~special () =
     List.iter (Wd_sim.Sched.kill sched) tasks;
     Driver.stop driver
   in
+  (* Bounded key space: build the 256 key strings once, not per request
+     (payload strings stay per-request — they must be unique). *)
+  let keys = Array.init 256 (fun k -> "lk" ^ string_of_int k) in
   let client i =
-    let key = "lk" ^ string_of_int (i mod 256) in
+    let key = keys.(i mod 256) in
     match i mod 3 with
     | 0 -> Wd_targets.Kvs.set t ~key ~value:("lv" ^ string_of_int i)
     | 1 -> Wd_targets.Kvs.get t ~key
@@ -271,8 +274,9 @@ let boot_zk ?engine ~sched ~reg ~mode ~special:_ () =
     List.iter (Wd_sim.Sched.kill sched) tasks;
     Driver.stop driver
   in
+  let paths = Array.init 64 (fun k -> "/l" ^ string_of_int k) in
   let client i =
-    let path = "/l" ^ string_of_int (i mod 64) in
+    let path = paths.(i mod 64) in
     if i mod 3 = 0 then Wd_targets.Zkmini.get t ~path
     else Wd_targets.Zkmini.create t ~path ~data:("ld" ^ string_of_int i)
   in
@@ -349,8 +353,9 @@ let boot_dfs ?engine ~sched ~reg ~mode ~special:_ () =
     List.iter (Wd_sim.Sched.kill sched) tasks;
     Driver.stop driver
   in
+  let blkids = Array.init 128 (fun k -> "lb" ^ string_of_int k) in
   let client i =
-    let blkid = "lb" ^ string_of_int (i mod 128) in
+    let blkid = blkids.(i mod 128) in
     if i mod 4 = 3 then Wd_targets.Dfsmini.read_block_req t ~blkid
     else Wd_targets.Dfsmini.put_block t ~blkid ~data:("lp" ^ string_of_int i)
   in
@@ -420,8 +425,9 @@ let boot_cs ?engine ~sched ~reg ~mode ~special () =
     List.iter (Wd_sim.Sched.kill sched) tasks;
     Driver.stop driver
   in
+  let keys = Array.init 128 (fun k -> "lrow" ^ string_of_int k) in
   let client i =
-    let key = "lrow" ^ string_of_int (i mod 128) in
+    let key = keys.(i mod 128) in
     if i mod 3 = 2 then Wd_targets.Cstore.read t ~key
     else Wd_targets.Cstore.write t ~key ~value:("lc" ^ string_of_int i)
   in

@@ -129,6 +129,16 @@ let rec copy_value = function
   | VPair (a, b) -> VPair (copy_value a, copy_value b)
   | VMap kvs -> VMap (List.map (fun (k, v) -> (k, copy_value v)) kvs)
 
+(* A value with no VBytes anywhere is persistent: sharing it across the
+   program/watchdog boundary is safe and [copy_value] would return a
+   structurally-new but semantically-identical tree for nothing. *)
+let rec value_immutable = function
+  | VUnit | VBool _ | VInt _ | VStr _ -> true
+  | VBytes _ -> false
+  | VList vs -> List.for_all value_immutable vs
+  | VPair (a, b) -> value_immutable a && value_immutable b
+  | VMap kvs -> List.for_all (fun (_, v) -> value_immutable v) kvs
+
 let rec value_equal a b =
   match (a, b) with
   | VUnit, VUnit -> true
@@ -148,19 +158,68 @@ let rec value_equal a b =
     ->
       false
 
-let rec pp_value ppf = function
-  | VUnit -> Fmt.string ppf "()"
-  | VBool b -> Fmt.bool ppf b
-  | VInt i -> Fmt.int ppf i
-  | VStr s -> Fmt.pf ppf "%S" s
+(* Canonical rendering, byte-identical to the historical Fmt-based printer
+   (which emitted no break hints, so flat Buffer output matches). This is
+   the hot-path form: [serialize], [hash_value] and log formatting all
+   funnel through one Buffer instead of a Format machine per value. [%S]
+   is by definition ["\"" ^ String.escaped s ^ "\""], and [String.escaped]
+   returns its argument unchanged (no copy) when nothing needs escaping. *)
+let rec render_value buf = function
+  | VUnit -> Buffer.add_string buf "()"
+  | VBool true -> Buffer.add_string buf "true"
+  | VBool false -> Buffer.add_string buf "false"
+  | VInt i -> Buffer.add_string buf (string_of_int i)
+  | VStr s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (String.escaped s);
+      Buffer.add_char buf '"'
   | VBytes b ->
-      if Bytes.length b <= 16 then Fmt.pf ppf "bytes%S" (Bytes.to_string b)
-      else Fmt.pf ppf "bytes<%d>" (Bytes.length b)
-  | VList vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp_value) vs
-  | VPair (a, b) -> Fmt.pf ppf "(%a, %a)" pp_value a pp_value b
+      if Bytes.length b <= 16 then begin
+        Buffer.add_string buf "bytes\"";
+        Buffer.add_string buf (String.escaped (Bytes.to_string b));
+        Buffer.add_char buf '"'
+      end
+      else begin
+        Buffer.add_string buf "bytes<";
+        Buffer.add_string buf (string_of_int (Bytes.length b));
+        Buffer.add_char buf '>'
+      end
+  | VList vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf "; ";
+          render_value buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | VPair (a, b) ->
+      Buffer.add_char buf '(';
+      render_value buf a;
+      Buffer.add_string buf ", ";
+      render_value buf b;
+      Buffer.add_char buf ')'
   | VMap kvs ->
-      Fmt.pf ppf "{%a}"
-        Fmt.(
-          list ~sep:(any ", ") (fun ppf (k, v) ->
-              Fmt.pf ppf "%s=%a" k pp_value v))
-        kvs
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf k;
+          Buffer.add_char buf '=';
+          render_value buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+(* Per-domain scratch buffer: rendering never re-enters itself (the
+   renderer calls no user code), so one buffer per domain suffices. *)
+let render_buf_key = Domain.DLS.new_key (fun () -> Buffer.create 256)
+
+let value_to_string v =
+  let buf = Domain.DLS.get render_buf_key in
+  Buffer.clear buf;
+  render_value buf v;
+  let s = Buffer.contents buf in
+  (* Don't let one huge value pin a large backing array for the domain. *)
+  if Buffer.length buf > 65536 then Buffer.reset buf;
+  s
+
+let pp_value ppf v = Format.pp_print_string ppf (value_to_string v)

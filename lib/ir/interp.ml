@@ -33,17 +33,39 @@ exception Return_exn = Compile.Return_exn
 type mode = Main | Checker
 type engine = [ `Compiled | `Treewalk ]
 
+(* Flat probe record: every field is an immediate or a pointer store, so
+   bracketing an op mutates in place — no option/tuple/boxed-int64 blocks
+   per operation. [Loc.dummy] is the "none" sentinel for location fields
+   (real program locs always carry a non-negative uid); virtual-ns
+   quantities are native ints (they fit 62 bits). The option-shaped views
+   live in the [current_op]/[last_op]/[slowest_op] accessors. *)
 type probe_state = {
-  mutable current_op : (Loc.t * string * int64) option;
-  mutable last_op : Loc.t option;
-  mutable slowest_op : (Loc.t * int64) option;
+  mutable op_active : bool;    (* an operation is in flight *)
+  mutable op_loc : Loc.t;      (* its location (valid when [op_active]) *)
+  mutable op_desc : string;
+  mutable op_started : int;    (* virtual ns *)
+  mutable last_loc : Loc.t;    (* most recent op; [Loc.dummy] = none yet *)
+  mutable slow_loc : Loc.t;
+  mutable slow_ns : int;       (* -1 = no op observed yet *)
   mutable ops_executed : int;
   (* cumulative time spent in operations vs. waiting for locks; slowness
      assessment uses op time only, since benign lock contention is not a
      fail-slow signal (lock wedges have their own liveness budget) *)
-  mutable op_ns : int64;
-  mutable lock_ns : int64;
+  mutable op_ns : int;
+  mutable lock_ns : int;
 }
+
+let current_op p =
+  if p.op_active then Some (p.op_loc, p.op_desc, Int64.of_int p.op_started)
+  else None
+
+let last_op p = if p.last_loc == Loc.dummy then None else Some p.last_loc
+
+let slowest_op p =
+  if p.slow_ns < 0 then None else Some (p.slow_loc, Int64.of_int p.slow_ns)
+
+let probe_op_ns p = Int64.of_int p.op_ns
+let probe_lock_ns p = Int64.of_int p.lock_ns
 
 type hook_spec = { hook_checker : string; hook_vars : string list }
 
@@ -71,6 +93,11 @@ type t = {
      target) so the non-error path never re-formats them. *)
   op_descs : (op_kind * string, string) Hashtbl.t;
   lock_descs : (string, string) Hashtbl.t;
+  (* Interned trace keys, memoised per (opname, target, operand-prefix):
+     a traced op looks up a tuple key instead of concatenating a fresh
+     "kind:target:prefix" string. *)
+  trace_keys : (string * string * string, Wd_sim.Site.id) Hashtbl.t;
+  node_site : Wd_sim.Site.id;
   mutable impl : impl;
 }
 
@@ -289,13 +316,17 @@ let lock_desc_memo t lockname =
    operand truncated after its first path segment, so mined trace keys line
    up with the statically derived "kind:target:operand-prefix" families.
    Only computed when the run is traced and the node executes in Main mode
-   (checker-mode mimics must not pollute the passing-run observations). *)
+   (checker-mode mimics must not pollute the passing-run observations).
+   Returns an interned {!Wd_sim.Site.id}, or [no_tkey] when untraced — the
+   key string is built once per distinct (opname, target, prefix) family. *)
+let no_tkey = -1
+
 let trace_key t ~opname ~target vargs =
-  if t.mode <> Main then None
+  if t.mode <> Main then no_tkey
   else
     match Wd_sim.Sched.trace (Wd_sim.Sched.get ()) with
-    | None -> None
-    | Some _ ->
+    | None -> no_tkey
+    | Some _ -> (
         let prefix =
           match vargs with
           | VStr s :: _ -> (
@@ -304,7 +335,14 @@ let trace_key t ~opname ~target vargs =
               | None -> s)
           | _ -> ""
         in
-        Some (opname ^ ":" ^ target ^ ":" ^ prefix)
+        let key = (opname, target, prefix) in
+        match Hashtbl.find_opt t.trace_keys key with
+        | Some id -> id
+        | None ->
+            let id = Wd_sim.Site.intern (opname ^ ":" ^ target ^ ":" ^ prefix) in
+            if Hashtbl.length t.trace_keys < 8192 then
+              Hashtbl.add t.trace_keys key id;
+            id)
 
 let trace_err = function
   | Violation { vkind; _ } -> "violation:" ^ vkind
@@ -317,56 +355,64 @@ let trace_err = function
    pinpoint an in-flight hang and track slow operations. [is_lock] routes
    the elapsed time to the lock-wait counter (excluded from slowness
    assessment); the call site knows, so no description sniffing. [tkey],
-   when present, additionally emits Op_start/Op_end/Op_fail trace events
-   keyed by it — the raw material for trace-inferred checkers. *)
-let with_probe t loc ~is_lock ?tkey desc f =
+   when not [no_tkey], additionally emits Op_start/Op_end/Op_fail trace
+   events keyed by it — the raw material for trace-inferred checkers. The
+   probe bracket is pure field stores: nothing is boxed per op. *)
+let with_probe t loc ~is_lock ~tkey desc f =
   let s = Wd_sim.Sched.get () in
-  let started = Wd_sim.Sched.now s in
-  t.probe.current_op <- Some (loc, desc, started);
-  (match tkey with
-  | Some op ->
-      Wd_sim.Sched.trace_emit s
-        (Wd_sim.Trace.Op_start { op; node = t.node; func = Loc.func loc })
-  | None -> ());
+  let p = t.probe in
+  (* [started] must be a local: the probe record is shared by every task of
+     this interpreter, so a concurrent op overwrites [p.op_started] while
+     this op blocks — elapsed-time accounting has to survive that. *)
+  let started = Int64.to_int (Wd_sim.Sched.now s) in
+  p.op_active <- true;
+  p.op_loc <- loc;
+  p.op_desc <- desc;
+  p.op_started <- started;
+  if tkey >= 0 then
+    Wd_sim.Sched.trace_op_start s ~op:tkey ~node:t.node_site
+      ~func:(Wd_sim.Site.intern (Loc.func loc));
   let finish () =
-    let elapsed = Int64.sub (Wd_sim.Sched.now s) started in
-    t.probe.current_op <- None;
-    t.probe.last_op <- Some loc;
-    t.probe.ops_executed <- t.probe.ops_executed + 1;
-    (if is_lock then t.probe.lock_ns <- Int64.add t.probe.lock_ns elapsed
-     else t.probe.op_ns <- Int64.add t.probe.op_ns elapsed);
-    (match t.probe.slowest_op with
-    | Some (_, worst) when worst >= elapsed -> ()
-    | Some _ | None -> t.probe.slowest_op <- Some (loc, elapsed));
+    let elapsed = Int64.to_int (Wd_sim.Sched.now s) - started in
+    p.op_active <- false;
+    p.last_loc <- loc;
+    p.ops_executed <- p.ops_executed + 1;
+    (if is_lock then p.lock_ns <- p.lock_ns + elapsed
+     else p.op_ns <- p.op_ns + elapsed);
+    if elapsed > p.slow_ns then begin
+      p.slow_loc <- loc;
+      p.slow_ns <- elapsed
+    end;
     elapsed
   in
   match f () with
   | v ->
       let elapsed = finish () in
-      (match tkey with
-      | Some op ->
-          Wd_sim.Sched.trace_emit s
-            (Wd_sim.Trace.Op_end
-               { op; node = t.node; func = Loc.func loc; dur = elapsed })
-      | None -> ());
+      if tkey >= 0 then
+        Wd_sim.Sched.trace_op_end s ~op:tkey ~node:t.node_site
+          ~func:(Wd_sim.Site.intern (Loc.func loc))
+          ~dur:(Int64.of_int elapsed);
       v
   | exception e ->
-      (* Leave [current_op] set on failure: it is the pinpoint. *)
-      t.probe.last_op <- Some loc;
-      (match tkey with
-      | Some op ->
-          Wd_sim.Sched.trace_emit s
-            (Wd_sim.Trace.Op_fail
-               { op; node = t.node; func = Loc.func loc; err = trace_err e })
-      | None -> ());
+      (* Leave the in-flight op set on failure: it is the pinpoint. *)
+      p.last_loc <- loc;
+      if tkey >= 0 then
+        Wd_sim.Sched.trace_op_fail s ~op:tkey ~node:t.node_site
+          ~func:(Wd_sim.Site.intern (Loc.func loc))
+          ~err:(trace_err e);
       raise e
 
 let scratch t path = t.scratch_prefix ^ path
 
+(* Shared empty-mailbox marker: both engines return this exact structure on
+   a timed-out poll; it contains no mutable leaf, so one shared constant is
+   indistinguishable from a fresh allocation. *)
+let vmap_miss = VMap [ ("ok", VBool false) ]
+
 (* Effectful op over pre-evaluated arguments; shared by both engines. *)
 let exec_op_v t loc ~desc ~kind ~target vargs =
   let tkey = trace_key t ~opname:(op_kind_name kind) ~target vargs in
-  with_probe t loc ~is_lock:false ?tkey desc (fun () ->
+  with_probe t loc ~is_lock:false ~tkey desc (fun () ->
       match (kind, vargs) with
       | Disk_write, [ p; data ] ->
           let d = Runtime.disk t.res target in
@@ -443,11 +489,11 @@ let exec_op_v t loc ~desc ~kind ~target vargs =
                       ("payload", env.Wd_env.Net.payload);
                       ("corrupted", VBool env.Wd_env.Net.corrupted);
                     ]
-              | None -> VMap [ ("ok", VBool false) ])
+              | None -> vmap_miss)
           | Checker ->
               (* Receiving is not mimicked against live traffic; a checker
                  poll returns an empty mailbox marker. *)
-              VMap [ ("ok", VBool false) ])
+              vmap_miss)
       | Queue_put, [ data ] ->
           let q =
             Runtime.queue t.res
@@ -462,8 +508,8 @@ let exec_op_v t loc ~desc ~kind ~target vargs =
               let timeout = Wd_sim.Time.ms (arg_int loc timeout) in
               match Wd_sim.Channel.recv_timeout q ~timeout with
               | Some v -> VMap [ ("ok", VBool true); ("payload", v) ]
-              | None -> VMap [ ("ok", VBool false) ])
-          | Checker -> VMap [ ("ok", VBool false) ])
+              | None -> vmap_miss)
+          | Checker -> vmap_miss)
       | Mem_alloc, [ size ] ->
           let m = Runtime.mem t.res target in
           let size = arg_int loc size in
@@ -492,7 +538,7 @@ let exec_op_v t loc ~desc ~kind ~target vargs =
           Wd_sim.Sched.sleep (Wd_sim.Time.ms (arg_int loc ms));
           VUnit
       | Log_op, [ msg ] ->
-          Runtime.log t.res ~node:t.node (Fmt.str "%a" pp_value msg);
+          Runtime.log t.res ~node:t.node (value_to_string msg);
           VUnit
       | _, _ ->
           raise
@@ -509,7 +555,7 @@ let exec_sync_v t loc ~lock:lockname ~desc body =
   match t.mode with
   | Main -> (
       let tkey = trace_key t ~opname:"sync" ~target:lockname [] in
-      with_probe t loc ~is_lock:true ?tkey desc (fun () ->
+      with_probe t loc ~is_lock:true ~tkey desc (fun () ->
           Wd_sim.Smutex.lock lock);
       let release () = Wd_sim.Smutex.unlock lock in
       match body () with
@@ -526,7 +572,7 @@ let exec_sync_v t loc ~lock:lockname ~desc body =
          hanging) operation would let the watchdog wedge the main program,
          the §3.2 isolation failure. *)
       let acquired =
-        with_probe t loc ~is_lock:true desc (fun () ->
+        with_probe t loc ~is_lock:true ~tkey:no_tkey desc (fun () ->
             let s = Wd_sim.Sched.get () in
             let deadline = Int64.add (Wd_sim.Sched.now s) t.lock_timeout in
             let rec attempt () =
@@ -563,7 +609,11 @@ let exec_hook_v t id lookup =
             List.filter_map
               (fun x ->
                 match lookup x with
-                | Some v -> Some (x, copy_value v) (* replication: never alias *)
+                | Some v ->
+                    (* Replication: never alias a mutable buffer. Values
+                       with no VBytes anywhere are persistent, so sharing
+                       them is indistinguishable from a deep copy. *)
+                    Some (x, if value_immutable v then v else copy_value v)
                 | None -> None)
               spec.hook_vars
           in
@@ -726,12 +776,16 @@ let create ?engine ?compiled ?(mode = Main) ?(scratch_prefix = "__wd/")
       hooks = Hashtbl.create 16;
       probe =
         {
-          current_op = None;
-          last_op = None;
-          slowest_op = None;
+          op_active = false;
+          op_loc = Loc.dummy;
+          op_desc = "";
+          op_started = 0;
+          last_loc = Loc.dummy;
+          slow_loc = Loc.dummy;
+          slow_ns = -1;
           ops_executed = 0;
-          op_ns = 0L;
-          lock_ns = 0L;
+          op_ns = 0;
+          lock_ns = 0;
         };
       shadow_globals = Hashtbl.create 16;
       scratch_prefix;
@@ -742,6 +796,8 @@ let create ?engine ?compiled ?(mode = Main) ?(scratch_prefix = "__wd/")
           ~quantum:(Int64.to_int cpu_quantum) ~max_depth:512;
       op_descs = Hashtbl.create 16;
       lock_descs = Hashtbl.create 8;
+      trace_keys = Hashtbl.create 32;
+      node_site = Wd_sim.Site.intern node;
       impl = Treewalk_impl;
     }
   in

@@ -67,17 +67,33 @@ val compile_cache_stats : unit -> int * int
 
 val clear_compile_cache : unit -> unit
 
+(** Per-interpreter probe record. Flat mutable fields so the per-op
+    bracket allocates nothing: [Loc.dummy] stands for "no location yet"
+    and virtual-ns quantities are native ints. Prefer the option-shaped
+    accessors below; the raw fields are exposed for tests. *)
 type probe_state = {
-  mutable current_op : (Loc.t * string * int64) option;
-      (** operation in flight: location, description, start time — the
-          pinpoint when a checker times out *)
-  mutable last_op : Loc.t option;
-  mutable slowest_op : (Loc.t * int64) option;
+  mutable op_active : bool;  (** an operation is in flight *)
+  mutable op_loc : Loc.t;
+      (** its location (valid when [op_active]) — the pinpoint when a
+          checker times out *)
+  mutable op_desc : string;
+  mutable op_started : int;  (** virtual ns *)
+  mutable last_loc : Loc.t;  (** most recent op; [Loc.dummy] = none yet *)
+  mutable slow_loc : Loc.t;
+  mutable slow_ns : int;     (** -1 = no op observed yet *)
   mutable ops_executed : int;
-  mutable op_ns : int64;    (** cumulative operation time *)
-  mutable lock_ns : int64;  (** cumulative lock-wait time (excluded from
-                                slowness assessment) *)
+  mutable op_ns : int;       (** cumulative operation time, virtual ns *)
+  mutable lock_ns : int;     (** cumulative lock-wait time (excluded from
+                                 slowness assessment) *)
 }
+
+val current_op : probe_state -> (Loc.t * string * int64) option
+(** Operation in flight: location, description, start time. *)
+
+val last_op : probe_state -> Loc.t option
+val slowest_op : probe_state -> (Loc.t * int64) option
+val probe_op_ns : probe_state -> int64
+val probe_lock_ns : probe_state -> int64
 
 type hook_spec = { hook_checker : string; hook_vars : string list }
 

@@ -16,15 +16,17 @@ let as_list = function VList l -> l | v -> err "expected list, got %a" pp_value 
 let as_map = function VMap m -> m | v -> err "expected map, got %a" pp_value v
 let as_bool = function VBool b -> b | v -> err "expected bool, got %a" pp_value v
 
-(* FNV-1a over the printed form: a stable, portable content hash. *)
+(* FNV-1a over the printed form: a stable, portable content hash. Hashes
+   straight out of the domain's render buffer — no intermediate string. *)
 let hash_value v =
-  let s = Fmt.str "%a" pp_value v in
+  let buf = Domain.DLS.get render_buf_key in
+  Buffer.clear buf;
+  render_value buf v;
   let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h 0x100000001b3L)
-    s;
+  for i = 0 to Buffer.length buf - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Buffer.nth buf i)));
+    h := Int64.mul !h 0x100000001b3L
+  done;
   Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
 
 let apply name args =
@@ -88,7 +90,7 @@ let apply name args =
       in
       VBool (check l)
   | "not", [ VBool b ] -> VBool (not b)
-  | "serialize", [ v ] -> VStr (Fmt.str "%a" pp_value v)
+  | "serialize", [ v ] -> VStr (value_to_string v)
   | "str_drop", [ VStr s; VInt n ] ->
       if n < 0 then err "str_drop %d" n
       else if n >= String.length s then VStr ""

@@ -30,6 +30,9 @@ type task = {
   mutable exit_hooks : (exit_status -> unit) list;
   mutable cancel_requested : bool;
   daemon : bool;
+  (* "join <name>", built on the first join so repeat joiners of a hot task
+     do not re-format the suspend reason *)
+  mutable join_reason : string;
 }
 
 type run_result = Quiescent | Time_limit | Deadlock of task list
@@ -98,10 +101,29 @@ let stats s = (s.spawned, s.switches, s.events_fired)
 let set_trace s trace = s.trace <- Some trace
 let trace s = s.trace
 
-let emit s t kind =
+(* Dedicated per-kind emitters: with tracing off (the common case) nothing
+   is evaluated or allocated — the old [emit s t (Trace.Blocked reason)]
+   shape built a variant block per suspend even with no trace attached. *)
+let emit_spawned s t =
   match s.trace with
   | None -> ()
-  | Some tr -> Trace.record tr ~at:s.now ~task_id:t.id ~task_name:t.name kind
+  | Some tr -> Trace.spawned tr ~at:s.now ~task_id:t.id ~task_name:t.name
+
+let emit_resumed s t =
+  match s.trace with
+  | None -> ()
+  | Some tr -> Trace.resumed tr ~at:s.now ~task_id:t.id ~task_name:t.name
+
+let emit_blocked s t reason =
+  match s.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.blocked tr ~at:s.now ~task_id:t.id ~task_name:t.name ~reason
+
+let emit_finished s t how =
+  match s.trace with
+  | None -> ()
+  | Some tr -> Trace.finished tr ~at:s.now ~task_id:t.id ~task_name:t.name ~how
 
 (* Record an event attributed to the current task (the interpreter uses this
    for operation-level events). No-op when tracing is off. *)
@@ -114,13 +136,41 @@ let trace_emit s kind =
       in
       Trace.record tr ~at:s.now ~task_id ~task_name kind
 
+(* Interned op-event emitters for the interpreter's traced fast path: the
+   caller resolves Site ids once per op site, and nothing here allocates. *)
+let current_ident s =
+  match s.current with Some t -> (t.id, t.name) | None -> (0, "<sched>")
+
+let trace_op_start s ~op ~node ~func =
+  match s.trace with
+  | None -> ()
+  | Some tr ->
+      let task_id, task_name = current_ident s in
+      Trace.op_start tr ~at:s.now ~task_id ~task_name ~op ~node ~func
+
+let trace_op_end s ~op ~node ~func ~dur =
+  match s.trace with
+  | None -> ()
+  | Some tr ->
+      let task_id, task_name = current_ident s in
+      Trace.op_end tr ~at:s.now ~task_id ~task_name ~op ~node ~func ~dur
+
+let trace_op_fail s ~op ~node ~func ~err =
+  match s.trace with
+  | None -> ()
+  | Some tr ->
+      let task_id, task_name = current_ident s in
+      Trace.op_fail tr ~at:s.now ~task_id ~task_name ~op ~node ~func ~err
+
 let finish s t status =
-  emit s t
-    (Trace.Finished
-       (match status with
-       | Exited -> "exited"
-       | Failed e -> "failed: " ^ Printexc.to_string e
-       | Killed -> "killed"));
+  (match s.trace with
+  | None -> ()
+  | Some _ ->
+      emit_finished s t
+        (match status with
+        | Exited -> "exited"
+        | Failed e -> "failed: " ^ Printexc.to_string e
+        | Killed -> "killed"));
   t.state <- Finished;
   t.status <- Some status;
   t.kont <- None;
@@ -148,7 +198,7 @@ let wake s t gen =
             t.state <- Running;
             s.current <- Some t;
             s.switches <- s.switches + 1;
-            emit s t Trace.Resumed;
+            emit_resumed s t;
             if t.cancel_requested then
               Effect.Deep.discontinue k Cancelled
             else Effect.Deep.continue k ())
@@ -169,7 +219,7 @@ let handler s t =
         | Suspend { reason; register } ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
-                emit s t (Trace.Blocked reason);
+                emit_blocked s t reason;
                 t.state <- Blocked;
                 t.blocked_on <- reason;
                 t.blocked_since <- s.now;
@@ -195,13 +245,14 @@ let spawn ?(name = "task") ?(daemon = false) s f =
       exit_hooks = [];
       cancel_requested = false;
       daemon;
+      join_reason = "";
     }
   in
   s.next_id <- s.next_id + 1;
   s.spawned <- s.spawned + 1;
   if not daemon then s.live <- s.live + 1;
   s.tasks <- t :: s.tasks;
-  emit s t Trace.Spawned;
+  emit_spawned s t;
   Queue.push
     (fun () ->
       if t.cancel_requested then finish s t Killed
@@ -263,12 +314,15 @@ let on_exit t hook =
   | Some st -> hook st
   | None -> t.exit_hooks <- hook :: t.exit_hooks
 
+let join_reason t =
+  if String.length t.join_reason = 0 then t.join_reason <- "join " ^ t.name;
+  t.join_reason
+
 let join t =
   (match t.status with
   | Some _ -> ()
   | None ->
-      suspend
-        ~reason:(Fmt.str "join %s" t.name)
+      suspend ~reason:(join_reason t)
         ~register:(fun waker -> on_exit t (fun _ -> waker ())));
   match t.status with Some st -> st | None -> assert false
 
@@ -294,6 +348,135 @@ let timeout_join ?(name = "timed") s ~timeout f =
       assert !fired;
       kill s child;
       Error `Timeout
+
+(* --- persistent timeout runner ---
+
+   [timeout_join] spawns a fresh child fiber per call; on a periodic path
+   (the watchdog driver runs every checker through it, forever) that is a
+   task record, closures and trace bookkeeping per run. A [runner] keeps
+   one daemon worker fiber alive across runs: each run hands the worker a
+   thunk and wakes it, so steady state costs a wake instead of a spawn.
+
+   Scheduling equivalence with [timeout_join] (load-bearing — E20 sweep
+   digests marshal virtual-time latencies): each run performs exactly one
+   run-queue push to start the work (worker wake vs child spawn), one push
+   to resume the caller, and registers the same deadline timer (which fires
+   at the deadline in both designs, woken or not). Virtual timestamps,
+   [events_fired] and [switches] are therefore identical; only [spawned]
+   and the sched-level trace shape differ, and neither reaches a digest.
+   On timeout the worker is killed exactly like the old child and is
+   respawned lazily by the next run. *)
+
+type runner = {
+  r_sched : t;
+  r_name : string;
+  r_reason : string; (* "timeout_join <name>", same bytes as [timeout_join] *)
+  r_idle : string;
+  mutable r_worker : task option;
+  mutable r_job : (unit -> unit) option;
+  mutable r_wake : (unit -> unit) option; (* wakes the idle worker *)
+  mutable r_notify : (unit -> unit) option; (* wakes the waiting caller *)
+  mutable r_done : bool;
+  mutable r_exn : exn option;
+}
+
+let runner ?(name = "timed") s =
+  {
+    r_sched = s;
+    r_name = name;
+    r_reason = "timeout_join " ^ name;
+    r_idle = "runner idle " ^ name;
+    r_worker = None;
+    r_job = None;
+    r_wake = None;
+    r_notify = None;
+    r_done = false;
+    r_exn = None;
+  }
+
+let runner_notify r =
+  match r.r_notify with
+  | Some w ->
+      r.r_notify <- None;
+      w ()
+  | None -> ()
+
+let rec runner_loop r () =
+  match r.r_job with
+  | Some job ->
+      r.r_job <- None;
+      (try job () with
+      | Cancelled as e -> raise e
+      | e -> r.r_exn <- Some e);
+      r.r_done <- true;
+      runner_notify r;
+      runner_loop r ()
+  | None ->
+      suspend ~reason:r.r_idle ~register:(fun waker -> r.r_wake <- Some waker);
+      runner_loop r ()
+
+let runner_ensure_worker r =
+  match r.r_worker with
+  | Some _ -> ()
+  | None ->
+      let w = spawn ~name:r.r_name ~daemon:true r.r_sched (runner_loop r) in
+      (* Guarded by identity: a worker killed on timeout may only die after
+         its replacement was spawned; its exit must not clobber the new
+         worker or spuriously wake a later run's caller. *)
+      on_exit w (fun _ ->
+          match r.r_worker with
+          | Some w' when w' == w ->
+              r.r_worker <- None;
+              runner_notify r
+          | Some _ | None -> ());
+      r.r_worker <- Some w
+
+let runner_run r ~timeout f =
+  let s = r.r_sched in
+  let result = ref None in
+  r.r_done <- false;
+  r.r_exn <- None;
+  r.r_job <- Some (fun () -> result := Some (f ()));
+  runner_ensure_worker r;
+  (match r.r_wake with
+  | Some w ->
+      r.r_wake <- None;
+      w ()
+  | None -> ());
+  let fired = ref false in
+  suspend ~reason:r.r_reason
+    ~register:(fun waker ->
+      r.r_notify <- Some waker;
+      after s timeout (fun () ->
+          fired := true;
+          waker ()));
+  r.r_notify <- None;
+  if r.r_done then
+    match r.r_exn with
+    | Some e -> Error (`Exn e)
+    | None -> (
+        match !result with Some v -> Ok v | None -> Error `Killed)
+  else if r.r_worker = None then begin
+    r.r_job <- None;
+    Error `Killed
+  end
+  else begin
+    assert !fired;
+    (match r.r_worker with
+    | Some w ->
+        r.r_worker <- None;
+        kill s w
+    | None -> ());
+    r.r_job <- None;
+    Error `Timeout
+  end
+
+let runner_stop r =
+  match r.r_worker with
+  | Some w ->
+      r.r_worker <- None;
+      kill r.r_sched w
+  | None -> ()
 
 let blocked_tasks s =
   List.filter (fun t -> t.state = Blocked && not t.daemon) s.tasks

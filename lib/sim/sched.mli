@@ -67,6 +67,30 @@ val timeout_join :
 (** Run [f] in a child task; kill it and return [Error `Timeout] if it does
     not finish within [timeout]. *)
 
+type runner
+(** A reusable deadline executor: one persistent daemon worker fiber serves
+    a sequence of {!runner_run} calls, avoiding a task spawn per call. The
+    virtual-time schedule (run-queue pushes, timer firings, timestamps) is
+    identical to calling {!timeout_join} each time. *)
+
+val runner : ?name:string -> t -> runner
+(** Create a runner; the worker fiber is spawned lazily on first use and
+    respawned after a timeout kill. [name] names the worker task and the
+    caller's suspend reason, exactly as in {!timeout_join}. *)
+
+val runner_run :
+  runner ->
+  timeout:int64 ->
+  (unit -> 'a) ->
+  ('a, [ `Timeout | `Exn of exn | `Killed ]) result
+(** Run [f] on the runner's worker with a deadline. Must be called from a
+    task; a runner serves one call at a time (callers are expected to be a
+    single periodic task, e.g. a watchdog driver entry). *)
+
+val runner_stop : runner -> unit
+(** Kill the worker fiber if it is alive (e.g. on driver shutdown). The
+    runner can be used again afterwards; the worker respawns lazily. *)
+
 val run : ?until:int64 -> t -> run_result
 (** Drive the simulation until quiescence, deadlock among non-daemon tasks,
     or the time limit. Can be called repeatedly with growing [until]. *)
@@ -84,5 +108,17 @@ val trace_emit : t -> Trace.kind -> unit
 (** Record an event attributed to the currently running task; no-op when
     tracing is off. The interpreter uses this to append operation-level
     events ({!Trace.Op_start} etc.) into the same timeline. *)
+
+(** Interned op-event emitters: same timeline entries as {!trace_emit} with
+    an [Op_*] kind, but taking pre-resolved {!Site.id}s so a traced hot
+    path allocates nothing. No-ops when tracing is off. *)
+
+val trace_op_start : t -> op:Site.id -> node:Site.id -> func:Site.id -> unit
+
+val trace_op_end :
+  t -> op:Site.id -> node:Site.id -> func:Site.id -> dur:int64 -> unit
+
+val trace_op_fail :
+  t -> op:Site.id -> node:Site.id -> func:Site.id -> err:string -> unit
 
 val pp_task : Format.formatter -> task -> unit

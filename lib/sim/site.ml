@@ -1,0 +1,74 @@
+(* Global string intern table for hot-path identifiers (trace op keys,
+   fault sites, op descriptors). Interning turns repeated per-op string
+   construction into an integer id; the canonical string is materialised
+   only at render/diff time, so the id never appears in wire bytes or
+   digests and the mapping may differ between runs without affecting any
+   observable byte.
+
+   Domain-safe and append-only: writers serialise on a mutex; readers go
+   through an atomically published id -> string array, so [str] is a plain
+   array load with no lock. Per-domain lookup caches keep the common
+   intern-of-already-known-string path lock-free too. *)
+
+type id = int
+
+type table = {
+  mutable strings : string array; (* index = id; valid below [count] *)
+  mutable count : int;
+  by_string : (string, int) Hashtbl.t;
+}
+
+let mutex = Mutex.create ()
+
+let table =
+  { strings = Array.make 256 ""; count = 0; by_string = Hashtbl.create 256 }
+
+(* Readers snapshot this; it is republished after every append so a reader
+   holding an id handed out by any domain can always resolve it. *)
+let published : string array Atomic.t = Atomic.make table.strings
+
+let count () = table.count
+
+let intern_slow s =
+  Mutex.lock mutex;
+  let id =
+    match Hashtbl.find_opt table.by_string s with
+    | Some id -> id
+    | None ->
+        let id = table.count in
+        if id = Array.length table.strings then begin
+          let bigger = Array.make (2 * id) "" in
+          Array.blit table.strings 0 bigger 0 id;
+          table.strings <- bigger
+        end;
+        table.strings.(id) <- s;
+        table.count <- id + 1;
+        (* Publish after the slot write: Atomic.set is a release, so any
+           domain that observes the new array sees the string in it. *)
+        Atomic.set published table.strings;
+        Hashtbl.replace table.by_string s id;
+        id
+  in
+  Mutex.unlock mutex;
+  id
+
+(* Per-domain cache: maps strings this domain has already interned. Bounded
+   by the number of distinct interned strings, which is bounded by the
+   static shape of the programs under test (never per-request data). *)
+let cache_key : (string, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let intern s =
+  let cache = Domain.DLS.get cache_key in
+  match Hashtbl.find_opt cache s with
+  | Some id -> id
+  | None ->
+      let id = intern_slow s in
+      Hashtbl.replace cache s id;
+      id
+
+let str id =
+  let arr = Atomic.get published in
+  if id < 0 || id >= Array.length arr then
+    invalid_arg "Site.str: unknown site id"
+  else arr.(id)

@@ -1,0 +1,20 @@
+(** Global string intern table for hot-path identifiers.
+
+    [intern] is idempotent — the same string always yields the same id,
+    from any domain — and [str] round-trips the id back to the canonical
+    (physically shared) string. Ids are assigned in first-intern order, so
+    they are *not* stable across runs: never let an id reach wire bytes or
+    a digest; materialise with [str] first. *)
+
+type id = int
+
+val intern : string -> id
+(** Intern a string. O(1) amortised; lock-free once this domain has seen
+    the string. *)
+
+val str : id -> string
+(** The canonical string for an id; raises [Invalid_argument] on an id
+    that was never handed out. Never allocates. *)
+
+val count : unit -> int
+(** Number of distinct strings interned so far (monotonic). *)

@@ -4,7 +4,15 @@
    operations, keyed "kind:target:operand-prefix"). Opt-in via
    [Sched.set_trace]; the last events before a detection are the postmortem
    timeline a report invites you to read, and the op events are the raw
-   material the trace miner turns into inferred checkers. *)
+   material the trace miner turns into inferred checkers.
+
+   Storage is struct-of-arrays: one int/string column per field, indexed by
+   ring position. Recording an event is a handful of array stores — no
+   record or variant block is allocated on the hot path. Op identifiers are
+   interned ({!Site}) and timestamps are stored as native ints (virtual ns
+   fits in 62 bits); the boxed [event] view is materialised only when a
+   consumer reads the ring ([recent]/[since]), so readers see exactly the
+   same values as before the columnar rewrite. *)
 
 type kind =
   | Spawned
@@ -17,32 +25,161 @@ type kind =
 
 type event = { at : int64; task_id : int; task_name : string; kind : kind }
 
+(* column tags *)
+let tag_spawned = 0
+let tag_blocked = 1
+let tag_resumed = 2
+let tag_finished = 3
+let tag_op_start = 4
+let tag_op_end = 5
+let tag_op_fail = 6
+
 type t = {
   capacity : int;
-  buf : event option array;
+  c_tag : int array;
+  c_at : int array; (* virtual ns as native int *)
+  c_task_id : int array;
+  c_task_name : string array;
+  c_op : int array; (* Site.id, op events only *)
+  c_node : int array; (* Site.id *)
+  c_func : int array; (* Site.id *)
+  c_dur : int array; (* Op_end duration, ns *)
+  c_note : string array; (* Blocked reason / Finished how / Op_fail err *)
   mutable next : int;
   mutable total : int;
 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; buf = Array.make capacity None; next = 0; total = 0 }
+  {
+    capacity;
+    c_tag = Array.make capacity 0;
+    c_at = Array.make capacity 0;
+    c_task_id = Array.make capacity 0;
+    c_task_name = Array.make capacity "";
+    c_op = Array.make capacity 0;
+    c_node = Array.make capacity 0;
+    c_func = Array.make capacity 0;
+    c_dur = Array.make capacity 0;
+    c_note = Array.make capacity "";
+    next = 0;
+    total = 0;
+  }
 
+(* Claim the next ring slot and stamp the shared columns. *)
+let push t ~at ~task_id ~task_name =
+  let i = t.next in
+  t.next <- (i + 1) mod t.capacity;
+  t.total <- t.total + 1;
+  t.c_at.(i) <- Int64.to_int at;
+  t.c_task_id.(i) <- task_id;
+  t.c_task_name.(i) <- task_name;
+  i
+
+let spawned t ~at ~task_id ~task_name =
+  let i = push t ~at ~task_id ~task_name in
+  t.c_tag.(i) <- tag_spawned
+
+let resumed t ~at ~task_id ~task_name =
+  let i = push t ~at ~task_id ~task_name in
+  t.c_tag.(i) <- tag_resumed
+
+let blocked t ~at ~task_id ~task_name ~reason =
+  let i = push t ~at ~task_id ~task_name in
+  t.c_tag.(i) <- tag_blocked;
+  t.c_note.(i) <- reason
+
+let finished t ~at ~task_id ~task_name ~how =
+  let i = push t ~at ~task_id ~task_name in
+  t.c_tag.(i) <- tag_finished;
+  t.c_note.(i) <- how
+
+let op_start t ~at ~task_id ~task_name ~op ~node ~func =
+  let i = push t ~at ~task_id ~task_name in
+  t.c_tag.(i) <- tag_op_start;
+  t.c_op.(i) <- op;
+  t.c_node.(i) <- node;
+  t.c_func.(i) <- func
+
+let op_end t ~at ~task_id ~task_name ~op ~node ~func ~dur =
+  let i = push t ~at ~task_id ~task_name in
+  t.c_tag.(i) <- tag_op_end;
+  t.c_op.(i) <- op;
+  t.c_node.(i) <- node;
+  t.c_func.(i) <- func;
+  t.c_dur.(i) <- Int64.to_int dur
+
+let op_fail t ~at ~task_id ~task_name ~op ~node ~func ~err =
+  let i = push t ~at ~task_id ~task_name in
+  t.c_tag.(i) <- tag_op_fail;
+  t.c_op.(i) <- op;
+  t.c_node.(i) <- node;
+  t.c_func.(i) <- func;
+  t.c_note.(i) <- err
+
+(* Boxed-kind compatibility entry point (tests, synthetic traces). *)
 let record t ~at ~task_id ~task_name kind =
-  t.buf.(t.next) <- Some { at; task_id; task_name; kind };
-  t.next <- (t.next + 1) mod t.capacity;
-  t.total <- t.total + 1
+  match kind with
+  | Spawned -> spawned t ~at ~task_id ~task_name
+  | Resumed -> resumed t ~at ~task_id ~task_name
+  | Blocked reason -> blocked t ~at ~task_id ~task_name ~reason
+  | Finished how -> finished t ~at ~task_id ~task_name ~how
+  | Op_start { op; node; func } ->
+      op_start t ~at ~task_id ~task_name ~op:(Site.intern op)
+        ~node:(Site.intern node) ~func:(Site.intern func)
+  | Op_end { op; node; func; dur } ->
+      op_end t ~at ~task_id ~task_name ~op:(Site.intern op)
+        ~node:(Site.intern node) ~func:(Site.intern func) ~dur
+  | Op_fail { op; node; func; err } ->
+      op_fail t ~at ~task_id ~task_name ~op:(Site.intern op)
+        ~node:(Site.intern node) ~func:(Site.intern func) ~err
 
 let total t = t.total
+
+(* Materialise the boxed view of ring slot [i]. *)
+let event_of_slot t i =
+  let kind =
+    match t.c_tag.(i) with
+    | 0 -> Spawned
+    | 1 -> Blocked t.c_note.(i)
+    | 2 -> Resumed
+    | 3 -> Finished t.c_note.(i)
+    | 4 ->
+        Op_start
+          {
+            op = Site.str t.c_op.(i);
+            node = Site.str t.c_node.(i);
+            func = Site.str t.c_func.(i);
+          }
+    | 5 ->
+        Op_end
+          {
+            op = Site.str t.c_op.(i);
+            node = Site.str t.c_node.(i);
+            func = Site.str t.c_func.(i);
+            dur = Int64.of_int t.c_dur.(i);
+          }
+    | _ ->
+        Op_fail
+          {
+            op = Site.str t.c_op.(i);
+            node = Site.str t.c_node.(i);
+            func = Site.str t.c_func.(i);
+            err = t.c_note.(i);
+          }
+  in
+  {
+    at = Int64.of_int t.c_at.(i);
+    task_id = t.c_task_id.(i);
+    task_name = t.c_task_name.(i);
+    kind;
+  }
 
 (* The most recent [n] events, oldest first. *)
 let recent t n =
   let n = min n (min t.total t.capacity) in
-  let start = (t.next - n + t.capacity * 2) mod t.capacity in
-  List.init n (fun i ->
-      match t.buf.((start + i) mod t.capacity) with
-      | Some e -> e
-      | None -> assert false)
+  let start = (t.next - n + (t.capacity * 2)) mod t.capacity in
+  List.init n (fun i -> event_of_slot t ((start + i) mod t.capacity))
 
 (* Events with global index >= [cursor], oldest first, and the new cursor
    (= total). Events that already fell off the ring are lost — the second

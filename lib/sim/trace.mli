@@ -6,7 +6,12 @@
     events ([Op_start]/[Op_end]/[Op_fail]) for every environment operation
     and lock acquisition, keyed ["kind:target:operand-prefix"]. These are
     the observations the trace miner ({!Wd_infer}) turns into timing
-    envelopes and ordering invariants. *)
+    envelopes and ordering invariants.
+
+    Storage is columnar (struct-of-arrays) with interned op identifiers:
+    the zero-allocation recorders below take {!Site.id}s and plain fields;
+    the boxed {!event} view is materialised only on read, byte-identical
+    to what the recorders were given. *)
 
 type kind =
   | Spawned
@@ -26,7 +31,57 @@ type event = { at : int64; task_id : int; task_name : string; kind : kind }
 type t
 
 val create : ?capacity:int -> unit -> t
+
 val record : t -> at:int64 -> task_id:int -> task_name:string -> kind -> unit
+(** Boxed-kind entry point (tests, synthetic traces); op identifier strings
+    are interned on the way in. *)
+
+(** {2 Zero-allocation recorders}
+
+    Used by the scheduler and interpreter hot paths. String arguments are
+    stored by pointer (no copy); [at]/[dur] must fit a native int. *)
+
+val spawned : t -> at:int64 -> task_id:int -> task_name:string -> unit
+val resumed : t -> at:int64 -> task_id:int -> task_name:string -> unit
+
+val blocked :
+  t -> at:int64 -> task_id:int -> task_name:string -> reason:string -> unit
+
+val finished :
+  t -> at:int64 -> task_id:int -> task_name:string -> how:string -> unit
+
+val op_start :
+  t ->
+  at:int64 ->
+  task_id:int ->
+  task_name:string ->
+  op:Site.id ->
+  node:Site.id ->
+  func:Site.id ->
+  unit
+
+val op_end :
+  t ->
+  at:int64 ->
+  task_id:int ->
+  task_name:string ->
+  op:Site.id ->
+  node:Site.id ->
+  func:Site.id ->
+  dur:int64 ->
+  unit
+
+val op_fail :
+  t ->
+  at:int64 ->
+  task_id:int ->
+  task_name:string ->
+  op:Site.id ->
+  node:Site.id ->
+  func:Site.id ->
+  err:string ->
+  unit
+
 val total : t -> int
 
 val recent : t -> int -> event list

@@ -4,11 +4,14 @@
    registered actions.
 
    A hung or crashed checker never takes the driver down: execution goes
-   through [Sched.timeout_join], which confines the checker to a child task
-   that the driver kills on timeout. *)
+   through a per-entry [Sched.runner] — a persistent worker fiber with the
+   exact virtual-time schedule of [Sched.timeout_join], minus the task
+   spawn per run — which confines the checker to a worker the driver kills
+   on timeout. *)
 
 type entry = {
   checker : Checker.t;
+  runner : Wd_sim.Sched.runner;
   mutable executions : int;
   mutable failures : int;
   mutable skips : int;
@@ -24,6 +27,9 @@ type entry = {
 type t = {
   sched : Wd_sim.Sched.t;
   policy : Policy.t;
+  (* dedup keys, memoised per (checker, failure kind, loc uid): a report
+     storm from one site re-delivers the same key without re-formatting *)
+  keys : (string * string * int, string) Hashtbl.t;
   mutable entries : entry list;
   mutable reports : Report.t list;
   mutable suppressed : Report.t list;
@@ -36,6 +42,7 @@ let create ?(policy = Policy.default) sched =
   {
     sched;
     policy;
+    keys = Hashtbl.create 64;
     entries = [];
     reports = [];
     suppressed = [];
@@ -46,19 +53,28 @@ let create ?(policy = Policy.default) sched =
 
 let on_report t action = t.actions <- action :: t.actions
 
-let report_key r =
-  Fmt.str "%s/%s/%s" r.Report.checker_id
-    (Report.fkind_name r.Report.fkind)
-    (match r.Report.loc with
-    | Some l -> string_of_int (Wd_ir.Loc.uid l)
-    | None -> "-")
+let report_key t r =
+  let fkind = Report.fkind_name r.Report.fkind in
+  let uid =
+    match r.Report.loc with Some l -> Wd_ir.Loc.uid l | None -> min_int
+  in
+  let k = (r.Report.checker_id, fkind, uid) in
+  match Hashtbl.find_opt t.keys k with
+  | Some key -> key
+  | None ->
+      let key =
+        r.Report.checker_id ^ "/" ^ fkind ^ "/"
+        ^ (if uid = min_int then "-" else string_of_int uid)
+      in
+      Hashtbl.add t.keys k key;
+      key
 
 let deliver t entry (r : Report.t) =
   entry.consecutive <- entry.consecutive + 1;
   entry.failures <- entry.failures + 1;
   if entry.consecutive < t.policy.confirmations then ()
   else begin
-    let key = report_key r in
+    let key = report_key t r in
     let now = Wd_sim.Sched.now t.sched in
     let duplicate =
       String.equal key entry.last_key
@@ -85,8 +101,7 @@ let run_once t entry =
   entry.executions <- entry.executions + 1;
   let started = Wd_sim.Sched.now t.sched in
   let outcome =
-    Wd_sim.Sched.timeout_join ~name:(c.Checker.id ^ "#run") t.sched
-      ~timeout:c.Checker.timeout
+    Wd_sim.Sched.runner_run entry.runner ~timeout:c.Checker.timeout
       (fun () -> c.Checker.run ~now:started)
   in
   let elapsed = Int64.sub (Wd_sim.Sched.now t.sched) started in
@@ -153,6 +168,7 @@ let add_checker t checker =
   let entry =
     {
       checker;
+      runner = Wd_sim.Sched.runner ~name:(checker.Checker.id ^ "#run") t.sched;
       executions = 0;
       failures = 0;
       skips = 0;
@@ -185,6 +201,12 @@ let start t =
   t.entries <- [];
   List.iter (fun e -> add_checker t e.checker) pending
 
+(* Workers are deliberately NOT killed here: a worker mid-checker keeps
+   running to completion exactly like an in-flight [timeout_join] child
+   did, and an idle worker parks on a daemon suspend — neither perturbs
+   the schedule. Killing them would add runq activity that the historical
+   stop() did not have (crash scenarios call stop mid-run and their
+   schedules are digest-pinned). *)
 let stop t =
   t.stopped <- true;
   List.iter

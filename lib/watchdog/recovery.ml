@@ -59,6 +59,10 @@ let restarts t ~name =
   | Some c -> c.restarts
   | None -> 0
 
+(* [reason] is a thunk: reboot attempts that bounce off the backoff window
+   or an exhausted budget — the common case during a report storm — never
+   pay for formatting the reason string. It is forced exactly once, for the
+   event log of an actual reboot. *)
 let microreboot t c ~reason =
   let now = Wd_sim.Sched.now t.sched in
   if Int64.sub now c.last_restart_at < t.backoff then ()
@@ -69,7 +73,9 @@ let microreboot t c ~reason =
   else begin
     c.last_restart_at <- now;
     c.restarts <- c.restarts + 1;
-    t.events <- { ev_at = now; ev_component = c.comp_name; ev_reason = reason } :: t.events;
+    t.events <-
+      { ev_at = now; ev_component = c.comp_name; ev_reason = reason () }
+      :: t.events;
     (* replace the task: kill whatever is left of the old one, then respawn *)
     Wd_sim.Sched.kill t.sched c.task;
     c.task <- c.respawn ()
@@ -88,7 +94,8 @@ let supervise ?(period = Wd_sim.Time.sec 1) t =
             match Wd_sim.Sched.task_status c.task with
             | Some (Wd_sim.Sched.Failed e) ->
                 microreboot t c
-                  ~reason:(Fmt.str "task died: %s" (Printexc.to_string e))
+                  ~reason:(fun () ->
+                    Fmt.str "task died: %s" (Printexc.to_string e))
             | Some Wd_sim.Sched.Exited
             | Some Wd_sim.Sched.Killed
             | None ->
@@ -105,7 +112,7 @@ let recover_function t ~func ~reason =
   match component_for t func with
   | None -> false
   | Some c ->
-      microreboot t c ~reason;
+      microreboot t c ~reason:(fun () -> reason);
       true
 
 (* The driver action: reboot the component owning the report's pinpointed
@@ -119,11 +126,10 @@ let action t (r : Report.t) =
       match component_for t (Wd_ir.Loc.func loc) with
       | None -> ()
       | Some c ->
-          microreboot t c
-            ~reason:
-              (Fmt.str "%s: %s at %a" r.Report.checker_id
-                 (Report.fkind_name r.Report.fkind)
-                 Wd_ir.Loc.pp loc))
+          microreboot t c ~reason:(fun () ->
+              Fmt.str "%s: %s at %a" r.Report.checker_id
+                (Report.fkind_name r.Report.fkind)
+                Wd_ir.Loc.pp loc))
 
 let pp_event ppf e =
   Fmt.pf ppf "[%a] microreboot %s (%s)" Wd_sim.Time.pp e.ev_at e.ev_component

@@ -2,13 +2,27 @@
 
    Hooks in the main program push live values in (one-way: the main program
    never reads the table); the driver checks readiness and fetches arguments
-   before running a checker. Values are deep-copied on the way in (by the
-   interpreter's hook capture) *and* on the way out, so a checker can never
-   alias main-program memory — the paper's context-replication isolation. *)
+   before running a checker. Isolation is the paper's context replication —
+   a checker can never alias mutable main-program memory — implemented
+   copy-on-write instead of eagerly:
+
+   - values with no VBytes anywhere are persistent, so handing out the
+     stored value *is* a deep copy, observably;
+   - bytes-containing values are copied on read, with the copy cached
+     against the slot's version stamp: re-reading an unchanged slot reuses
+     the cached copy (checker execution never mutates argument buffers in
+     place — the IR has no in-place bytes primitive — so a cached copy
+     stays byte-identical to a fresh one). *)
 
 open Wd_ir.Ast
 
-type slot = { mutable value : value option; mutable updated_at : int64 }
+type slot = {
+  mutable value : value option;
+  mutable updated_at : int64;
+  mutable version : int;       (* bumped on every hook write *)
+  mutable copy_version : int;  (* version [copy] reflects; -1 = no copy yet *)
+  mutable copy : value;        (* valid iff [copy_version = version] *)
+}
 
 type unit_ctx = {
   unit_id : string;
@@ -17,8 +31,10 @@ type unit_ctx = {
   mutable updates : int;
 }
 
-type hook_binding = { hb_unit : string; hb_map : (string * string) list }
-(* hb_map: (tmp variable captured in main program, context parameter) *)
+type hook_binding = { hb_unit : string; hb_rev : (string * string) list }
+(* hb_rev: (tmp variable captured in main program, context parameter) —
+   the reverse of the registered captures, precomputed at bind time so the
+   per-hook-fire sink does no list rebuilding. *)
 
 type t = {
   units : (string, unit_ctx) Hashtbl.t;
@@ -32,12 +48,24 @@ let create () =
 let register_unit t ~unit_id ~params =
   let slots = Hashtbl.create (max 1 (List.length params)) in
   List.iter
-    (fun p -> Hashtbl.replace slots p { value = None; updated_at = 0L })
+    (fun p ->
+      Hashtbl.replace slots p
+        {
+          value = None;
+          updated_at = 0L;
+          version = 0;
+          copy_version = -1;
+          copy = VUnit;
+        })
     params;
   Hashtbl.replace t.units unit_id { unit_id; params; slots; updates = 0 }
 
 let bind_hook t ~hook_id ~unit_id ~captures =
-  Hashtbl.replace t.hook_bindings hook_id { hb_unit = unit_id; hb_map = captures }
+  Hashtbl.replace t.hook_bindings hook_id
+    {
+      hb_unit = unit_id;
+      hb_rev = List.map (fun (param, tmp) -> (tmp, param)) captures;
+    }
 
 let find_unit t unit_id = Hashtbl.find_opt t.units unit_id
 
@@ -45,20 +73,21 @@ let find_unit t unit_id = Hashtbl.find_opt t.units unit_id
 let sink t ~now hook_id values =
   match Hashtbl.find_opt t.hook_bindings hook_id with
   | None -> ()
-  | Some { hb_unit; hb_map } -> (
+  | Some { hb_unit; hb_rev } -> (
       match Hashtbl.find_opt t.units hb_unit with
       | None -> ()
       | Some ctx ->
           List.iter
             (fun (tmp, v) ->
-              match List.assoc_opt tmp (List.map (fun (a, b) -> (b, a)) hb_map) with
+              match List.assoc_opt tmp hb_rev with
               | None -> ()
               | Some param -> (
                   match Hashtbl.find_opt ctx.slots param with
                   | None -> ()
                   | Some slot ->
                       slot.value <- Some v;
-                      slot.updated_at <- now))
+                      slot.updated_at <- now;
+                      slot.version <- slot.version + 1))
             values;
           ctx.updates <- ctx.updates + 1;
           t.total_updates <- t.total_updates + 1)
@@ -74,7 +103,21 @@ let ready t unit_id =
           | Some { value = None; _ } | None -> false)
         ctx.params
 
-(* Ordered argument list for the reduced function, deep-copied. *)
+(* Copy-on-write read of one slot: share persistent values outright; copy
+   bytes-containing values once per version and reuse the cached copy until
+   the next hook write replaces it (the cache swaps the pointer, never
+   mutates the handed-out copy, so earlier readers keep a valid value). *)
+let slot_read slot v =
+  if value_immutable v then v
+  else if slot.copy_version = slot.version then slot.copy
+  else begin
+    let c = copy_value v in
+    slot.copy <- c;
+    slot.copy_version <- slot.version;
+    c
+  end
+
+(* Ordered argument list for the reduced function; observably a deep copy. *)
 let args t unit_id =
   match find_unit t unit_id with
   | None -> None
@@ -83,9 +126,9 @@ let args t unit_id =
         | [] -> Some []
         | p :: rest -> (
             match Hashtbl.find_opt ctx.slots p with
-            | Some { value = Some v; _ } -> (
+            | Some ({ value = Some v; _ } as slot) -> (
                 match gather rest with
-                | Some vs -> Some (copy_value v :: vs)
+                | Some vs -> Some (slot_read slot v :: vs)
                 | None -> None)
             | Some { value = None; _ } | None -> None)
       in
@@ -99,7 +142,7 @@ let snapshot t unit_id =
       List.filter_map
         (fun p ->
           match Hashtbl.find_opt ctx.slots p with
-          | Some { value = Some v; _ } -> Some (p, copy_value v)
+          | Some ({ value = Some v; _ } as slot) -> Some (p, slot_read slot v)
           | Some { value = None; _ } | None -> None)
         ctx.params
 
@@ -114,7 +157,7 @@ let staleness t ~now unit_id =
         List.fold_left
           (fun acc p ->
             match Hashtbl.find_opt ctx.slots p with
-            | Some { value = Some _; updated_at } -> (
+            | Some { value = Some _; updated_at; _ } -> (
                 let age = Int64.sub now updated_at in
                 match acc with
                 | Some worst when worst >= age -> acc

@@ -2,9 +2,11 @@
 
     Hooks in the main program push live values in — one-way, the main
     program never reads the table — and the driver checks readiness and
-    fetches arguments before running a checker. Values are deep-copied both
-    on capture and on fetch, so checkers can never alias main-program
-    memory (context replication). *)
+    fetches arguments before running a checker. Context replication
+    (checkers never alias mutable main-program memory) is implemented
+    copy-on-write: persistent values are shared, bytes-containing values
+    are copied on read with the copy cached against a per-slot version
+    stamp. Observably identical to deep-copying on every fetch. *)
 
 type t
 
@@ -26,7 +28,7 @@ val ready : t -> string -> bool
 (** All parameters have been captured at least once. *)
 
 val args : t -> string -> Wd_ir.Ast.value list option
-(** Ordered, deep-copied argument list; [None] until ready. *)
+(** Ordered argument list, observably a deep copy; [None] until ready. *)
 
 val snapshot : t -> string -> (string * Wd_ir.Ast.value) list
 (** Captured (param, value) pairs, for failure-report payloads. *)

@@ -104,6 +104,72 @@ let prop_copy_value_equal =
       in
       equal_before && independent)
 
+(* The Format-based printer the Buffer renderer replaced, kept verbatim as
+   the reference: value_to_string must stay byte-for-byte equal to it. *)
+let rec pp_value_ref ppf = function
+  | VUnit -> Fmt.string ppf "()"
+  | VBool b -> Fmt.bool ppf b
+  | VInt i -> Fmt.int ppf i
+  | VStr s -> Fmt.pf ppf "%S" s
+  | VBytes b ->
+      if Bytes.length b <= 16 then Fmt.pf ppf "bytes%S" (Bytes.to_string b)
+      else Fmt.pf ppf "bytes<%d>" (Bytes.length b)
+  | VList vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp_value_ref) vs
+  | VPair (a, b) -> Fmt.pf ppf "(%a, %a)" pp_value_ref a pp_value_ref b
+  | VMap kvs ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (k, v) ->
+              Fmt.pf ppf "%s=%a" k pp_value_ref v))
+        kvs
+
+let gen_value =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return VUnit;
+              map (fun b -> VBool b) bool;
+              map (fun i -> VInt i) int;
+              map (fun s -> VStr s) string_small;
+              map (fun s -> VBytes (Bytes.of_string s)) (string_size (0 -- 24));
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          oneof
+            [
+              leaf;
+              map (fun vs -> VList vs) (list_size (0 -- 4) (self (n / 2)));
+              map2 (fun a b -> VPair (a, b)) (self (n / 2)) (self (n / 2));
+              map
+                (fun kvs -> VMap kvs)
+                (list_size (0 -- 4)
+                   (pair string_small (self (n / 2))));
+            ]))
+
+let prop_render_matches_reference =
+  QCheck.Test.make ~name:"render_value is byte-identical to the Format printer"
+    ~count:500
+    (QCheck.make ~print:value_to_string gen_value)
+    (fun v -> String.equal (value_to_string v) (Fmt.str "%a" pp_value_ref v))
+
+let prop_value_immutable_sound =
+  QCheck.Test.make
+    ~name:"value_immutable is false exactly when a VBytes is reachable"
+    ~count:300
+    (QCheck.make ~print:value_to_string gen_value)
+    (fun v ->
+      let rec has_bytes = function
+        | VBytes _ -> true
+        | VUnit | VBool _ | VInt _ | VStr _ -> false
+        | VList vs -> List.exists has_bytes vs
+        | VPair (a, b) -> has_bytes a || has_bytes b
+        | VMap kvs -> List.exists (fun (_, x) -> has_bytes x) kvs
+      in
+      value_immutable v = not (has_bytes v))
+
 (* --- builder + validator --- *)
 
 let valid_prog =
@@ -743,6 +809,8 @@ let () =
           Alcotest.test_case "errors" `Quick test_prims_errors;
           QCheck_alcotest.to_alcotest prop_map_put_get;
           QCheck_alcotest.to_alcotest prop_copy_value_equal;
+          QCheck_alcotest.to_alcotest prop_render_matches_reference;
+          QCheck_alcotest.to_alcotest prop_value_immutable_sound;
         ] );
       ( "validate",
         [

@@ -201,6 +201,127 @@ let test_sched_timeout_join_times_out () =
      the caller observed the timeout exactly at the deadline *)
   Alcotest.(check int64) "timed out at the deadline" (Time.ms 10) !returned_at
 
+(* --- persistent runner: a reusable timeout_join --- *)
+
+let test_runner_ok_timeout_exn () =
+  let s = Sched.create () in
+  ignore
+    (Sched.spawn s (fun () ->
+         let r = Sched.runner ~name:"rt" s in
+         (match Sched.runner_run r ~timeout:(Time.sec 1) (fun () -> 40 + 2) with
+         | Ok v -> check_int "ok value" 42 v
+         | Error _ -> Alcotest.fail "should complete");
+         (match
+            Sched.runner_run r ~timeout:(Time.ms 10) (fun () ->
+                Sched.sleep (Time.sec 5))
+          with
+         | Error `Timeout -> ()
+         | _ -> Alcotest.fail "should time out");
+         (* the worker was killed by the timeout; the runner respawns it *)
+         (match
+            Sched.runner_run r ~timeout:(Time.sec 1) (fun () ->
+                failwith "boom")
+          with
+         | Error (`Exn (Failure m)) -> check_str "exn payload" "boom" m
+         | _ -> Alcotest.fail "should surface the exception");
+         (match Sched.runner_run r ~timeout:(Time.sec 1) (fun () -> 7) with
+         | Ok v -> check_int "usable after exn" 7 v
+         | Error _ -> Alcotest.fail "runner must stay usable");
+         Sched.runner_stop r;
+         match Sched.runner_run r ~timeout:(Time.sec 1) (fun () -> 9) with
+         | Ok v -> check_int "usable after stop" 9 v
+         | Error _ -> Alcotest.fail "runner must respawn after stop"));
+  match Sched.run s with
+  | Sched.Quiescent -> ()
+  | _ -> Alcotest.fail "daemon worker must not keep the sim alive"
+
+(* The refactor's scheduling-equivalence claim, tested directly: a periodic
+   caller issuing a mix of completing / timing-out / raising bodies must
+   observe the same outcomes at the same virtual times, with the same
+   context-switch and event counts, whether each call spawns a fresh child
+   (timeout_join) or reuses the persistent worker (runner). *)
+let runner_equiv_workload use_runner =
+  let s = Sched.create ~seed:7 () in
+  let outcomes = ref [] in
+  ignore
+    (Sched.spawn ~name:"drv" s (fun () ->
+         let call =
+           if use_runner then
+             let r = Sched.runner ~name:"wk" s in
+             fun f -> Sched.runner_run r ~timeout:(Time.ms 10) f
+           else fun f -> Sched.timeout_join ~name:"wk" s ~timeout:(Time.ms 10) f
+         in
+         for i = 1 to 30 do
+           let body () =
+             if i mod 7 = 0 then failwith "x";
+             Sched.sleep (Time.ms (if i mod 3 = 0 then 50 else 1));
+             i
+           in
+           let tag =
+             match call body with
+             | Ok v -> Printf.sprintf "ok:%d" v
+             | Error `Timeout -> "timeout"
+             | Error (`Exn _) -> "exn"
+             | Error `Killed -> "killed"
+           in
+           outcomes := (tag, Sched.now s) :: !outcomes;
+           Sched.sleep (Time.ms 5)
+         done));
+  ignore (Sched.run s);
+  let _, switches, events = Sched.stats s in
+  (List.rev !outcomes, Sched.now s, switches, events)
+
+let test_runner_matches_timeout_join () =
+  let o1, now1, sw1, ev1 = runner_equiv_workload false in
+  let o2, now2, sw2, ev2 = runner_equiv_workload true in
+  Alcotest.(check (list (pair string int64))) "same outcomes, same times" o1 o2;
+  Alcotest.(check int64) "same final clock" now1 now2;
+  check_int "same context switches" sw1 sw2;
+  check_int "same events fired" ev1 ev2
+
+(* --- Site intern table --- *)
+
+let prop_site_intern_functional =
+  QCheck.Test.make
+    ~name:"site: equal strings get equal ids, distinct strings distinct ids"
+    ~count:200
+    QCheck.(pair small_string small_string)
+    (fun (a, b) ->
+      let ia = Wd_sim.Site.intern a and ib = Wd_sim.Site.intern b in
+      String.equal a b = (ia = ib))
+
+let prop_site_roundtrip =
+  QCheck.Test.make ~name:"site: str is a left inverse of intern" ~count:200
+    QCheck.(small_list string)
+    (fun ss ->
+      List.for_all
+        (fun x ->
+          let id = Wd_sim.Site.intern x in
+          id = Wd_sim.Site.intern x
+          && String.equal (Wd_sim.Site.str id) x)
+        ss)
+
+let test_site_concurrent_interning () =
+  let strs = List.init 200 (fun i -> "site/conc/" ^ string_of_int i) in
+  let doms =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () -> List.map Wd_sim.Site.intern strs))
+  in
+  let per_domain = List.map Domain.join doms in
+  (match per_domain with
+  | first :: rest ->
+      List.iter
+        (fun ids ->
+          Alcotest.(check (list int)) "all domains agree on ids" first ids)
+        rest;
+      List.iter2
+        (fun s id -> check_str "round-trip" s (Wd_sim.Site.str id))
+        strs first
+  | [] -> Alcotest.fail "no domains");
+  check "count is monotone and covers these"
+    (Wd_sim.Site.count () >= List.length strs)
+    true
+
 let test_sched_deadlock_detection () =
   let s = Sched.create () in
   let c = Cond.create "never" in
@@ -586,7 +707,18 @@ let () =
           Alcotest.test_case "stats" `Quick test_sched_stats;
           Alcotest.test_case "kill ready task" `Quick test_sched_kill_ready_task;
           Alcotest.test_case "self identity" `Quick test_sched_self_identity;
+          Alcotest.test_case "runner ok/timeout/exn/reuse" `Quick
+            test_runner_ok_timeout_exn;
+          Alcotest.test_case "runner matches timeout_join" `Quick
+            test_runner_matches_timeout_join;
           QCheck_alcotest.to_alcotest prop_sched_deterministic;
+        ] );
+      ( "site",
+        [
+          Alcotest.test_case "concurrent interning" `Quick
+            test_site_concurrent_interning;
+          QCheck_alcotest.to_alcotest prop_site_intern_functional;
+          QCheck_alcotest.to_alcotest prop_site_roundtrip;
         ] );
       ( "cond",
         [

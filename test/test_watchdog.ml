@@ -49,17 +49,24 @@ let test_wcontext_replication () =
   let w = Wcontext.create () in
   Wcontext.register_unit w ~unit_id:"u" ~params:[ "a" ];
   Wcontext.bind_hook w ~hook_id:0 ~unit_id:"u" ~captures:[ ("a", "t") ];
-  Wcontext.sink w ~now:1L 0 [ ("t", VBytes (Bytes.of_string "XY")) ];
+  let stored = Bytes.of_string "XY" in
+  Wcontext.sink w ~now:1L 0 [ ("t", VBytes stored) ];
   (match Wcontext.args w "u" with
   | Some [ VBytes b ] ->
-      Bytes.set b 0 '!';
+      check "fetched buffer never aliases the stored one" false (b == stored);
       (* mutating the fetched copy must not damage the stored context *)
+      Bytes.set b 0 '!';
+      Alcotest.(check string) "stored context intact" "XY" (Bytes.to_string stored);
+      (* a new capture invalidates the cached copy: the next fetch reflects
+         the fresh capture, untouched by the earlier handout *)
+      Wcontext.sink w ~now:2L 0 [ ("t", VBytes (Bytes.of_string "XY")) ];
       (match Wcontext.args w "u" with
       | Some [ VBytes b2 ] ->
-          Alcotest.(check string) "fresh copy each fetch" "XY" (Bytes.to_string b2)
+          Alcotest.(check string) "fresh copy after rewrite" "XY"
+            (Bytes.to_string b2)
       | _ -> Alcotest.fail "fetch")
   | _ -> Alcotest.fail "fetch");
-  check_int "updates counted" 1 (Wcontext.updates w "u")
+  check_int "updates counted" 2 (Wcontext.updates w "u")
 
 let test_wcontext_staleness () =
   let w = Wcontext.create () in
@@ -75,6 +82,97 @@ let test_wcontext_unknown_hook_ignored () =
   let w = Wcontext.create () in
   Wcontext.sink w ~now:0L 99 [ ("x", VInt 0) ];
   check "no units" true (Wcontext.args w "nothing" = None)
+
+(* COW-vs-eager differential: drive the real table and an eager-copy
+   reference model in lockstep through a mutation-heavy random schedule of
+   hook writes and reads. Every read must return values equal to the
+   reference, and no VBytes buffer in a handout may alias the stored
+   context. (Checkers never mutate fetched buffers in place — the IR has no
+   primitive for it — so the cached-copy reuse is invisible here, exactly
+   as it is in the tree.) *)
+
+let gen_cow_value =
+  QCheck.Gen.(
+    let bytes_v =
+      map (fun s -> VBytes (Bytes.of_string s)) (string_size (1 -- 12))
+    in
+    oneof
+      [
+        bytes_v;
+        map (fun i -> VInt i) small_int;
+        map (fun (s, b) -> VPair (VStr s, b)) (pair small_string bytes_v);
+        map (fun bs -> VList bs) (list_size (1 -- 3) bytes_v);
+        map
+          (fun (k, b) -> VMap [ (k, b); ("n", VInt 1) ])
+          (pair small_string bytes_v);
+      ])
+
+let gen_cow_ops =
+  QCheck.Gen.(
+    list_size (5 -- 60)
+      (oneof
+         [
+           map (fun (i, v) -> `Sink (i mod 2, v)) (pair small_int gen_cow_value);
+           return `Read;
+         ]))
+
+let rec bytes_of_value acc = function
+  | VBytes b -> b :: acc
+  | VUnit | VBool _ | VInt _ | VStr _ -> acc
+  | VList vs -> List.fold_left bytes_of_value acc vs
+  | VPair (a, b) -> bytes_of_value (bytes_of_value acc a) b
+  | VMap kvs -> List.fold_left (fun acc (_, v) -> bytes_of_value acc v) acc kvs
+
+let prop_wcontext_cow_matches_eager =
+  QCheck.Test.make ~name:"COW context reads match an eager-copy reference"
+    ~count:100
+    (QCheck.make gen_cow_ops)
+    (fun ops ->
+      let w = Wcontext.create () in
+      Wcontext.register_unit w ~unit_id:"u" ~params:[ "a"; "b" ];
+      Wcontext.bind_hook w ~hook_id:0 ~unit_id:"u"
+        ~captures:[ ("a", "ta"); ("b", "tb") ];
+      let eager : (string, value) Hashtbl.t = Hashtbl.create 4 in
+      let stored : (string, value) Hashtbl.t = Hashtbl.create 4 in
+      let now = ref 0L in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          now := Int64.add !now 1L;
+          match op with
+          | `Sink (i, v) ->
+              let param, tmp = if i = 0 then ("a", "ta") else ("b", "tb") in
+              (* each table gets a private copy of the captured value, as
+                 the interpreter's hook path provides *)
+              let v_cow = copy_value v in
+              Wcontext.sink w ~now:!now 0 [ (tmp, v_cow) ];
+              Hashtbl.replace stored param v_cow;
+              Hashtbl.replace eager param (copy_value v)
+          | `Read -> (
+              let expect =
+                match
+                  (Hashtbl.find_opt eager "a", Hashtbl.find_opt eager "b")
+                with
+                | Some a, Some b -> Some [ copy_value a; copy_value b ]
+                | _ -> None
+              in
+              match (Wcontext.args w "u", expect) with
+              | None, None -> ()
+              | Some got, Some want ->
+                  if not (List.for_all2 value_equal got want) then ok := false;
+                  let stored_bytes =
+                    Hashtbl.fold (fun _ v acc -> bytes_of_value acc v) stored []
+                  in
+                  List.iter
+                    (fun g ->
+                      List.iter
+                        (fun gb ->
+                          if List.memq gb stored_bytes then ok := false)
+                        (bytes_of_value [] g))
+                    got
+              | None, Some _ | Some _, None -> ok := false))
+        ops;
+      !ok)
 
 (* --- driver --- *)
 
@@ -509,6 +607,7 @@ let () =
           Alcotest.test_case "replication" `Quick test_wcontext_replication;
           Alcotest.test_case "staleness" `Quick test_wcontext_staleness;
           Alcotest.test_case "unknown hook" `Quick test_wcontext_unknown_hook_ignored;
+          QCheck_alcotest.to_alcotest prop_wcontext_cow_matches_eager;
         ] );
       ( "driver",
         [
