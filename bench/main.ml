@@ -349,13 +349,18 @@ let run_json_bench ~jobs_n () =
      domain — Gc.minor_words is per-domain — and is deterministic for the
      fixed seed, so the gate below cannot flap. *)
   let alloc_rows, alloc_s = wall (fun () -> Experiments.e22_alloc ()) in
+  (* scheduling frontier (E23, v7): fixed vs adaptive checker scheduling
+     across the fault catalog and the load plane. The gated component is
+     [sched_events] — events above a hooks-only baseline — because context
+     sync is per-request cost no schedule can touch. *)
+  let frontier, frontier_s = wall (fun () -> Experiments.e23_run ()) in
   let buf = Buffer.create 1024 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let rate (hits, misses) =
     float_of_int hits /. Float.max 1. (float_of_int (hits + misses))
   in
   bpf "{\n";
-  bpf "  \"schema\": \"wd-bench-harness/v6\",\n";
+  bpf "  \"schema\": \"wd-bench-harness/v7\",\n";
   let gc = Gc.get () in
   bpf
     "  \"host\": { \"recommended_domains\": %d, \"gc\": { \
@@ -576,6 +581,36 @@ let run_json_bench ~jobs_n () =
     alloc_rows;
   bpf "    ]\n";
   bpf "  },\n";
+  (* v7: the E23 scheduling frontier — one row per scheduling mode, the
+     overhead-vs-detection-latency trade the adaptive scheduler buys *)
+  bpf "  \"frontier\": {\n";
+  bpf "    \"requests_per_run\": %d,\n" frontier.Experiments.e23_requests;
+  bpf "    \"scenarios\": %d,\n" frontier.Experiments.e23_scenarios;
+  bpf "    \"wall_s\": %.1f,\n" frontier_s;
+  bpf "    \"rows\": [\n";
+  List.iteri
+    (fun i (r : Experiments.e23_row) ->
+      bpf
+        "      { \"mode\": \"%s\", \"policy\": \"%s\", \"overhead_pct\": \
+         %.3f, \"sched_events\": %d, \"sched_cut_pct\": %.1f, \"p99_x\": \
+         %.3f, \"load_detect_ms\": %.1f, \"detected\": %d, \"catalog\": %d, \
+         \"worst_detect_ms\": %.1f, \"mean_detect_ms\": %.1f, \"runs\": %d, \
+         \"dedup_skips\": %d, \"shared_syncs\": %d, \"throttle_peak\": %.0f \
+         }%s\n"
+        r.Experiments.e23f_mode r.Experiments.e23f_policy
+        r.Experiments.e23f_overhead_pct r.Experiments.e23f_sched_events
+        r.Experiments.e23f_sched_cut_pct r.Experiments.e23f_p99_x
+        (ms r.Experiments.e23f_load_detect)
+        r.Experiments.e23f_detected r.Experiments.e23f_catalog
+        (ms r.Experiments.e23f_worst_detect)
+        (ms r.Experiments.e23f_mean_detect)
+        r.Experiments.e23f_runs r.Experiments.e23f_dedup_skips
+        r.Experiments.e23f_shared_syncs r.Experiments.e23f_throttle_peak
+        (if i = List.length frontier.Experiments.e23_rows - 1 then ""
+         else ","))
+    frontier.Experiments.e23_rows;
+  bpf "    ]\n";
+  bpf "  },\n";
   bpf "  \"analysis_cache\": { \"cold_ms\": %.3f, \"hit_ms\": %.4f },\n"
     (1e3 *. cold_s) (1e3 *. hit_s);
   bpf "  \"interp\": {\n";
@@ -748,7 +783,46 @@ let run_json_bench ~jobs_n () =
            budget\n"
           r.Experiments.e22a_bytes_per_req;
         exit 1
-      end)
+      end);
+  (* frontier gates (v7): the adaptive scheduler must cut the
+     checker-scheduling event component by >= 30% vs the fixed baseline
+     while keeping full-catalog coverage and staying within 2x the fixed
+     worst-case detection latency *)
+  let frontier_fail msg =
+    prerr_endline ("ERROR: frontier gate: " ^ msg);
+    exit 1
+  in
+  let frontier_row mode =
+    match
+      List.find_opt
+        (fun (r : Experiments.e23_row) -> r.Experiments.e23f_mode = mode)
+        frontier.Experiments.e23_rows
+    with
+    | Some r -> r
+    | None -> frontier_fail (mode ^ " row missing")
+  in
+  let fx = frontier_row "fixed" in
+  let ad = frontier_row "adaptive" in
+  if ad.Experiments.e23f_sched_cut_pct < 30. then
+    frontier_fail
+      (Printf.sprintf "adaptive scheduling-overhead cut %.1f%% < 30%%"
+         ad.Experiments.e23f_sched_cut_pct);
+  if ad.Experiments.e23f_detected < fx.Experiments.e23f_detected then
+    frontier_fail
+      (Printf.sprintf "adaptive catalog coverage %d/%d below fixed %d/%d"
+         ad.Experiments.e23f_detected ad.Experiments.e23f_catalog
+         fx.Experiments.e23f_detected fx.Experiments.e23f_catalog);
+  match
+    (fx.Experiments.e23f_worst_detect, ad.Experiments.e23f_worst_detect)
+  with
+  | Some f, Some a ->
+      if a > Int64.mul 2L f then
+        frontier_fail
+          (Printf.sprintf
+             "adaptive worst-case detection %.1f ms > 2x fixed %.1f ms"
+             (Int64.to_float a /. 1e6)
+             (Int64.to_float f /. 1e6))
+  | _ -> frontier_fail "worst-case detection latency missing"
 
 let () =
   let argv = Array.to_list Sys.argv in

@@ -47,7 +47,7 @@ let list_cmd =
 let experiment_cmds =
   List.filter_map
     (fun (ename, _) ->
-      if ename = "faultspace" || ename = "load" then
+      if ename = "faultspace" || ename = "load" || ename = "frontier" then
         None (* dedicated commands below: --worlds / --requests *)
       else
         let doc = Printf.sprintf "Run experiment %s." ename in
@@ -118,6 +118,38 @@ let load_cmd =
   in
   Cmd.v
     (Cmd.info "load" ~doc)
+    Term.(const run $ requests_arg $ jobs_arg $ seed_arg $ engine_arg)
+
+let frontier_cmd =
+  let doc =
+    "Run experiment frontier (E23): sweep checker-scheduling modes (fixed \
+     vs adaptive) across the full fault catalog and the E22 load plane, \
+     emitting an overhead-vs-detection-latency frontier table."
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int Wd_harness.Experiments.e22_default_requests
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Request budget per load-plane run of each scheduling mode \
+             (default $(docv)=60000).")
+  in
+  let run requests jobs seed engine =
+    apply_jobs jobs;
+    apply_seed seed;
+    apply_engine engine;
+    if requests <= 0 then begin
+      Fmt.epr "--requests must be positive@.";
+      1
+    end
+    else begin
+      print_string (Wd_harness.Experiments.e23_text ~requests ());
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "frontier" ~doc)
     Term.(const run $ requests_arg $ jobs_arg $ seed_arg $ engine_arg)
 
 let all_cmd =
@@ -254,4 +286,4 @@ let () =
     (Cmd.eval'
        (Cmd.group ~default info
           (list_cmd :: all_cmd :: scenario_cmd :: checkers_cmd
-           :: faultspace_cmd :: load_cmd :: experiment_cmds)))
+           :: faultspace_cmd :: load_cmd :: frontier_cmd :: experiment_cmds)))

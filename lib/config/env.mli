@@ -1,0 +1,32 @@
+(** Typed, [Result]-returning loader for the process environment knobs
+    ([WD_JOBS], [WD_MINOR_HEAP], [WD_ENGINE]). The single parse site: no
+    other module calls [Sys.getenv] for these. Dependency-free so both the
+    domain pool and the interpreter can consume it;
+    [Wd_harness.Cli.config] re-exposes the same loader at the CLI layer. *)
+
+type engine = [ `Compiled | `Treewalk ]
+(** Structurally identical to [Wd_ir.Interp.engine]; declared here so this
+    library needs no dependencies. *)
+
+type t = {
+  jobs : int option;  (** [WD_JOBS]: domain-pool width; must be positive *)
+  minor_heap_words : int option;
+      (** [WD_MINOR_HEAP]: per-domain minor heap in words; values below the
+          runtime's 16k-word floor are ignored ([None]) *)
+  engine : engine option;  (** [WD_ENGINE]: [compiled] or [treewalk] *)
+}
+
+val empty : t
+
+val engine_of_string : string -> engine option
+(** Shared engine-name parser ([compiled] / [treewalk], case-insensitive,
+    a few historical spellings). *)
+
+val load : unit -> (t, string) result
+(** Parse the environment. [Error] names the offending variable and value;
+    unset or empty variables are [None], never errors. *)
+
+val get : unit -> t
+(** Memoised {!load}; raises [Failure] with the {!load} error message on a
+    malformed environment (fail-fast at first use, preserving the historic
+    [WD_ENGINE] behaviour for all three knobs). *)

@@ -104,6 +104,7 @@ type config = {
   observe : int64;
   mode : Systems.watchdog_mode;
   infer : Wd_infer.Synth.model option;
+  schedule : Wd_watchdog.Schedule.policy;
 }
 
 let default_config =
@@ -113,6 +114,7 @@ let default_config =
     observe = Wd_sim.Time.sec 45;
     mode = Systems.Wd_generated;
     infer = None;
+    schedule = Wd_watchdog.Schedule.fixed;
   }
 
 let run_raw cfg ~system ~scenario () =
@@ -127,7 +129,10 @@ let run_raw cfg ~system ~scenario () =
   in
   (* Pre-register the boot work inside a bootstrap task? Boot functions only
      create tasks; client/probe activity happens once the sim runs. *)
-  let booted = Systems.boot ~sched ~reg ~mode:cfg.mode ?special system in
+  let booted =
+    Systems.boot ~schedule:cfg.schedule ~sched ~reg ~mode:cfg.mode ?special
+      system
+  in
   (match (cfg.infer, monitor) with
   | Some model, Some monitor ->
       List.iter

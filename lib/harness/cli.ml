@@ -87,3 +87,30 @@ let apply_opts o =
   apply_jobs o.o_jobs;
   apply_seed o.o_seed;
   apply_engine o.o_engine
+
+(* --- environment configuration ----------------------------------------- *)
+
+(* The typed face of the WD_* environment variables. [Wd_config.Env] is the
+   single parse site (the process-wide knobs in [Wd_parallel.Pool] and
+   [Wd_ir.Interp] read the same memoised record); this alias re-exposes it
+   where front ends already look for flag handling, with the engine lifted
+   to the interpreter's type. *)
+
+type config = {
+  c_jobs : int option;
+  c_minor_heap_words : int option;
+  c_engine : Wd_ir.Interp.engine option;
+}
+
+let config () =
+  Result.map
+    (fun (e : Wd_config.Env.t) ->
+      {
+        c_jobs = e.Wd_config.Env.jobs;
+        c_minor_heap_words = e.Wd_config.Env.minor_heap_words;
+        c_engine =
+          Option.map
+            (fun g -> (g :> Wd_ir.Interp.engine))
+            e.Wd_config.Env.engine;
+      })
+    (Wd_config.Env.load ())

@@ -37,3 +37,22 @@ val scan : string list -> (opts, string) result
     (e.g. bench's [--json]); errors only on a malformed value. *)
 
 val apply_opts : opts -> unit
+
+(** {2 environment configuration}
+
+    Typed view of the WD_* environment variables ([WD_JOBS],
+    [WD_MINOR_HEAP], [WD_ENGINE]). {!Wd_config.Env} is the single parse
+    site — no caller reads [Sys.getenv] directly — and this alias
+    re-exposes it on the harness CLI surface with the engine lifted to
+    {!Wd_ir.Interp.engine}. *)
+
+type config = {
+  c_jobs : int option;  (** [WD_JOBS]: domain-pool width *)
+  c_minor_heap_words : int option;
+      (** [WD_MINOR_HEAP]: per-domain minor heap size, words *)
+  c_engine : Wd_ir.Interp.engine option;  (** [WD_ENGINE] *)
+}
+
+val config : unit -> (config, string) result
+(** Parse the environment. [Error msg] names the offending variable and
+    value; unset variables are [None], not errors. *)

@@ -29,6 +29,7 @@ type booted = {
 
 val boot :
   ?engine:Wd_ir.Interp.engine ->
+  ?schedule:Wd_watchdog.Schedule.policy ->
   sched:Wd_sim.Sched.t ->
   reg:Wd_env.Faultreg.t ->
   mode:watchdog_mode ->
@@ -38,6 +39,7 @@ val boot :
 (** Boot "kvs", "zkmini", "dfsmini" or "cstore". [special] selects boot
     variants: "leak_bug", "in_memory", "burst" (kvs only). [engine] selects
     the IR execution engine for the target and its checkers (default:
-    {!Wd_ir.Interp.default_engine}). *)
+    {!Wd_ir.Interp.default_engine}); [schedule] the checker scheduling
+    policy (default {!Wd_watchdog.Schedule.fixed}). *)
 
 val all_systems : string list

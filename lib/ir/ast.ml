@@ -213,6 +213,15 @@ let rec render_value buf = function
    renderer calls no user code), so one buffer per domain suffices. *)
 let render_buf_key = Domain.DLS.new_key (fun () -> Buffer.create 256)
 
+(* Render into the domain scratch buffer and hand it to [f] — the
+   no-intermediate-string path content hashing uses. The buffer is only
+   valid inside [f]. *)
+let with_rendered v f =
+  let buf = Domain.DLS.get render_buf_key in
+  Buffer.clear buf;
+  render_value buf v;
+  f buf
+
 let value_to_string v =
   let buf = Domain.DLS.get render_buf_key in
   Buffer.clear buf;

@@ -107,20 +107,15 @@ and impl = Treewalk_impl | Compiled_impl of t Compile.t
 
 let engine_name = function `Compiled -> "compiled" | `Treewalk -> "treewalk"
 
-let engine_of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "compiled" -> Some `Compiled
-  | "treewalk" | "tree-walk" | "treewalker" -> Some `Treewalk
-  | _ -> None
+let engine_of_string s = Wd_config.Env.engine_of_string s
 
+(* The typed env loader owns the WD_ENGINE read; a malformed value fails
+   fast here at module initialisation, as the ad-hoc parse always did. *)
 let default_engine_cell : engine Atomic.t =
   Atomic.make
-    (match Sys.getenv_opt "WD_ENGINE" with
-    | None | Some "" -> `Compiled
-    | Some s -> (
-        match engine_of_string s with
-        | Some e -> e
-        | None -> failwith ("WD_ENGINE: unknown engine " ^ s)))
+    (match (Wd_config.Env.get ()).Wd_config.Env.engine with
+    | Some e -> (e :> engine)
+    | None -> `Compiled)
 
 let set_default_engine e = Atomic.set default_engine_cell e
 let default_engine () = Atomic.get default_engine_cell

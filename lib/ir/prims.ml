@@ -19,15 +19,13 @@ let as_bool = function VBool b -> b | v -> err "expected bool, got %a" pp_value 
 (* FNV-1a over the printed form: a stable, portable content hash. Hashes
    straight out of the domain's render buffer — no intermediate string. *)
 let hash_value v =
-  let buf = Domain.DLS.get render_buf_key in
-  Buffer.clear buf;
-  render_value buf v;
-  let h = ref 0xcbf29ce484222325L in
-  for i = 0 to Buffer.length buf - 1 do
-    h := Int64.logxor !h (Int64.of_int (Char.code (Buffer.nth buf i)));
-    h := Int64.mul !h 0x100000001b3L
-  done;
-  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+  with_rendered v (fun buf ->
+      let h = ref 0xcbf29ce484222325L in
+      for i = 0 to Buffer.length buf - 1 do
+        h := Int64.logxor !h (Int64.of_int (Char.code (Buffer.nth buf i)));
+        h := Int64.mul !h 0x100000001b3L
+      done;
+      Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL))
 
 let apply name args =
   match (name, args) with

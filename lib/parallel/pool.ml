@@ -34,11 +34,8 @@ type t = {
 }
 
 let default_jobs () =
-  match Sys.getenv_opt "WD_JOBS" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n > 0 -> n
-      | Some _ | None -> Domain.recommended_domain_count ())
+  match (Wd_config.Env.get ()).Wd_config.Env.jobs with
+  | Some n -> n
   | None -> Domain.recommended_domain_count ()
 
 (* Per-domain minor heap size, in words. OCaml 5 gives every domain its own
@@ -48,12 +45,7 @@ let default_jobs () =
    for every pool lane (workers at spawn, the submitting domain at pool
    creation); values below the runtime's 16k-word floor are ignored. *)
 let minor_heap_words () =
-  match Sys.getenv_opt "WD_MINOR_HEAP" with
-  | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 16384 -> Some n
-      | Some _ | None -> None)
-  | None -> None
+  (Wd_config.Env.get ()).Wd_config.Env.minor_heap_words
 
 let apply_minor_heap () =
   match minor_heap_words () with

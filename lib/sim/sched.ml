@@ -98,6 +98,19 @@ let all_tasks s = s.tasks
 
 let stats s = (s.spawned, s.switches, s.events_fired)
 
+(* Load-pressure probes for adaptive checker scheduling. Both are pure
+   reads of scheduler state at the instant of the call, so a sampling task
+   sees a deterministic value: the runq contents and timer heap at any
+   point of a run are a function of the seed alone. *)
+let runq_depth s = Queue.length s.runq
+
+let timer_slack s =
+  match Heap.peek_time s.timers with
+  | None -> Int64.max_int
+  | Some t -> if t <= s.now then 0L else Int64.sub t s.now
+
+let timer_count s = Heap.size s.timers
+
 let set_trace s trace = s.trace <- Some trace
 let trace s = s.trace
 

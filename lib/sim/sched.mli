@@ -98,6 +98,23 @@ val run : ?until:int64 -> t -> run_result
 val stats : t -> int * int * int
 (** [(tasks spawned, context switches, events fired)]. *)
 
+(** {2 Load-pressure probes}
+
+    Deterministic reads of scheduler state, for adaptive checker
+    scheduling: the runq contents and timer heap at any point of a run are
+    a function of the seed alone, so sampling them from a task cannot
+    break cross-run or cross-width reproducibility. *)
+
+val runq_depth : t -> int
+(** Tasks queued runnable right now (excluding the running one). *)
+
+val timer_slack : t -> int64
+(** Virtual time until the earliest armed timer fires; [0] when one is
+    already due, [Int64.max_int] when none are armed. *)
+
+val timer_count : t -> int
+(** Armed timers. *)
+
 val set_trace : t -> Trace.t -> unit
 (** Start recording scheduler events (spawn/block/resume/finish) into the
     given ring buffer. *)

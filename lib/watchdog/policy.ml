@@ -3,7 +3,11 @@
    [confirmations] debounces one-off blips; [dedup_window] suppresses
    repeats of the same finding; [validate] is the paper's §5 false-alarm
    mitigation — when a mimic checker fails, invoke a probe checker to assess
-   the impact before (optionally) suppressing the alarm. *)
+   the impact before (optionally) suppressing the alarm.
+
+   Construction goes through [make] and the [with_*] builders so adding a
+   field never breaks a caller; the record itself stays transparent for
+   readers (the driver pattern-matches fields directly). *)
 
 type t = {
   confirmations : int;
@@ -19,15 +23,30 @@ type t = {
   slow_min_samples : int;
 }
 
-let default =
+let make ?(confirmations = 1) ?(dedup_window = Wd_sim.Time.sec 30) ?validate
+    ?(suppress_unvalidated = false) ?(slow_floor = Wd_sim.Time.ms 5)
+    ?(slow_mult = 20.0) ?(slow_min_samples = 5) () =
   {
-    confirmations = 1;
-    dedup_window = Wd_sim.Time.sec 30;
-    validate = None;
-    suppress_unvalidated = false;
-    slow_floor = Wd_sim.Time.ms 5;
-    slow_mult = 20.0;
-    slow_min_samples = 5;
+    confirmations;
+    dedup_window;
+    validate;
+    suppress_unvalidated;
+    slow_floor;
+    slow_mult;
+    slow_min_samples;
+  }
+
+let default = make ()
+
+let with_confirmations confirmations p = { p with confirmations }
+let with_dedup_window dedup_window p = { p with dedup_window }
+
+let with_slowness ?floor ?mult ?min_samples p =
+  {
+    p with
+    slow_floor = Option.value floor ~default:p.slow_floor;
+    slow_mult = Option.value mult ~default:p.slow_mult;
+    slow_min_samples = Option.value min_samples ~default:p.slow_min_samples;
   }
 
 let with_validation ?(suppress = false) validate p =

@@ -253,7 +253,7 @@ let test_driver_skip_not_a_failure () =
       | _ -> Alcotest.fail "one checker")
 
 let test_driver_confirmations_debounce () =
-  let policy = { Policy.default with Policy.confirmations = 3 } in
+  let policy = Policy.make ~confirmations:3 () in
   with_driver ~policy (fun s driver ->
       let n = ref 0 in
       Driver.add_checker driver
